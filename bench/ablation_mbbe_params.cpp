@@ -1,0 +1,87 @@
+/// Ablation of MBBE's three complementary strategies (DESIGN.md calls these
+/// out as the design choices to quantify):
+///   * X_max — forward-search node cap (strategy 1),
+///   * X_d   — sub-solution-tree branching cap (strategy 3),
+///   * min-cost-path vs FST/BST tree-path instantiation (strategy 2).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dagsfc;
+
+void run_variants(bench::BenchSetup& s, const std::string& title,
+                  const std::vector<std::pair<std::string,
+                                              core::BacktrackingOptions>>&
+                      variants) {
+  Table t({"variant", "mean cost", "ok%", "mean ms", "expanded"});
+  for (const auto& [label, opts] : variants) {
+    const core::BbeEmbedder engine(opts);
+    const auto stats =
+        sim::run_comparison(s.base, {&engine}, s.run_opts);
+    const auto& st = stats[0];
+    t.row().cell(label);
+    t.cell(st.successes ? st.cost.mean() : 0.0);
+    t.cell(st.success_rate() * 100.0, 1);
+    t.cell(st.wall_ms.mean(), 3);
+    t.cell(st.expanded.mean(), 0);
+    std::cerr << label << " done\n";
+  }
+  std::cout << title << "\n" << t.ascii() << "\n";
+  if (s.csv) std::cout << "CSV:\n" << t.csv() << "\n";
+}
+
+core::BacktrackingOptions mbbe_like(std::size_t x_max, std::size_t x_d,
+                                    bool min_cost) {
+  core::BacktrackingOptions o;
+  o.min_cost_path_instantiation = min_cost;
+  o.x_max = x_max;
+  o.x_d = x_d;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto s = bench::setup(argc, argv, "MBBE parameter/strategy ablation");
+  if (!s) return 1;
+  std::cout << "== Ablation: MBBE strategies ==\n"
+            << "base config: " << s->base.summary() << "\n\n";
+
+  {
+    std::vector<std::pair<std::string, core::BacktrackingOptions>> v;
+    for (std::size_t x : {5u, 10u, 20u, 50u, 100u}) {
+      v.emplace_back("X_max=" + std::to_string(x), mbbe_like(x, 4, true));
+    }
+    run_variants(*s, "strategy (1): forward-search cap X_max (X_d=4):", v);
+  }
+  {
+    std::vector<std::pair<std::string, core::BacktrackingOptions>> v;
+    for (std::size_t x : {1u, 2u, 4u, 8u, 16u}) {
+      v.emplace_back("X_d=" + std::to_string(x), mbbe_like(50, x, true));
+    }
+    run_variants(*s, "strategy (3): children kept per sub-solution X_d "
+                     "(X_max=50):", v);
+  }
+  {
+    std::vector<std::pair<std::string, core::BacktrackingOptions>> v;
+    v.emplace_back("tree-path instantiation", mbbe_like(50, 4, false));
+    v.emplace_back("min-cost-path instantiation", mbbe_like(50, 4, true));
+    run_variants(*s,
+                 "strategy (2): meta-path instantiation (X_max=50, X_d=4):",
+                 v);
+  }
+  {
+    std::vector<std::pair<std::string, core::BacktrackingOptions>> v;
+    for (std::size_t k : {1u, 2u, 4u}) {
+      auto o = mbbe_like(50, 4, true);
+      o.paths_per_meta_path = k;
+      v.emplace_back("paths/meta-path=" + std::to_string(k), o);
+    }
+    run_variants(*s,
+                 "real-path enumeration depth (the paper's |P^a_b| / h):", v);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// Extension ablation: how commit order affects batch admission. A fixed
+/// set of heterogeneous requests (SFC sizes 1..6) is embedded onto one
+/// contended network with each BatchOrder strategy; reported: accepted
+/// requests, acceptance ratio, and total cost of the accepted set.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/batch.hpp"
+#include "sim/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dagsfc;
+  auto s = bench::setup(argc, argv, "batch admission ordering ablation");
+  if (!s) return 1;
+
+  sim::ExperimentConfig cfg = s->base;
+  cfg.network_size = 50;
+  cfg.catalog_size = 8;
+  cfg.vnf_deploy_ratio = 0.25;
+  cfg.vnf_capacity = 3.0;
+  cfg.link_capacity = 4.0;
+  const std::size_t batch_size = 120;
+  const std::size_t repetitions = std::max<std::size_t>(3, s->base.trials / 10);
+
+  const std::vector<std::pair<std::string, core::BatchOrder>> strategies{
+      {"arrival", core::BatchOrder::Arrival},
+      {"smallest-first", core::BatchOrder::SmallestFirst},
+      {"largest-first", core::BatchOrder::LargestFirst},
+      {"cheapest-first", core::BatchOrder::CheapestFirst},
+  };
+
+  Table t({"order", "mean accepted", "accept%", "mean total cost"});
+  for (const auto& [label, order] : strategies) {
+    RunningStats accepted;
+    RunningStats ratio;
+    RunningStats cost;
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      Rng rng(cfg.seed + rep * 101);
+      const sim::Scenario scenario = sim::make_scenario(rng, cfg);
+      // Heterogeneous request mix, same for every strategy (fresh RNG fork
+      // keeps the mix identical across the strategy loop).
+      Rng mix(cfg.seed + rep * 101 + 7);
+      std::vector<sfc::DagSfc> dags;
+      std::vector<core::BatchRequest> requests;
+      dags.reserve(batch_size);
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        sim::ExperimentConfig rc = cfg;
+        rc.sfc_size = 1 + mix.index(6);
+        dags.push_back(sim::make_sfc(mix, scenario.network.catalog(), rc));
+      }
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        auto src = static_cast<graph::NodeId>(mix.index(cfg.network_size));
+        auto dst = static_cast<graph::NodeId>(mix.index(cfg.network_size));
+        if (dst == src) dst = (dst + 1) % cfg.network_size;
+        requests.push_back(core::BatchRequest{
+            &dags[i], core::Flow{src, dst, cfg.flow_rate, cfg.flow_size}});
+      }
+      Rng solver_rng(cfg.seed + rep);
+      const core::BatchResult r = core::embed_batch(
+          scenario.network, requests, *s->mbbe, order, solver_rng);
+      accepted.add(static_cast<double>(r.accepted));
+      ratio.add(r.acceptance_ratio());
+      cost.add(r.total_cost);
+    }
+    t.row().cell(label);
+    t.cell(accepted.mean(), 1);
+    t.cell(ratio.mean() * 100.0, 1);
+    t.cell(cost.mean(), 1);
+    std::cerr << label << " done\n";
+  }
+  std::cout << "== Extension: batch admission ordering (MBBE embedder) ==\n"
+            << "expectation: smallest-first admits the most requests under "
+               "contention; cheapest-first spends the least per batch\n\n"
+            << t.ascii();
+  if (s->csv) std::cout << "\nCSV:\n" << t.csv();
+  return 0;
+}

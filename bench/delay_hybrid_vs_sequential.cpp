@@ -1,0 +1,58 @@
+/// Reproduces the paper's *motivation* (Fig. 1, §1): hybrid SFCs cut the
+/// end-to-end delay of sequential SFCs because parallel VNFs overlap in
+/// time. For MBBE's cost-optimal embeddings we report, per SFC size, the
+/// critical-path delay of the hybrid execution vs the serialized execution
+/// of the same placements, and the resulting speedup.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/delay.hpp"
+#include "sim/scenario.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dagsfc;
+  auto s = bench::setup(argc, argv,
+                        "Fig. 1 motivation: hybrid vs sequential delay");
+  if (!s) return 1;
+
+  Table t({"sfc_size", "hybrid ms", "serialized ms", "speedup",
+           "embeddings"});
+  for (std::size_t size : {3u, 5u, 7u, 9u}) {
+    sim::ExperimentConfig cfg = s->base;
+    cfg.sfc_size = size;
+    Rng seeder(cfg.seed + size);
+    RunningStats hybrid;
+    RunningStats serial;
+    for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+      Rng rng(seeder.fork_seed());
+      const sim::Scenario scenario = sim::make_scenario(rng, cfg);
+      const sfc::DagSfc dag =
+          sim::make_sfc(rng, scenario.network.catalog(), cfg);
+      core::EmbeddingProblem problem;
+      problem.network = &scenario.network;
+      problem.sfc = &dag;
+      problem.flow =
+          core::Flow{scenario.source, scenario.destination, 1.0, 1.0};
+      const core::ModelIndex index(problem);
+      const auto r = s->mbbe->solve_fresh(index, rng);
+      if (!r.ok()) continue;
+      const core::Evaluator ev(index);
+      hybrid.add(core::end_to_end_delay(ev, *r.solution));
+      serial.add(core::serialized_delay(ev, *r.solution));
+    }
+    t.row().cell(size);
+    t.cell(hybrid.mean(), 2).cell(serial.mean(), 2);
+    t.cell(hybrid.mean() > 0 ? serial.mean() / hybrid.mean() : 0.0, 2);
+    t.cell(hybrid.count());
+    std::cerr << "sfc_size=" << size << " done\n";
+  }
+  std::cout << "== Motivation: delay of hybrid vs sequential execution ==\n"
+            << "paper expectation: hybrid (parallel) execution is faster; "
+               "the gap grows with SFC width\n"
+            << "base config: " << s->base.summary() << "\n\n"
+            << t.ascii();
+  if (s->csv) std::cout << "\nCSV:\n" << t.csv();
+  return 0;
+}

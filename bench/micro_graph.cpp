@@ -1,0 +1,110 @@
+/// google-benchmark micro benches for the substrate primitives the
+/// embedding algorithms lean on: Dijkstra, Yen's k-shortest paths, the
+/// Dreyfus–Wagner Steiner DP, topology generation, and the cost evaluator.
+
+#include <benchmark/benchmark.h>
+
+#include "core/backtracking.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/generator.hpp"
+#include "graph/steiner.hpp"
+#include "graph/yen.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace dagsfc;
+
+graph::Graph make_graph(std::size_t n, double degree, std::uint64_t seed) {
+  Rng rng(seed);
+  graph::RandomGraphOptions opts;
+  opts.num_nodes = n;
+  opts.average_degree = degree;
+  graph::Graph g = random_connected_graph(rng, opts);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    g.set_weight(e, rng.uniform_real(1.0, 10.0));
+  }
+  return g;
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto g = make_graph(static_cast<std::size_t>(state.range(0)), 6.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::dijkstra(g, 0));
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_YenKsp(benchmark::State& state) {
+  const auto g = make_graph(200, 6.0, 2);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::k_shortest_paths(g, 0, 150, k));
+  }
+}
+BENCHMARK(BM_YenKsp)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SteinerTree(benchmark::State& state) {
+  const auto g = make_graph(120, 5.0, 3);
+  std::vector<graph::NodeId> terminals;
+  Rng rng(4);
+  for (long i = 0; i < state.range(0); ++i) {
+    terminals.push_back(static_cast<graph::NodeId>(rng.index(120)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::steiner_tree(g, terminals));
+  }
+}
+BENCHMARK(BM_SteinerTree)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_NetworkGeneration(benchmark::State& state) {
+  sim::ExperimentConfig cfg;
+  cfg.network_size = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::make_scenario(rng, cfg));
+  }
+}
+BENCHMARK(BM_NetworkGeneration)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_MbbeSolve(benchmark::State& state) {
+  sim::ExperimentConfig cfg;
+  cfg.network_size = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const sim::Scenario scenario = sim::make_scenario(rng, cfg);
+  const sfc::DagSfc dag = sim::make_sfc(rng, scenario.network.catalog(), cfg);
+  core::EmbeddingProblem problem;
+  problem.network = &scenario.network;
+  problem.sfc = &dag;
+  problem.flow = core::Flow{scenario.source, scenario.destination, 1.0, 1.0};
+  const core::ModelIndex index(problem);
+  const core::MbbeEmbedder mbbe;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mbbe.solve_fresh(index, rng));
+  }
+}
+BENCHMARK(BM_MbbeSolve)->Arg(100)->Arg(500);
+
+void BM_EvaluatorCost(benchmark::State& state) {
+  sim::ExperimentConfig cfg;
+  Rng rng(7);
+  const sim::Scenario scenario = sim::make_scenario(rng, cfg);
+  const sfc::DagSfc dag = sim::make_sfc(rng, scenario.network.catalog(), cfg);
+  core::EmbeddingProblem problem;
+  problem.network = &scenario.network;
+  problem.sfc = &dag;
+  problem.flow = core::Flow{scenario.source, scenario.destination, 1.0, 1.0};
+  const core::ModelIndex index(problem);
+  const core::MbbeEmbedder mbbe;
+  const auto r = mbbe.solve_fresh(index, rng);
+  const core::Evaluator evaluator(index);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.cost(*r.solution));
+  }
+}
+BENCHMARK(BM_EvaluatorCost);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+/// Reproduces the §5.2 robustness remark: "In all the above simulations,
+/// MBBE always results in a solution while the benchmark algorithms do not."
+/// Two stress settings make failures observable:
+///   (1) sparse deployment — per-trial success rate as the deploy ratio
+///       shrinks toward nothing;
+///   (2) tight capacities — sequential flow admission into one network until
+///       each algorithm first fails; more admissions = more robust packing.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dagsfc;
+
+/// The §5.2 remark compares MBBE against the benchmarks; plain BBE is
+/// excluded here because its unbounded forward search makes sparse-deploy
+/// instances pathologically slow without changing the claim.
+std::vector<const core::Embedder*> claim_set(bench::BenchSetup& s) {
+  return {s.ranv.get(), s.minv.get(), s.mbbe.get()};
+}
+
+void sparse_deployment(bench::BenchSetup& s) {
+  const std::vector<double> ratios{0.02, 0.05, 0.10, 0.20, 0.50};
+  const auto algos = claim_set(s);
+  std::vector<std::string> cols{"deploy_ratio"};
+  for (const auto* a : algos) cols.push_back(a->name() + " ok%");
+  Table t(cols);
+  for (double r : ratios) {
+    sim::ExperimentConfig cfg = s.base;
+    cfg.vnf_deploy_ratio = r;
+    // Tight capacities: an embedding whose real-paths pile onto the few
+    // links toward the scarce hosts becomes infeasible. The capacity-blind
+    // baselines walk into that; MBBE's candidate screening avoids it.
+    cfg.vnf_capacity = 4.0;
+    cfg.link_capacity = 4.0;
+    const auto stats = sim::run_comparison(cfg, algos, s.run_opts);
+    t.row().cell(std::to_string(static_cast<long long>(r * 100)) + "%");
+    for (const auto& st : stats) t.cell(st.success_rate() * 100.0, 1);
+    std::cerr << "deploy_ratio=" << r << " done\n";
+  }
+  std::cout << "success rate under sparse deployment:\n" << t.ascii() << "\n";
+  if (s.csv) std::cout << "CSV:\n" << t.csv() << "\n";
+}
+
+void tight_capacity(bench::BenchSetup& s) {
+  // Capacities sized so only a handful of flows fit; count admissions until
+  // first failure, averaged over repetitions.
+  const auto algos = claim_set(s);
+  Table t({"algorithm", "mean admissions before first failure"});
+  const std::size_t reps = std::max<std::size_t>(1, s.base.trials / 5);
+  for (const auto* algo : algos) {
+    RunningStats admissions;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      Rng rng(s.base.seed + rep * 7919);
+      sim::ExperimentConfig cfg = s.base;
+      cfg.network_size = 60;
+      cfg.vnf_capacity = 4.0;
+      cfg.link_capacity = 4.0;
+      const sim::Scenario scenario = sim::make_scenario(rng, cfg);
+      net::CapacityLedger ledger(scenario.network);
+      std::size_t count = 0;
+      for (;; ++count) {
+        const sfc::DagSfc dag =
+            sim::make_sfc(rng, scenario.network.catalog(), cfg);
+        core::EmbeddingProblem problem;
+        problem.network = &scenario.network;
+        problem.sfc = &dag;
+        problem.flow = core::Flow{scenario.source, scenario.destination,
+                                  cfg.flow_rate, cfg.flow_size};
+        const core::ModelIndex index(problem);
+        const auto r = algo->solve(index, ledger, rng);
+        if (!r.ok()) break;
+        const core::Evaluator evaluator(index);
+        evaluator.commit(evaluator.usage(*r.solution), ledger);
+        if (count > 500) break;  // runaway guard
+      }
+      admissions.add(static_cast<double>(count));
+    }
+    t.row().cell(algo->name()).cell(admissions.mean(), 2);
+    std::cerr << algo->name() << " done\n";
+  }
+  std::cout << "sequential admission under tight capacities (60-node "
+               "network, capacity 4 units):\n"
+            << t.ascii() << "\n";
+  if (s.csv) std::cout << "CSV:\n" << t.csv() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto s = bench::setup(argc, argv,
+                        "Sec. 5.2: robustness / success-rate comparison");
+  if (!s) return 1;
+  std::cout << "== Sec. 5.2: robustness of MBBE vs benchmarks ==\n"
+            << "paper expectation: MBBE keeps finding solutions where "
+               "RANV/MINV fail\n"
+            << "base config: " << s->base.summary() << "\n\n";
+  sparse_deployment(*s);
+  tight_capacity(*s);
+  return 0;
+}

@@ -1,0 +1,152 @@
+/// Enterprise security chain — the paper's motivating workload.
+///
+/// A classic enterprise SFC (NAT -> firewall -> IDS -> load balancer ->
+/// WAN optimizer) is analyzed for VNF parallelism from per-NF packet
+/// read/write profiles (the NFP-style analysis of §3.1), standardized into a
+/// DAG-SFC, and embedded into a randomly generated 80-node provider network.
+/// The example contrasts:
+///   * the hybrid (DAG) embedding vs the purely sequential embedding —
+///     showing the latency proxy improvement parallelism buys, and
+///   * MBBE vs the MINV baseline on cost.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/backtracking.hpp"
+#include "core/baselines.hpp"
+#include "core/report.hpp"
+#include "sfc/transform.hpp"
+#include "sim/scenario.hpp"
+
+using namespace dagsfc;
+
+namespace {
+
+/// Latency proxy: hops the *critical path* of the embedding traverses —
+/// per layer, the longest inter-layer path plus the longest inner-layer
+/// path (parallel branches overlap in time; the slowest dominates).
+std::size_t critical_path_hops(const core::ModelIndex& index,
+                               const core::EmbeddingSolution& sol) {
+  std::size_t total = 0;
+  for (std::size_t g = 0; g < index.num_inter_groups(); ++g) {
+    const auto [first, last] = index.inter_group_range(g);
+    std::size_t worst = 0;
+    for (std::size_t i = first; i < last; ++i) {
+      worst = std::max(worst, sol.inter_paths[i].length());
+    }
+    total += worst;
+  }
+  for (std::size_t l = 0; l < index.problem().dag().num_layers(); ++l) {
+    const auto [first, last] = index.inner_layer_range(l);
+    std::size_t worst = 0;
+    for (std::size_t i = first; i < last; ++i) {
+      worst = std::max(worst, sol.inner_paths[i].length());
+    }
+    total += worst;
+  }
+  return total;
+}
+
+/// Processing-delay proxy in "VNF units": the VNFs of a layer process the
+/// packet simultaneously (1 unit for the whole layer) and the merger is a
+/// lightweight re-assembly step (0.2 units) — the overlap NFP [17] exploits.
+double processing_stages(const sfc::DagSfc& dag) {
+  double units = 0.0;
+  for (const sfc::Layer& layer : dag.layers()) {
+    units += 1.0;
+    if (layer.has_merger()) units += 0.2;
+  }
+  return units;
+}
+
+}  // namespace
+
+int main() {
+  net::VnfCatalog catalog(
+      {"nat", "firewall", "ids", "load_balancer", "wan_optimizer"});
+
+  // Packet-operation profiles (reads/writes/may-drop) per category.
+  using sfc::PacketField;
+  std::vector<sfc::NfProfile> profiles(5);
+  profiles[0] = {/*nat*/ sfc::to_mask(PacketField::kSrcAddr),
+                 PacketField::kSrcAddr | PacketField::kTransportPorts, false};
+  profiles[1] = {/*firewall*/
+                 PacketField::kSrcAddr | PacketField::kDstAddr,
+                 0, true};
+  profiles[2] = {/*ids*/ sfc::to_mask(PacketField::kPayload), 0, true};
+  profiles[3] = {/*lb*/ sfc::to_mask(PacketField::kFlowState),
+                 sfc::to_mask(PacketField::kDstAddr), false};
+  profiles[4] = {/*wanopt*/ sfc::to_mask(PacketField::kPayload),
+                 sfc::to_mask(PacketField::kPayload), false};
+  const sfc::ProfileOracle oracle(catalog, profiles);
+
+  sfc::SequentialSfc chain{{catalog.regular(1), catalog.regular(2),
+                            catalog.regular(3), catalog.regular(4),
+                            catalog.regular(5)}};
+  const sfc::DagSfc hybrid = sfc::transform(chain, oracle);
+  // The DP layering is provably minimal; on this chain it should agree
+  // with the greedy standardization (and we print both to show it).
+  const sfc::DagSfc minimal = sfc::transform_min_layers(chain, oracle);
+
+  // The all-sequential rendering of the same chain, for comparison.
+  std::vector<sfc::Layer> serial_layers;
+  for (net::VnfTypeId t : chain.chain) serial_layers.push_back({{t}});
+  const sfc::DagSfc serial(std::move(serial_layers));
+
+  std::cout << "sequential SFC: " << serial.to_string(catalog)
+            << "  (processing " << processing_stages(serial) << " units)\n";
+  std::cout << "hybrid DAG-SFC: " << hybrid.to_string(catalog)
+            << "  (processing " << processing_stages(hybrid)
+            << " units — parallel layers overlap)\n";
+  std::cout << "min-layer DP:   " << minimal.to_string(catalog) << "  ("
+            << minimal.num_layers() << " layers, provably minimal)\n\n";
+
+  // Provider network: random 80-node topology, all five categories plus the
+  // merger deployed at 40%.
+  sim::ExperimentConfig cfg;
+  cfg.network_size = 80;
+  cfg.network_connectivity = 5.0;
+  cfg.catalog_size = 5;
+  cfg.vnf_deploy_ratio = 0.4;
+  cfg.sfc_size = 5;
+  Rng rng(2026);
+  const sim::Scenario scenario = sim::make_scenario(rng, cfg);
+
+  const core::MbbeEmbedder mbbe;
+  const core::MinvEmbedder minv;
+  for (const auto& [label, dag] :
+       {std::pair<const char*, const sfc::DagSfc&>{"hybrid", hybrid},
+        std::pair<const char*, const sfc::DagSfc&>{"sequential", serial}}) {
+    core::EmbeddingProblem problem;
+    problem.network = &scenario.network;
+    problem.sfc = &dag;
+    problem.flow =
+        core::Flow{scenario.source, scenario.destination, 1.0, 1.0};
+    const core::ModelIndex index(problem);
+    const core::Evaluator evaluator(index);
+
+    std::cout << "== " << label << " embedding ==\n";
+    for (const core::Embedder* algo :
+         std::initializer_list<const core::Embedder*>{&mbbe, &minv}) {
+      const auto r = algo->solve_fresh(index, rng);
+      if (!r.ok()) {
+        std::cout << algo->name() << ": failed (" << r.failure_reason
+                  << ")\n";
+        continue;
+      }
+      std::cout << algo->name() << ": cost " << r.cost
+                << ", critical-path hops "
+                << critical_path_hops(index, *r.solution) << "\n";
+      if (algo == &mbbe) {
+        std::cout << core::describe(evaluator, *r.solution);
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cout << "note: parallel layers overlap in processing time, so the\n"
+               "hybrid form needs fewer sequential VNF stages than the\n"
+               "chain — the delay benefit NFP [17] measured — while the\n"
+               "merger rental is the (small) price of that parallelism.\n"
+               "MBBE minimizes the total rental+link cost either way.\n";
+  return 0;
+}

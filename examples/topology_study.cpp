@@ -1,0 +1,114 @@
+/// Topology study: how the embedding cost of the same DAG-SFC varies across
+/// structured network shapes (ring, star, 2-D grid, two-tier leaf/spine) —
+/// the kind of what-if a provider would run before placing VNF inventory.
+/// Every topology gets identical VNF inventory (same types, prices drawn
+/// from the same distribution, same deploy ratio) so the differences come
+/// from the wiring alone.
+
+#include <functional>
+#include <iostream>
+
+#include "core/backtracking.hpp"
+#include "core/baselines.hpp"
+#include "graph/topologies.hpp"
+#include "sim/config.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace dagsfc;
+
+namespace {
+
+constexpr double kLinkPrice = 20.0;
+
+/// Library topologies come with unit weights; price every link uniformly.
+graph::Graph priced(graph::Graph g) {
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    g.set_weight(e, kLinkPrice);
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kNodes = 36;
+  constexpr std::size_t kCatalog = 5;
+  const std::vector<std::pair<std::string, std::function<graph::Graph()>>>
+      topologies{
+          {"ring", [] { return priced(graph::make_ring(kNodes)); }},
+          {"star", [] { return priced(graph::make_star(kNodes)); }},
+          {"grid 6x6", [] { return priced(graph::make_grid(6, 6)); }},
+          {"torus 6x6",
+           [] { return priced(graph::make_grid(6, 6, /*wrap=*/true)); }},
+          {"leaf-spine (4 spines)",
+           [] { return priced(graph::make_leaf_spine(kNodes, 4)); }},
+          {"fat-tree k=4 (20 nodes)",
+           [] { return priced(graph::make_fat_tree(4)); }},
+          {"waxman",
+           [] {
+             Rng rng(7);
+             graph::WaxmanOptions o;
+             o.num_nodes = kNodes;
+             return priced(graph::make_waxman(rng, o));
+           }},
+      };
+
+  net::VnfCatalog catalog(kCatalog);
+  const sfc::DagSfc dag({
+      sfc::Layer{{catalog.regular(1)}},
+      sfc::Layer{{catalog.regular(2), catalog.regular(3),
+                  catalog.regular(4)}},
+      sfc::Layer{{catalog.regular(5)}},
+  });
+  std::cout << "DAG-SFC: " << dag.to_string(catalog) << "\n\n";
+
+  const core::MbbeEmbedder mbbe;
+  const core::MinvEmbedder minv;
+  Table t({"topology", "avg degree", "MBBE cost", "MINV cost",
+           "MBBE saving %"});
+
+  for (const auto& [name, make] : topologies) {
+    // Same inventory process on every topology: identical RNG seed so each
+    // node hosts the same types at the same prices.
+    Rng rng(99);
+    net::Network network(make(), catalog);
+    std::vector<net::VnfTypeId> all = catalog.regular_ids();
+    all.push_back(catalog.merger());
+    for (net::VnfTypeId type : all) {
+      for (graph::NodeId v = 0; v < network.num_nodes(); ++v) {
+        if (rng.bernoulli(0.35)) {
+          (void)network.deploy(v, type, rng.uniform_real(80.0, 120.0), 100.0);
+        }
+      }
+      if (network.nodes_with(type).empty()) {
+        (void)network.deploy(
+            static_cast<graph::NodeId>(rng.index(network.num_nodes())), type,
+            100.0, 100.0);
+      }
+    }
+
+    core::EmbeddingProblem problem;
+    problem.network = &network;
+    problem.sfc = &dag;
+    problem.flow = core::Flow{
+        static_cast<graph::NodeId>(network.num_nodes() - 1),
+        static_cast<graph::NodeId>(network.num_nodes() / 2), 1.0, 1.0};
+    const core::ModelIndex index(problem);
+
+    const auto rm = mbbe.solve_fresh(index, rng);
+    const auto rv = minv.solve_fresh(index, rng);
+    t.row().cell(name).cell(network.topology().average_degree(), 2);
+    t.cell(rm.ok() ? rm.cost : -1.0, 1);
+    t.cell(rv.ok() ? rv.cost : -1.0, 1);
+    t.cell(rm.ok() && rv.ok() && rv.cost > 0
+               ? (1.0 - rm.cost / rv.cost) * 100.0
+               : 0.0,
+           1);
+  }
+  std::cout << t.ascii();
+  std::cout << "\nDenser wiring (grid, leaf-spine) shrinks real-paths and\n"
+               "with them the link share of the embedding cost — the same\n"
+               "effect the paper measures in Fig. 6(c).\n";
+  return 0;
+}

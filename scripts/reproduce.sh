@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerates everything: build, full test suite, every figure/claim bench.
+# Results land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,623 @@
+#include "core/backtracking.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <optional>
+#include <set>
+
+#include "graph/dijkstra.hpp"
+#include "graph/yen.hpp"
+
+namespace dagsfc::core {
+
+namespace {
+
+constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+/// One node of the sub-solution tree (§4.4.2): the embedding of a single
+/// DAG-SFC layer, linked to the previous layer's sub-solution it extends.
+struct SubSolution {
+  std::size_t parent = kNoParent;  ///< index into the previous layer's pool
+  NodeId end_node = graph::kInvalidNode;
+  double cumulative_cost = 0.0;  ///< exact cost of layers embedded so far
+  double cumulative_delay = 0.0;  ///< critical-path delay so far (ms)
+  std::vector<NodeId> layer_placement;   ///< aligned with layer_slots(l)
+  std::vector<graph::Path> inter;        ///< per VNF slot of the layer
+  std::vector<graph::Path> inner;        ///< per VNF slot (parallel layers)
+};
+
+/// Trivial single-node path used when a meta-path's endpoints coincide.
+graph::Path trivial_path(NodeId v) {
+  graph::Path p;
+  p.nodes.push_back(v);
+  return p;
+}
+
+/// Tracks which of a layer's required VNF types are already offered by the
+/// searched node set (forward/backward coverage condition L_l ⊆ F^{·,l}).
+class Coverage {
+ public:
+  Coverage(const net::CapacityLedger& ledger, std::vector<VnfTypeId> types,
+           double rate)
+      : ledger_(&ledger), types_(std::move(types)),
+        covered_(types_.size(), 0), rate_(rate) {}
+
+  void observe(NodeId v) {
+    for (std::size_t i = 0; i < types_.size(); ++i) {
+      if (!covered_[i] && ledger_->node_offers(v, types_[i], rate_)) {
+        covered_[i] = 1;
+        ++num_covered_;
+      }
+    }
+  }
+
+  [[nodiscard]] bool complete() const noexcept {
+    return num_covered_ == types_.size();
+  }
+
+ private:
+  const net::CapacityLedger* ledger_;
+  std::vector<VnfTypeId> types_;
+  std::vector<char> covered_;
+  std::size_t num_covered_ = 0;
+  double rate_;
+};
+
+/// Runs an expanding-ring search from \p start until \p coverage is
+/// complete, the (optional) node budget is exhausted, or the filtered
+/// component runs out. Returns the search tree; \p success reports whether
+/// coverage was achieved.
+SearchTree ring_search(const graph::Graph& g, NodeId start, Coverage coverage,
+                       std::size_t node_budget,
+                       const graph::NodeFilter& filter, bool& success) {
+  graph::RingExpander expander(g, start, filter);
+  coverage.observe(start);
+  while (!coverage.complete()) {
+    if (node_budget > 0 && expander.visited().size() >= node_budget) break;
+    const auto& ring = expander.expand();
+    if (ring.empty()) break;
+    for (NodeId v : ring) {
+      coverage.observe(v);
+      if (coverage.complete()) break;
+    }
+  }
+  success = coverage.complete();
+  return SearchTree::from_expander(expander);
+}
+
+/// Cartesian-product enumerator over per-type candidate node lists, visited
+/// lexicographically and capped.
+class AssignmentEnumerator {
+ public:
+  explicit AssignmentEnumerator(std::vector<std::vector<NodeId>> choices)
+      : choices_(std::move(choices)), cursor_(choices_.size(), 0) {
+    for (const auto& c : choices_) {
+      if (c.empty()) {
+        done_ = true;
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  [[nodiscard]] std::vector<NodeId> current() const {
+    std::vector<NodeId> out(choices_.size());
+    for (std::size_t i = 0; i < choices_.size(); ++i) {
+      out[i] = choices_[i][cursor_[i]];
+    }
+    return out;
+  }
+
+  void advance() {
+    for (std::size_t i = choices_.size(); i-- > 0;) {
+      if (++cursor_[i] < choices_[i].size()) return;
+      cursor_[i] = 0;
+    }
+    done_ = true;
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> choices_;
+  std::vector<std::size_t> cursor_;
+  bool done_ = false;
+};
+
+struct LayerContext {
+  const ModelIndex& index;
+  const net::CapacityLedger& ledger;
+  const net::Network& net;
+  const graph::Graph& g;
+  double rate;
+  double z;
+};
+
+/// Exact cost contribution of one layer sub-solution: rented VNFs plus link
+/// cost with the intra-group multicast discount of formula (9). Cost is
+/// separable per layer (the discount never crosses layers), so cumulative
+/// sums are exact.
+double layer_cost(const LayerContext& ctx, const SubSolution& ss,
+                  std::span<const SlotId> slots) {
+  double vnf = 0.0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const auto inst =
+        ctx.net.find_instance(ss.layer_placement[i],
+                              ctx.index.slot_type(slots[i]));
+    DAGSFC_ASSERT(inst.has_value());
+    vnf += ctx.net.instance(*inst).price * ctx.z;
+  }
+  std::set<graph::EdgeId> group_edges;
+  for (const graph::Path& p : ss.inter) {
+    group_edges.insert(p.edges.begin(), p.edges.end());
+  }
+  double link = 0.0;
+  for (graph::EdgeId e : group_edges) link += ctx.net.link_price(e) * ctx.z;
+  for (const graph::Path& p : ss.inner) {
+    for (graph::EdgeId e : p.edges) link += ctx.net.link_price(e) * ctx.z;
+  }
+  return vnf + link;
+}
+
+/// Critical-path delay contribution of one layer sub-solution: slowest
+/// branch (inter hops + VNF processing + inner hops) plus the merge step.
+/// Matches core/delay.hpp's end_to_end_delay accumulation exactly.
+double layer_delay(const LayerContext& ctx, const SubSolution& ss,
+                   std::span<const SlotId> slots, bool parallel,
+                   const DelayModel& model) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ss.inter.size(); ++i) {
+    double d = static_cast<double>(ss.inter[i].length()) * model.per_hop_ms;
+    d += model.processing_ms(ctx.index.slot_type(slots[i]));
+    if (parallel) {
+      d += static_cast<double>(ss.inner[i].length()) * model.per_hop_ms;
+    }
+    worst = std::max(worst, d);
+  }
+  return worst + (parallel ? model.merger_ms : 0.0);
+}
+
+/// Path residual check: every link of the path must individually be able to
+/// carry the flow rate (the full multi-use check happens on assembly).
+bool path_links_ok(const net::CapacityLedger& ledger, const graph::Path& p,
+                   double rate) {
+  for (graph::EdgeId e : p.edges) {
+    if (!ledger.link_can_carry(e, rate)) return false;
+  }
+  return true;
+}
+
+/// Odometer over index lists: enumerates the cartesian product of
+/// {0..sizes[0]-1} × … lexicographically.
+class Odometer {
+ public:
+  explicit Odometer(std::vector<std::size_t> sizes)
+      : sizes_(std::move(sizes)), cursor_(sizes_.size(), 0) {
+    for (std::size_t s : sizes_) {
+      if (s == 0) done_ = true;
+    }
+  }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] const std::vector<std::size_t>& current() const noexcept {
+    return cursor_;
+  }
+  void advance() {
+    for (std::size_t i = sizes_.size(); i-- > 0;) {
+      if (++cursor_[i] < sizes_[i]) return;
+      cursor_[i] = 0;
+    }
+    done_ = true;
+  }
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<std::size_t> cursor_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+SolveResult BacktrackingEngine::run(const ModelIndex& index,
+                                    const net::CapacityLedger& ledger) const {
+  const EmbeddingProblem& prob = index.problem();
+  const net::Network& net = prob.net();
+  const graph::Graph& g = net.topology();
+  const sfc::DagSfc& dag = prob.dag();
+  const net::VnfCatalog& catalog = net.catalog();
+  const double rate = prob.flow.rate;
+  const LayerContext ctx{index, ledger, net, g, rate, prob.flow.size};
+  const std::size_t omega = dag.num_layers();
+
+  SolveResult result;
+
+  // Links that cannot carry the flow are invisible to min-cost routing.
+  const graph::EdgeFilter usable = [&](graph::EdgeId e) {
+    return ledger.link_can_carry(e, rate);
+  };
+
+  // Layer 0 of the sub-solution tree: the source, at no cost (§4.4.2).
+  std::vector<std::vector<SubSolution>> pools(omega + 1);
+  {
+    SubSolution root;
+    root.end_node = prob.flow.source;
+    pools[0].push_back(std::move(root));
+  }
+
+  for (std::size_t l = 0; l < omega; ++l) {
+    const sfc::Layer& layer = dag.layer(l);
+    const auto slots = index.layer_slots(l);
+    std::vector<SubSolution>& out = pools[l + 1];
+
+    // MBBE strategy (3): the sub-solution tree is an X_d-tree — only the
+    // cheapest X_d children of each parent are inserted.
+    auto prune_and_merge = [this](std::vector<SubSolution>& kids,
+                                  std::vector<SubSolution>& dest) {
+      if (opts_.x_d > 0 && kids.size() > opts_.x_d) {
+        std::partial_sort(kids.begin(), kids.begin() + opts_.x_d, kids.end(),
+                          [](const SubSolution& a, const SubSolution& b) {
+                            return a.cumulative_cost < b.cumulative_cost;
+                          });
+        kids.resize(opts_.x_d);
+      }
+      dest.insert(dest.end(), std::make_move_iterator(kids.begin()),
+                  std::make_move_iterator(kids.end()));
+    };
+
+    // Pass 0 honors the X_max cap (MBBE strategy (1)); when a layer yields
+    // nothing under the cap — e.g. very sparse deployments where the
+    // required hosts sit beyond X_max nodes — pass 1 retries uncapped, so
+    // the cap accelerates the common case without costing completeness
+    // (the paper observes that "MBBE always results in a solution").
+    for (int pass = 0; pass < 2; ++pass) {
+    const std::size_t x_max_pass = pass == 0 ? opts_.x_max : 0;
+
+    for (std::size_t parent = 0; parent < pools[l].size(); ++parent) {
+      const SubSolution& ss = pools[l][parent];
+      const NodeId start = ss.end_node;
+
+      // ---- Step 1: forward search --------------------------------------
+      std::vector<VnfTypeId> required(layer.vnfs);
+      if (layer.has_merger()) required.push_back(catalog.merger());
+      bool fwd_ok = false;
+      const SearchTree fst = ring_search(
+          g, start, Coverage(ledger, required, rate), x_max_pass, {}, fwd_ok);
+      if (!fwd_ok) continue;
+
+      // Min-cost tree from the start node, shared by MBBE's inter-layer
+      // instantiation across all of this parent's candidates.
+      std::optional<graph::ShortestPathTree> sp_from_start;
+      if (opts_.min_cost_path_instantiation) {
+        sp_from_start = graph::dijkstra(g, start, usable);
+      }
+
+      // Alternative real-paths in tree mode stay inside the forward-search
+      // node set: the paper's second/third-step candidates re-traverse the
+      // trees, not the whole graph.
+      const graph::EdgeFilter fst_usable = [&](graph::EdgeId e) {
+        const graph::Edge& ed = g.edge(e);
+        return ledger.link_can_carry(e, rate) && fst.contains(ed.u) &&
+               fst.contains(ed.v);
+      };
+
+      /// Candidate real-paths for the inter-layer meta-path to \p v — the
+      /// real-path set P^{start}_v restricted per mode, capacity-screened.
+      auto inter_paths_to = [&](NodeId v) -> std::vector<graph::Path> {
+        std::vector<graph::Path> paths;
+        if (v == start) {
+          paths.push_back(trivial_path(start));
+        } else if (opts_.min_cost_path_instantiation) {
+          if (opts_.paths_per_meta_path <= 1) {
+            if (auto p = sp_from_start->path_to(v)) {
+              paths.push_back(std::move(*p));
+            }
+          } else {
+            paths = graph::k_shortest_paths(g, start, v,
+                                            opts_.paths_per_meta_path, usable);
+          }
+        } else {
+          paths.push_back(fst.path_from_root(g, v));
+          if (opts_.paths_per_meta_path > 1) {
+            for (auto& alt : graph::k_shortest_paths(
+                     g, start, v, opts_.paths_per_meta_path, fst_usable)) {
+              if (alt.nodes != paths.front().nodes) {
+                paths.push_back(std::move(alt));
+              }
+            }
+            if (paths.size() > opts_.paths_per_meta_path) {
+              paths.resize(opts_.paths_per_meta_path);
+            }
+          }
+        }
+        std::erase_if(paths, [&](const graph::Path& p) {
+          return !path_links_ok(ledger, p, rate);
+        });
+        return paths;
+      };
+
+      std::vector<SubSolution> children;  // all candidates of this parent
+
+      if (!layer.has_merger()) {
+        // Single-VNF layer: each hosting node in the forward set is a
+        // candidate sub-solution (one per alternative real-path); no
+        // merger, no inner-layer meta-paths.
+        const VnfTypeId t = layer.vnfs[0];
+        for (NodeId v : fst.network_nodes()) {
+          if (!ledger.node_offers(v, t, rate)) continue;
+          for (graph::Path& path : inter_paths_to(v)) {
+            SubSolution child;
+            child.parent = parent;
+            child.end_node = v;
+            child.layer_placement = {v};
+            child.inter.push_back(std::move(path));
+            child.cumulative_cost =
+                ss.cumulative_cost + layer_cost(ctx, child, slots);
+            child.cumulative_delay =
+                ss.cumulative_delay +
+                layer_delay(ctx, child, slots, false, opts_.delay_model);
+            if (opts_.delay_budget_ms &&
+                child.cumulative_delay > *opts_.delay_budget_ms) {
+              continue;
+            }
+            children.push_back(std::move(child));
+            ++result.expanded_sub_solutions;
+          }
+        }
+        prune_and_merge(children, out);
+        continue;
+      }
+
+      // ---- Steps 2–3: backward search per merger + candidate generation
+      std::vector<NodeId> merger_nodes;
+      for (NodeId v : fst.network_nodes()) {
+        if (ledger.node_offers(v, catalog.merger(), rate)) {
+          merger_nodes.push_back(v);
+        }
+      }
+      std::sort(merger_nodes.begin(), merger_nodes.end());
+
+      for (NodeId m : merger_nodes) {
+        bool bwd_ok = false;
+        const SearchTree bst = ring_search(
+            g, m, Coverage(ledger, layer.vnfs, rate), 0,
+            [&](NodeId v) { return fst.contains(v); }, bwd_ok);
+        if (!bwd_ok) continue;
+
+        std::optional<graph::ShortestPathTree> sp_from_merger;
+        if (opts_.min_cost_path_instantiation) {
+          sp_from_merger = graph::dijkstra(g, m, usable);
+        }
+        const graph::EdgeFilter bst_usable = [&](graph::EdgeId e) {
+          const graph::Edge& ed = g.edge(e);
+          return ledger.link_can_carry(e, rate) && bst.contains(ed.u) &&
+                 bst.contains(ed.v);
+        };
+        /// Candidate real-paths v → merger (the inner-layer P^v_m).
+        auto inner_paths_from = [&](NodeId v) -> std::vector<graph::Path> {
+          std::vector<graph::Path> paths;
+          if (v == m) {
+            paths.push_back(trivial_path(m));
+          } else if (opts_.min_cost_path_instantiation) {
+            if (opts_.paths_per_meta_path <= 1) {
+              if (auto p = sp_from_merger->path_to(v)) {
+                std::reverse(p->nodes.begin(), p->nodes.end());
+                std::reverse(p->edges.begin(), p->edges.end());
+                paths.push_back(std::move(*p));
+              }
+            } else {
+              paths = graph::k_shortest_paths(
+                  g, v, m, opts_.paths_per_meta_path, usable);
+            }
+          } else {
+            paths.push_back(bst.path_to_root(g, v));
+            if (opts_.paths_per_meta_path > 1) {
+              for (auto& alt : graph::k_shortest_paths(
+                       g, v, m, opts_.paths_per_meta_path, bst_usable)) {
+                if (alt.nodes != paths.front().nodes) {
+                  paths.push_back(std::move(alt));
+                }
+              }
+              if (paths.size() > opts_.paths_per_meta_path) {
+                paths.resize(opts_.paths_per_meta_path);
+              }
+            }
+          }
+          std::erase_if(paths, [&](const graph::Path& p) {
+            return !path_links_ok(ledger, p, rate);
+          });
+          return paths;
+        };
+
+        // First-step candidates (§4.4.1 i): allocations of the layer's
+        // parallel VNFs to backward-set nodes.
+        std::vector<std::vector<NodeId>> choices(layer.vnfs.size());
+        for (std::size_t i = 0; i < layer.vnfs.size(); ++i) {
+          for (NodeId v : bst.network_nodes()) {
+            if (ledger.node_offers(v, layer.vnfs[i], rate)) {
+              choices[i].push_back(v);
+            }
+          }
+          std::sort(choices[i].begin(), choices[i].end());
+        }
+
+        std::size_t enumerated = 0;
+        for (AssignmentEnumerator en(std::move(choices));
+             !en.done() && enumerated < opts_.max_assignments_per_pair;
+             en.advance(), ++enumerated) {
+          const std::vector<NodeId> assign = en.current();
+
+          // Candidate real-paths per meta-path of this allocation: the
+          // second/third-step candidates of §4.4.1, capped by
+          // max_path_combos.
+          const std::size_t width = assign.size();
+          std::vector<std::vector<graph::Path>> inter_opts(width);
+          std::vector<std::vector<graph::Path>> inner_opts(width);
+          bool ok = true;
+          std::vector<std::size_t> sizes;
+          sizes.reserve(2 * width);
+          for (std::size_t i = 0; i < width && ok; ++i) {
+            inter_opts[i] = inter_paths_to(assign[i]);
+            inner_opts[i] = inner_paths_from(assign[i]);
+            ok = !inter_opts[i].empty() && !inner_opts[i].empty();
+            if (ok) {
+              sizes.push_back(inter_opts[i].size());
+              sizes.push_back(inner_opts[i].size());
+            }
+          }
+          if (!ok) continue;  // step iv: drop infeasible candidates
+
+          std::size_t combos = 0;
+          for (Odometer od(sizes); !od.done() && combos < opts_.max_path_combos;
+               od.advance(), ++combos) {
+            SubSolution child;
+            child.parent = parent;
+            child.end_node = m;
+            child.layer_placement = assign;
+            child.layer_placement.push_back(m);  // merger slot is last
+            const auto& pick = od.current();
+            for (std::size_t i = 0; i < width; ++i) {
+              child.inter.push_back(inter_opts[i][pick[2 * i]]);
+              child.inner.push_back(inner_opts[i][pick[2 * i + 1]]);
+            }
+            child.cumulative_cost =
+                ss.cumulative_cost + layer_cost(ctx, child, slots);
+            child.cumulative_delay =
+                ss.cumulative_delay +
+                layer_delay(ctx, child, slots, true, opts_.delay_model);
+            if (opts_.delay_budget_ms &&
+                child.cumulative_delay > *opts_.delay_budget_ms) {
+              continue;
+            }
+            children.push_back(std::move(child));
+            ++result.expanded_sub_solutions;
+          }
+        }
+      }
+
+      prune_and_merge(children, out);
+    }
+
+    if (!out.empty() || opts_.x_max == 0) break;
+    }  // retry pass
+
+    if (out.empty()) {
+      result.failure_reason =
+          "no feasible sub-solution at layer " + std::to_string(l + 1);
+      return result;
+    }
+    // Memory-overflow guard the paper lacks: keep the cheapest sub-solutions
+    // when the pool exceeds the cap.
+    if (opts_.max_pool > 0 && out.size() > opts_.max_pool) {
+      std::nth_element(out.begin(), out.begin() + opts_.max_pool, out.end(),
+                       [](const SubSolution& a, const SubSolution& b) {
+                         return a.cumulative_cost < b.cumulative_cost;
+                       });
+      out.resize(opts_.max_pool);
+    }
+  }
+
+  // ---- Completion: ω-th end node → destination by min-cost path, pick the
+  // cheapest complete feasible candidate (Algorithm 1 lines 9–11).
+  Evaluator evaluator(index);
+  double best_cost = graph::kInfCost;
+  std::optional<EmbeddingSolution> best;
+
+  for (const SubSolution& leaf : pools[omega]) {
+    auto final_hop =
+        leaf.end_node == prob.flow.destination
+            ? std::optional<graph::Path>(trivial_path(leaf.end_node))
+            : graph::min_cost_path(g, leaf.end_node, prob.flow.destination,
+                                   usable);
+    if (!final_hop) continue;
+    ++result.candidate_solutions;
+
+    if (opts_.delay_budget_ms) {
+      const double total_delay =
+          leaf.cumulative_delay +
+          static_cast<double>(final_hop->length()) *
+              opts_.delay_model.per_hop_ms;
+      if (total_delay > *opts_.delay_budget_ms) continue;
+    }
+
+    // Quick lower-bound cut before full assembly.
+    if (leaf.cumulative_cost + final_hop->cost * prob.flow.size >= best_cost) {
+      continue;
+    }
+
+    // Assemble the complete solution by walking the parent chain.
+    EmbeddingSolution sol;
+    sol.placement.assign(index.num_slots(), graph::kInvalidNode);
+    sol.inter_paths.resize(index.inter_paths().size());
+    sol.inner_paths.resize(index.inner_paths().size());
+
+    const SubSolution* cur = &leaf;
+    for (std::size_t l = omega; l-- > 0;) {
+      const auto slots = index.layer_slots(l);
+      DAGSFC_ASSERT(cur->layer_placement.size() == slots.size());
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        sol.placement[slots[i]] = cur->layer_placement[i];
+      }
+      const auto [ifirst, ilast] = index.inter_group_range(l);
+      DAGSFC_ASSERT(ilast - ifirst == cur->inter.size());
+      for (std::size_t i = ifirst; i < ilast; ++i) {
+        sol.inter_paths[i] = cur->inter[i - ifirst];
+      }
+      const auto [nfirst, nlast] = index.inner_layer_range(l);
+      DAGSFC_ASSERT(nlast - nfirst == cur->inner.size());
+      for (std::size_t i = nfirst; i < nlast; ++i) {
+        sol.inner_paths[i] = cur->inner[i - nfirst];
+      }
+      cur = &pools[l][cur->parent];
+    }
+    const auto [dfirst, dlast] = index.inter_group_range(omega);
+    DAGSFC_ASSERT(dlast - dfirst == 1);
+    sol.inter_paths[dfirst] = *final_hop;
+
+    DAGSFC_ASSERT(evaluator.validate(sol).empty());
+    const ResourceUsage u = evaluator.usage(sol);
+    if (!evaluator.feasible(u, ledger)) continue;
+    const double c = evaluator.cost(u);
+    if (c < best_cost) {
+      best_cost = c;
+      best = std::move(sol);
+    }
+  }
+
+  if (!best) {
+    result.failure_reason = "no feasible complete solution";
+    return result;
+  }
+  result.solution = std::move(best);
+  result.cost = best_cost;
+  return result;
+}
+
+SolveResult BbeEmbedder::solve(const ModelIndex& index,
+                               const net::CapacityLedger& ledger,
+                               Rng& /*rng*/) const {
+  return engine_.run(index, ledger);
+}
+
+namespace {
+BacktrackingOptions mbbe_engine_options(const MbbeOptions& opts) {
+  BacktrackingOptions o;
+  o.min_cost_path_instantiation = true;
+  o.x_max = opts.x_max;
+  o.x_d = opts.x_d;
+  o.delay_budget_ms = opts.delay_budget_ms;
+  o.delay_model = opts.delay_model;
+  return o;
+}
+}  // namespace
+
+MbbeEmbedder::MbbeEmbedder(const MbbeOptions& opts)
+    : engine_(mbbe_engine_options(opts)) {
+  DAGSFC_CHECK_MSG(opts.x_max >= 1, "X_max must be at least 1");
+  DAGSFC_CHECK_MSG(opts.x_d >= 1, "X_d must be at least 1");
+}
+
+SolveResult MbbeEmbedder::solve(const ModelIndex& index,
+                                const net::CapacityLedger& ledger,
+                                Rng& /*rng*/) const {
+  return engine_.run(index, ledger);
+}
+
+}  // namespace dagsfc::core

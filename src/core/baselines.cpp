@@ -1,0 +1,123 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "graph/dijkstra.hpp"
+
+namespace dagsfc::core {
+
+namespace {
+
+graph::Path trivial_path(NodeId v) {
+  graph::Path p;
+  p.nodes.push_back(v);
+  return p;
+}
+
+/// Shared skeleton of RANV/MINV: a per-slot node chooser plus Dijkstra
+/// meta-path instantiation and a final feasibility check.
+SolveResult assign_then_route(
+    const ModelIndex& index, const net::CapacityLedger& ledger,
+    const std::function<NodeId(VnfTypeId, const std::vector<NodeId>&)>&
+        choose) {
+  const EmbeddingProblem& prob = index.problem();
+  const net::Network& net = prob.net();
+  const graph::Graph& g = net.topology();
+  const double rate = prob.flow.rate;
+
+  SolveResult result;
+  EmbeddingSolution sol;
+  sol.placement.assign(index.num_slots(), graph::kInvalidNode);
+
+  // Working copy so repeated uses of one instance respect its capacity.
+  net::CapacityLedger working(ledger);
+  for (SlotId s = 0; s < index.num_slots(); ++s) {
+    const VnfTypeId t = index.slot_type(s);
+    std::vector<NodeId> candidates;
+    for (NodeId v : net.nodes_with(t)) {
+      if (working.node_offers(v, t, rate)) candidates.push_back(v);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    if (candidates.empty()) {
+      result.failure_reason = "no node with remaining capacity hosts " +
+                              net.catalog().name(t);
+      return result;
+    }
+    const NodeId v = choose(t, candidates);
+    sol.placement[s] = v;
+    working.consume_instance(*net.find_instance(v, t), rate);
+  }
+
+  // Meta-paths by minimum-cost path over links that can carry the flow.
+  const graph::EdgeFilter usable = [&](graph::EdgeId e) {
+    return ledger.link_can_carry(e, rate);
+  };
+  Evaluator evaluator(index);
+  auto instantiate = [&](const MetaPathDesc& d) -> std::optional<graph::Path> {
+    const NodeId a = evaluator.resolve(d.from, sol);
+    const NodeId b = evaluator.resolve(d.to, sol);
+    if (a == b) return trivial_path(a);
+    return graph::min_cost_path(g, a, b, usable);
+  };
+  for (const MetaPathDesc& d : index.inter_paths()) {
+    auto p = instantiate(d);
+    if (!p) {
+      result.failure_reason = "no usable route for an inter-layer meta-path";
+      return result;
+    }
+    sol.inter_paths.push_back(std::move(*p));
+  }
+  for (const MetaPathDesc& d : index.inner_paths()) {
+    auto p = instantiate(d);
+    if (!p) {
+      result.failure_reason = "no usable route for an inner-layer meta-path";
+      return result;
+    }
+    sol.inner_paths.push_back(std::move(*p));
+  }
+
+  DAGSFC_ASSERT(evaluator.validate(sol).empty());
+  const ResourceUsage u = evaluator.usage(sol);
+  if (!evaluator.feasible(u, ledger)) {
+    result.failure_reason = "assignment exceeds link or VNF capacity";
+    return result;
+  }
+  result.cost = evaluator.cost(u);
+  result.solution = std::move(sol);
+  result.candidate_solutions = 1;
+  return result;
+}
+
+}  // namespace
+
+SolveResult RanvEmbedder::solve(const ModelIndex& index,
+                                const net::CapacityLedger& ledger,
+                                Rng& rng) const {
+  return assign_then_route(
+      index, ledger,
+      [&rng](VnfTypeId, const std::vector<NodeId>& candidates) {
+        return candidates[rng.index(candidates.size())];
+      });
+}
+
+SolveResult MinvEmbedder::solve(const ModelIndex& index,
+                                const net::CapacityLedger& ledger,
+                                Rng& /*rng*/) const {
+  const net::Network& net = index.problem().net();
+  return assign_then_route(
+      index, ledger,
+      [&net](VnfTypeId t, const std::vector<NodeId>& candidates) {
+        NodeId best = candidates.front();
+        double best_price = graph::kInfCost;
+        for (NodeId v : candidates) {
+          const double p = net.instance(*net.find_instance(v, t)).price;
+          if (p < best_price) {  // ties: lowest node id (candidates sorted)
+            best_price = p;
+            best = v;
+          }
+        }
+        return best;
+      });
+}
+
+}  // namespace dagsfc::core

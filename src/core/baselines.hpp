@@ -1,0 +1,34 @@
+#pragma once
+/// \file baselines.hpp
+/// The paper's two benchmark algorithms (§5.1).
+///
+/// RANV assigns every VNF required by the DAG-SFC (mergers included) to a
+/// uniformly random node hosting an instance with enough remaining
+/// processing capability, then implements each meta-path with the minimum
+/// cost path (Dijkstra). MINV does the same but always picks the node whose
+/// instance has the cheapest rental price. Neither is multicast-aware or
+/// proximity-aware — that is exactly the gap BBE/MBBE close — but both are
+/// scored by the same Evaluator (including the inter-layer multicast
+/// discount), so the comparison is conservative.
+
+#include "core/embedder.hpp"
+
+namespace dagsfc::core {
+
+class RanvEmbedder final : public Embedder {
+ public:
+  [[nodiscard]] std::string name() const override { return "RANV"; }
+  [[nodiscard]] SolveResult solve(const ModelIndex& index,
+                                  const net::CapacityLedger& ledger,
+                                  Rng& rng) const override;
+};
+
+class MinvEmbedder final : public Embedder {
+ public:
+  [[nodiscard]] std::string name() const override { return "MINV"; }
+  [[nodiscard]] SolveResult solve(const ModelIndex& index,
+                                  const net::CapacityLedger& ledger,
+                                  Rng& rng) const override;
+};
+
+}  // namespace dagsfc::core

@@ -1,0 +1,85 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/dijkstra.hpp"
+
+namespace dagsfc::core {
+
+namespace {
+
+std::vector<std::size_t> commit_order(const net::Network& network,
+                                      std::span<const BatchRequest> requests,
+                                      const Embedder& embedder,
+                                      BatchOrder order, Rng& rng) {
+  std::vector<std::size_t> idx(requests.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  switch (order) {
+    case BatchOrder::Arrival:
+      break;
+    case BatchOrder::SmallestFirst:
+      std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+        return requests[a].sfc->size() < requests[b].sfc->size();
+      });
+      break;
+    case BatchOrder::LargestFirst:
+      std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+        return requests[a].sfc->size() > requests[b].sfc->size();
+      });
+      break;
+    case BatchOrder::CheapestFirst: {
+      // Probe phase: solve each request alone on the nominal network. An
+      // unsolvable probe sorts last (it will fail again, cheaply).
+      std::vector<double> probe(requests.size(), graph::kInfCost);
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        EmbeddingProblem problem;
+        problem.network = &network;
+        problem.sfc = requests[i].sfc;
+        problem.flow = requests[i].flow;
+        const ModelIndex index(problem);
+        const SolveResult r = embedder.solve_fresh(index, rng);
+        if (r.ok()) probe[i] = r.cost;
+      }
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return probe[a] < probe[b];
+                       });
+      break;
+    }
+  }
+  return idx;
+}
+
+}  // namespace
+
+BatchResult embed_batch(const net::Network& network,
+                        std::span<const BatchRequest> requests,
+                        const Embedder& embedder, BatchOrder order,
+                        Rng& rng) {
+  for (const BatchRequest& r : requests) {
+    DAGSFC_CHECK_MSG(r.sfc != nullptr, "batch request without an SFC");
+  }
+  BatchResult out;
+  net::CapacityLedger ledger(network);
+  for (std::size_t i : commit_order(network, requests, embedder, order, rng)) {
+    EmbeddingProblem problem;
+    problem.network = &network;
+    problem.sfc = requests[i].sfc;
+    problem.flow = requests[i].flow;
+    const ModelIndex index(problem);
+    SolveResult r = embedder.solve(index, ledger, rng);
+    if (r.ok()) {
+      const Evaluator evaluator(index);
+      evaluator.commit(evaluator.usage(*r.solution), ledger);
+      ++out.accepted;
+      out.total_cost += r.cost;
+    }
+    out.items.push_back(BatchItemResult{i, std::move(r)});
+  }
+  return out;
+}
+
+}  // namespace dagsfc::core

@@ -1,0 +1,58 @@
+#pragma once
+/// \file batch.hpp
+/// Batch embedding: admit a set of flow requests onto one network,
+/// sequentially committing resources (an operator-side extension of the
+/// paper's single-flow problem).
+///
+/// Order matters under capacity contention: a greedy commitment sequence
+/// can strand capacity for later requests. Four strategies are provided:
+///   * Arrival       — requests in the given order (baseline);
+///   * SmallestFirst — fewest VNFs first (packs many small tenants);
+///   * LargestFirst  — most VNFs first (big tenants get first pick);
+///   * CheapestFirst — probe-solve every request on the *nominal* network,
+///     then commit in ascending probe cost (two-phase; the probe is a
+///     lower-bound estimate of how constrained a request is).
+///
+/// Every request is solved against the residual ledger at its turn; failed
+/// requests are skipped (no retries), matching the Erlang-loss semantics of
+/// sim::run_dynamic.
+
+#include <span>
+
+#include "core/embedder.hpp"
+
+namespace dagsfc::core {
+
+struct BatchRequest {
+  const sfc::DagSfc* sfc = nullptr;
+  Flow flow;
+};
+
+enum class BatchOrder { Arrival, SmallestFirst, LargestFirst, CheapestFirst };
+
+struct BatchItemResult {
+  std::size_t request_index = 0;  ///< index into the input span
+  SolveResult result;
+};
+
+struct BatchResult {
+  /// One entry per request, in *commit* order.
+  std::vector<BatchItemResult> items;
+  std::size_t accepted = 0;
+  double total_cost = 0.0;
+
+  [[nodiscard]] double acceptance_ratio() const {
+    return items.empty() ? 0.0
+                         : static_cast<double>(accepted) /
+                               static_cast<double>(items.size());
+  }
+};
+
+/// Embeds the batch onto \p network starting from nominal capacities,
+/// committing each accepted request before solving the next.
+[[nodiscard]] BatchResult embed_batch(const net::Network& network,
+                                      std::span<const BatchRequest> requests,
+                                      const Embedder& embedder,
+                                      BatchOrder order, Rng& rng);
+
+}  // namespace dagsfc::core

@@ -1,0 +1,65 @@
+#include "core/delay.hpp"
+
+#include <algorithm>
+
+namespace dagsfc::core {
+
+namespace {
+
+/// Accumulates layer delays with a caller-chosen branch combiner: max for
+/// the parallel (critical-path) semantics, sum for serialized execution.
+template <typename Combine>
+double accumulate_delay(const Evaluator& evaluator,
+                        const EmbeddingSolution& sol, const DelayModel& model,
+                        Combine combine) {
+  const ModelIndex& index = evaluator.index();
+  const EmbeddingProblem& prob = index.problem();
+  const std::size_t omega = prob.dag().num_layers();
+  double total = 0.0;
+
+  for (std::size_t l = 0; l < omega; ++l) {
+    const auto [ifirst, ilast] = index.inter_group_range(l);
+    const auto [nfirst, nlast] = index.inner_layer_range(l);
+    const bool parallel = prob.dag().layer(l).has_merger();
+    double layer = 0.0;
+    for (std::size_t i = ifirst; i < ilast; ++i) {
+      const std::size_t branch = i - ifirst;
+      double d = static_cast<double>(sol.inter_paths[i].length()) *
+                 model.per_hop_ms;
+      const SlotId slot = index.vnf_slot(l, branch);
+      d += model.processing_ms(index.slot_type(slot));
+      if (parallel) {
+        DAGSFC_ASSERT(nfirst + branch < nlast);
+        d += static_cast<double>(sol.inner_paths[nfirst + branch].length()) *
+             model.per_hop_ms;
+      }
+      layer = combine(layer, d);
+    }
+    total += layer;
+    if (parallel) total += model.merger_ms;
+  }
+  // Final hop to the destination (inter group ω).
+  const auto [dfirst, dlast] = index.inter_group_range(omega);
+  DAGSFC_ASSERT(dlast - dfirst == 1);
+  total +=
+      static_cast<double>(sol.inter_paths[dfirst].length()) * model.per_hop_ms;
+  return total;
+}
+
+}  // namespace
+
+double end_to_end_delay(const Evaluator& evaluator,
+                        const EmbeddingSolution& sol,
+                        const DelayModel& model) {
+  return accumulate_delay(evaluator, sol, model,
+                          [](double a, double b) { return std::max(a, b); });
+}
+
+double serialized_delay(const Evaluator& evaluator,
+                        const EmbeddingSolution& sol,
+                        const DelayModel& model) {
+  return accumulate_delay(evaluator, sol, model,
+                          [](double a, double b) { return a + b; });
+}
+
+}  // namespace dagsfc::core

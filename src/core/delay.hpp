@@ -1,0 +1,56 @@
+#pragma once
+/// \file delay.hpp
+/// End-to-end delay evaluation of an embedded DAG-SFC.
+///
+/// Delay is the *motivation* for hybrid SFCs (paper §1, building on NFP
+/// [17] / ParaBox [22]): the VNFs of a parallel layer process copies of the
+/// packet simultaneously, so the layer contributes the delay of its slowest
+/// branch plus a light merge step — not the sum of all branches. This
+/// module quantifies that benefit for concrete embeddings:
+///
+///   * end_to_end_delay() — the critical path through the embedding: per
+///     layer, max over branches of (inter-layer hops + VNF processing +
+///     inner-layer hops), plus merger processing, plus the final hop to the
+///     destination;
+///   * serialized_delay() — the same placements and real-paths executed the
+///     classical sequential way (branches one after another); the ratio of
+///     the two is the parallelization speedup the DAG bought.
+///
+/// The model is deliberately simple — fixed per-hop link latency and
+/// per-category processing latency — because the paper's contribution is
+/// cost optimization; delay here validates that cost-optimal hybrid
+/// embeddings retain the latency advantage that motivated them.
+
+#include <vector>
+
+#include "core/solution.hpp"
+
+namespace dagsfc::core {
+
+struct DelayModel {
+  double per_hop_ms = 1.0;   ///< latency per traversed link
+  double merger_ms = 0.2;    ///< merger processing latency
+  double default_vnf_ms = 1.0;
+  /// Optional per-category override, indexed by VnfTypeId; entries with a
+  /// negative value fall back to default_vnf_ms.
+  std::vector<double> vnf_ms;
+
+  [[nodiscard]] double processing_ms(VnfTypeId t) const {
+    if (t < vnf_ms.size() && vnf_ms[t] >= 0.0) return vnf_ms[t];
+    return default_vnf_ms;
+  }
+};
+
+/// Critical-path delay of a valid solution under \p model.
+[[nodiscard]] double end_to_end_delay(const Evaluator& evaluator,
+                                      const EmbeddingSolution& solution,
+                                      const DelayModel& model = {});
+
+/// Delay if every branch of every layer were traversed sequentially (the
+/// classical SFC execution) over the same placements and real-paths.
+/// Always ≥ end_to_end_delay().
+[[nodiscard]] double serialized_delay(const Evaluator& evaluator,
+                                      const EmbeddingSolution& solution,
+                                      const DelayModel& model = {});
+
+}  // namespace dagsfc::core

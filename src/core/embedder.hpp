@@ -1,0 +1,50 @@
+#pragma once
+/// \file embedder.hpp
+/// Common interface of all embedding algorithms.
+///
+/// Algorithms receive the problem plus the residual network state (the
+/// "real-time network graph" of Algorithm 1) and return a SolveResult. They
+/// never mutate the ledger — admission (Evaluator::commit) is the caller's
+/// decision, which keeps multi-flow scenarios explicit.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/solution.hpp"
+#include "util/rng.hpp"
+
+namespace dagsfc::core {
+
+struct SolveResult {
+  std::optional<EmbeddingSolution> solution;
+  double cost = 0.0;  ///< objective (1); meaningful iff solution is set
+  std::string failure_reason;
+  /// Search effort diagnostics for the complexity benches.
+  std::size_t expanded_sub_solutions = 0;
+  std::size_t candidate_solutions = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return solution.has_value(); }
+};
+
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Solves against the residual state in \p ledger. \p rng feeds the
+  /// randomized algorithms; deterministic ones ignore it.
+  [[nodiscard]] virtual SolveResult solve(const ModelIndex& index,
+                                          const net::CapacityLedger& ledger,
+                                          Rng& rng) const = 0;
+
+  /// Convenience: solve against the network's nominal capacities.
+  [[nodiscard]] SolveResult solve_fresh(const ModelIndex& index,
+                                        Rng& rng) const {
+    net::CapacityLedger ledger(index.problem().net());
+    return solve(index, ledger, rng);
+  }
+};
+
+}  // namespace dagsfc::core

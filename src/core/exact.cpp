@@ -1,0 +1,322 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "graph/dijkstra.hpp"
+#include "graph/steiner.hpp"
+
+namespace dagsfc::core {
+
+namespace {
+
+graph::Path trivial_path(NodeId v) {
+  graph::Path p;
+  p.nodes.push_back(v);
+  return p;
+}
+
+struct BackPointer {
+  NodeId prev_end = graph::kInvalidNode;
+  std::vector<NodeId> assignment;          // per VNF slot (merger excluded)
+  std::vector<graph::EdgeId> tree_edges;   // inter-layer multicast tree
+};
+
+/// Per-layer DP cell: cheapest raw (un-scaled-by-z) cost ending at a node.
+struct Cell {
+  double cost = graph::kInfCost;
+  BackPointer back;
+};
+
+/// Path a→b inside a fixed edge set (the Steiner tree), by BFS. The tree is
+/// connected over its terminals, so the path exists whenever both endpoints
+/// touch the tree (or a == b).
+graph::Path path_in_tree(const graph::Graph& g,
+                         const std::vector<graph::EdgeId>& tree, NodeId a,
+                         NodeId b) {
+  if (a == b) return trivial_path(a);
+  std::map<NodeId, std::vector<std::pair<NodeId, graph::EdgeId>>> adj;
+  for (graph::EdgeId e : tree) {
+    const auto& ed = g.edge(e);
+    adj[ed.u].emplace_back(ed.v, e);
+    adj[ed.v].emplace_back(ed.u, e);
+  }
+  std::map<NodeId, std::pair<NodeId, graph::EdgeId>> parent;
+  std::queue<NodeId> q;
+  q.push(a);
+  parent[a] = {a, graph::kInvalidEdge};
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    if (v == b) break;
+    for (const auto& [w, e] : adj[v]) {
+      if (!parent.count(w)) {
+        parent[w] = {v, e};
+        q.push(w);
+      }
+    }
+  }
+  DAGSFC_CHECK_MSG(parent.count(b), "endpoints not connected by the tree");
+  graph::Path p;
+  NodeId v = b;
+  while (v != a) {
+    p.nodes.push_back(v);
+    p.edges.push_back(parent[v].second);
+    v = parent[v].first;
+  }
+  p.nodes.push_back(a);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.edges.begin(), p.edges.end());
+  p.cost = g.path_cost(p);
+  return p;
+}
+
+class Enumerator {
+ public:
+  explicit Enumerator(std::vector<std::vector<NodeId>> choices)
+      : choices_(std::move(choices)), cursor_(choices_.size(), 0) {
+    for (const auto& c : choices_) {
+      if (c.empty()) done_ = true;
+    }
+  }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] std::vector<NodeId> current() const {
+    std::vector<NodeId> out(choices_.size());
+    for (std::size_t i = 0; i < choices_.size(); ++i) {
+      out[i] = choices_[i][cursor_[i]];
+    }
+    return out;
+  }
+  void advance() {
+    for (std::size_t i = choices_.size(); i-- > 0;) {
+      if (++cursor_[i] < choices_[i].size()) return;
+      cursor_[i] = 0;
+    }
+    done_ = true;
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> choices_;
+  std::vector<std::size_t> cursor_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+SolveResult ExactEmbedder::solve(const ModelIndex& index,
+                                 const net::CapacityLedger& ledger,
+                                 Rng& /*rng*/) const {
+  const EmbeddingProblem& prob = index.problem();
+  const net::Network& net = prob.net();
+  const graph::Graph& g = net.topology();
+  const sfc::DagSfc& dag = prob.dag();
+  const net::VnfCatalog& catalog = net.catalog();
+  const double rate = prob.flow.rate;
+  const std::size_t omega = dag.num_layers();
+
+  SolveResult result;
+
+  const graph::EdgeFilter usable = [&](graph::EdgeId e) {
+    return ledger.link_can_carry(e, rate);
+  };
+
+  // Hosting candidates per layer slot type, capacity-screened.
+  auto hosts = [&](VnfTypeId t) {
+    std::vector<NodeId> out;
+    for (NodeId v : net.nodes_with(t)) {
+      if (ledger.node_offers(v, t, rate)) out.push_back(v);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  // Work estimate: refuse instances beyond the budget instead of hanging.
+  double work = 0.0;
+  std::size_t prev_ends = 1;
+  for (std::size_t l = 0; l < omega; ++l) {
+    const sfc::Layer& layer = dag.layer(l);
+    double assignments = 1.0;
+    for (VnfTypeId t : layer.vnfs) {
+      assignments *= static_cast<double>(std::max<std::size_t>(
+          1, net.nodes_with(t).size()));
+    }
+    const std::size_t ends = layer.has_merger()
+                                 ? net.nodes_with(catalog.merger()).size()
+                                 : net.nodes_with(layer.vnfs[0]).size();
+    work += static_cast<double>(prev_ends) * assignments;
+    prev_ends = std::max<std::size_t>(1, ends);
+    if (work > static_cast<double>(opts_.max_work)) {
+      result.failure_reason = "instance too large for the exact solver";
+      return result;
+    }
+  }
+
+  auto price_of = [&](NodeId v, VnfTypeId t) {
+    return net.instance(*net.find_instance(v, t)).price;
+  };
+
+  // dp[v] after each layer; start: virtual layer 0 at the source, cost 0.
+  std::map<NodeId, Cell> dp;
+  dp[prob.flow.source] = Cell{0.0, {}};
+  std::vector<std::map<NodeId, Cell>> trail;  // dp per layer, for rebuild
+
+  for (std::size_t l = 0; l < omega; ++l) {
+    const sfc::Layer& layer = dag.layer(l);
+    std::map<NodeId, Cell> next;
+
+    for (const auto& [p, cell] : dp) {
+      if (cell.cost == graph::kInfCost) continue;
+      if (!layer.has_merger()) {
+        const VnfTypeId t = layer.vnfs[0];
+        const auto sp = graph::dijkstra(g, p, usable);
+        for (NodeId v : hosts(t)) {
+          if (sp.dist[v] == graph::kInfCost) continue;
+          const double c = cell.cost + price_of(v, t) + sp.dist[v];
+          auto& slot = next[v];
+          if (c < slot.cost) {
+            slot.cost = c;
+            slot.back = BackPointer{p, {v}, {}};
+            ++result.expanded_sub_solutions;
+          }
+        }
+        continue;
+      }
+
+      std::vector<std::vector<NodeId>> choices;
+      choices.reserve(layer.vnfs.size());
+      for (VnfTypeId t : layer.vnfs) choices.push_back(hosts(t));
+
+      // Distances from each merger candidate, shared across assignments.
+      std::map<NodeId, graph::ShortestPathTree> from_merger;
+      for (NodeId m : hosts(catalog.merger())) {
+        from_merger.emplace(m, graph::dijkstra(g, m, usable));
+      }
+      if (from_merger.empty()) continue;
+
+      for (Enumerator en(choices); !en.done(); en.advance()) {
+        const std::vector<NodeId> assign = en.current();
+        std::vector<NodeId> terminals{p};
+        terminals.insert(terminals.end(), assign.begin(), assign.end());
+        const auto tree = graph::steiner_tree(g, terminals, usable);
+        if (!tree) continue;
+        double base = cell.cost + tree->cost;
+        for (std::size_t i = 0; i < assign.size(); ++i) {
+          base += price_of(assign[i], layer.vnfs[i]);
+        }
+        for (auto& [m, sp] : from_merger) {
+          double inner = 0.0;
+          bool ok = true;
+          for (NodeId v : assign) {
+            if (sp.dist[v] == graph::kInfCost) {
+              ok = false;
+              break;
+            }
+            inner += sp.dist[v];
+          }
+          if (!ok) continue;
+          const double c = base + price_of(m, catalog.merger()) + inner;
+          auto& slot = next[m];
+          if (c < slot.cost) {
+            slot.cost = c;
+            slot.back = BackPointer{p, assign, tree->edges};
+            ++result.expanded_sub_solutions;
+          }
+        }
+      }
+    }
+
+    if (next.empty()) {
+      result.failure_reason =
+          "no placement reachable at layer " + std::to_string(l + 1);
+      return result;
+    }
+    trail.push_back(next);
+    dp = std::move(next);
+  }
+
+  // Final hop to the destination.
+  const auto sp_t = graph::dijkstra(g, prob.flow.destination, usable);
+  NodeId best_end = graph::kInvalidNode;
+  double best_raw = graph::kInfCost;
+  for (const auto& [v, cell] : dp) {
+    if (sp_t.dist[v] == graph::kInfCost) continue;
+    const double c = cell.cost + sp_t.dist[v];
+    if (c < best_raw) {
+      best_raw = c;
+      best_end = v;
+    }
+  }
+  if (best_end == graph::kInvalidNode) {
+    result.failure_reason = "destination unreachable from every end node";
+    return result;
+  }
+
+  // ---- Reconstruction ----------------------------------------------------
+  EmbeddingSolution sol;
+  sol.placement.assign(index.num_slots(), graph::kInvalidNode);
+  sol.inter_paths.resize(index.inter_paths().size());
+  sol.inner_paths.resize(index.inner_paths().size());
+
+  NodeId end = best_end;
+  for (std::size_t l = omega; l-- > 0;) {
+    const sfc::Layer& layer = dag.layer(l);
+    const BackPointer& back = trail[l].at(end).back;
+    const auto slots = index.layer_slots(l);
+    for (std::size_t i = 0; i < back.assignment.size(); ++i) {
+      sol.placement[slots[i]] = back.assignment[i];
+    }
+    const auto [ifirst, ilast] = index.inter_group_range(l);
+    if (!layer.has_merger()) {
+      DAGSFC_ASSERT(ilast - ifirst == 1);
+      auto p = back.prev_end == back.assignment[0]
+                   ? std::optional<graph::Path>(trivial_path(back.prev_end))
+                   : graph::min_cost_path(g, back.prev_end, back.assignment[0],
+                                          usable);
+      DAGSFC_CHECK(p.has_value());
+      sol.inter_paths[ifirst] = std::move(*p);
+    } else {
+      sol.placement[slots.back()] = end;  // merger slot
+      for (std::size_t i = ifirst; i < ilast; ++i) {
+        sol.inter_paths[i] = path_in_tree(g, back.tree_edges, back.prev_end,
+                                          back.assignment[i - ifirst]);
+      }
+      const auto [nfirst, nlast] = index.inner_layer_range(l);
+      for (std::size_t i = nfirst; i < nlast; ++i) {
+        const NodeId v = back.assignment[i - nfirst];
+        auto p = v == end
+                     ? std::optional<graph::Path>(trivial_path(v))
+                     : graph::min_cost_path(g, v, end, usable);
+        DAGSFC_CHECK(p.has_value());
+        sol.inner_paths[i] = std::move(*p);
+      }
+    }
+    end = back.prev_end;
+  }
+  {
+    const auto [dfirst, dlast] = index.inter_group_range(omega);
+    DAGSFC_ASSERT(dlast - dfirst == 1);
+    auto p = best_end == prob.flow.destination
+                 ? std::optional<graph::Path>(trivial_path(best_end))
+                 : graph::min_cost_path(g, best_end, prob.flow.destination,
+                                        usable);
+    DAGSFC_CHECK(p.has_value());
+    sol.inter_paths[dfirst] = std::move(*p);
+  }
+
+  Evaluator evaluator(index);
+  DAGSFC_ASSERT(evaluator.validate(sol).empty());
+  const ResourceUsage u = evaluator.usage(sol);
+  if (!evaluator.feasible(u, ledger)) {
+    result.failure_reason =
+        "optimal uncapacitated solution violates a capacity constraint; "
+        "the exact solver requires non-binding capacities";
+    return result;
+  }
+  result.cost = evaluator.cost(u);
+  result.solution = std::move(sol);
+  result.candidate_solutions = 1;
+  return result;
+}
+
+}  // namespace dagsfc::core

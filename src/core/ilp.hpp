@@ -1,0 +1,150 @@
+#pragma once
+/// \file ilp.hpp
+/// The integer optimization model of §3.3, made executable.
+///
+/// The paper formulates optimal DAG-SFC embedding as an integer program
+/// over placement binaries x_{v,l,γ}, real-path selection binaries
+/// (x^a_{b,ρ,l,ε} and y^{a,l,γ}_{b,ρ}) and link/VNF reuse counters α
+/// (formulas (1)–(10)). The products of binaries in (5)–(10) make the raw
+/// form nonlinear; IlpBuilder produces the standard path-based
+/// *linearization*:
+///
+///   * one placement variable per (slot, candidate host) — constraint (4)
+///     becomes Σ_v x[s,v] = 1;
+///   * one selection variable per (meta-path, host pair, candidate
+///     real-path), where candidate real-paths are the k cheapest loopless
+///     paths (Yen) between the pair — the paper's real-path sets P^a_b;
+///     each meta-path selects exactly one, and a selection implies both its
+///     endpoint placements (the linearized form of (5)/(6));
+///   * one binary u[g,e] per (inter-layer group, link) with
+///     u[g,e] ≥ sel for every selection whose path crosses e — the
+///     min{·,1} multicast discount of (9); inner-layer selections charge
+///     links directly, matching (10);
+///   * capacity rows implementing constraints (2) and (3).
+///
+/// The model is an explicit in-memory object: it can be exported as CPLEX
+/// LP text for an external MIP solver, and it can *evaluate* an assignment
+/// — which the test suite uses to prove that every solution produced by the
+/// algorithms in this library is a feasible point of the paper's program
+/// with objective value equal to the Evaluator's cost.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/solution.hpp"
+
+namespace dagsfc::core {
+
+using VarId = std::uint32_t;
+
+/// Linear expression Σ coef·var.
+struct LinExpr {
+  std::vector<std::pair<double, VarId>> terms;
+
+  LinExpr& add(double coef, VarId var) {
+    terms.emplace_back(coef, var);
+    return *this;
+  }
+};
+
+enum class Relation { LessEq, GreaterEq, Eq };
+
+struct LinConstraint {
+  std::string name;
+  LinExpr lhs;
+  Relation rel = Relation::LessEq;
+  double rhs = 0.0;
+};
+
+/// A minimal mixed-binary program container (minimization).
+class IlpModel {
+ public:
+  /// Adds a binary variable; returns its id.
+  VarId add_binary(std::string name);
+
+  void add_objective_term(double coef, VarId var);
+  void add_constraint(LinConstraint c);
+
+  [[nodiscard]] std::size_t num_variables() const noexcept {
+    return names_.size();
+  }
+  [[nodiscard]] std::size_t num_constraints() const noexcept {
+    return constraints_.size();
+  }
+  [[nodiscard]] const std::string& variable_name(VarId v) const {
+    DAGSFC_CHECK(v < names_.size());
+    return names_[v];
+  }
+  [[nodiscard]] const std::vector<LinConstraint>& constraints()
+      const noexcept {
+    return constraints_;
+  }
+
+  /// Objective value of a full assignment (one value per variable).
+  [[nodiscard]] double objective_value(
+      const std::vector<double>& assignment) const;
+
+  /// Names of constraints the assignment violates (within \p eps).
+  [[nodiscard]] std::vector<std::string> violations(
+      const std::vector<double>& assignment, double eps = 1e-6) const;
+
+  /// CPLEX LP-format text (Minimize / Subject To / Binary sections).
+  [[nodiscard]] std::string to_lp() const;
+
+ private:
+  std::vector<std::string> names_;
+  LinExpr objective_;
+  std::vector<LinConstraint> constraints_;
+};
+
+struct IlpOptions {
+  /// Candidate real-paths enumerated per (host pair) — the |P^a_b| of the
+  /// paper. Larger = tighter relaxation of the path enumeration, bigger
+  /// model.
+  std::size_t paths_per_pair = 4;
+};
+
+/// Builds the linearized §3.3 program for one embedding problem instance.
+class IlpBuilder {
+ public:
+  IlpBuilder(const ModelIndex& index, const net::CapacityLedger& ledger,
+             const IlpOptions& opts = {});
+
+  /// Constructs the model. Stable across calls (deterministic ordering).
+  [[nodiscard]] IlpModel build();
+
+  /// Translates an EmbeddingSolution into a variable assignment of the last
+  /// built model. Returns nullopt when one of the solution's real-paths is
+  /// not among the enumerated candidates (raise paths_per_pair).
+  [[nodiscard]] std::optional<std::vector<double>> assignment_from(
+      const EmbeddingSolution& sol) const;
+
+ private:
+  struct Selection {
+    VarId var;
+    std::size_t meta_index;  ///< into inter or inner path list
+    bool inner;
+    NodeId from;
+    NodeId to;
+    graph::Path path;
+  };
+
+  [[nodiscard]] std::vector<NodeId> hosts_of(SlotId s) const;
+  [[nodiscard]] std::vector<NodeId> endpoint_candidates(
+      const SlotRef& ref) const;
+
+  const ModelIndex* index_;
+  const net::CapacityLedger* ledger_;
+  IlpOptions opts_;
+
+  // Populated by build() for assignment_from().
+  std::map<std::pair<SlotId, NodeId>, VarId> placement_vars_;
+  std::vector<Selection> selections_;
+  std::map<std::pair<std::size_t, graph::EdgeId>, VarId> multicast_vars_;
+  std::size_t num_vars_ = 0;
+};
+
+}  // namespace dagsfc::core

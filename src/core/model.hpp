@@ -1,0 +1,153 @@
+#pragma once
+/// \file model.hpp
+/// The optimal DAG-SFC embedding problem instance and its index structures.
+///
+/// An EmbeddingProblem bundles the target network, the DAG-SFC, and the
+/// traffic flow (source s, destination t, rate R, size z) — everything
+/// Definition 1 of the paper quantifies over.
+///
+/// ModelIndex flattens the DAG-SFC into *slots* and *meta-paths* with dense
+/// indices, which every solver and the evaluator share:
+///   * one slot per VNF occurrence per layer, plus one merger slot for each
+///     parallel layer (the merger is rentable like any VNF);
+///   * one inter-layer meta-path per (layer, target VNF slot) — the paper's
+///     set P1 — including the final hop to the destination (the stretched
+///     SFC's dummy layer L_{ω+1});
+///   * one inner-layer meta-path per (parallel layer, VNF slot) — set P2.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sfc/dag_sfc.hpp"
+
+namespace dagsfc::core {
+
+using graph::NodeId;
+using net::VnfTypeId;
+
+/// The traffic flow of §3.2: delivered from s to t with rate R; every unit
+/// of traffic costs price·z, so z scales the whole objective.
+struct Flow {
+  NodeId source = graph::kInvalidNode;
+  NodeId destination = graph::kInvalidNode;
+  double rate = 1.0;  ///< R, consumed from link/VNF capacities per use
+  double size = 1.0;  ///< z, multiplies all prices in the objective
+};
+
+struct EmbeddingProblem {
+  const net::Network* network = nullptr;
+  const sfc::DagSfc* sfc = nullptr;
+  Flow flow;
+
+  [[nodiscard]] const net::Network& net() const {
+    DAGSFC_CHECK(network != nullptr);
+    return *network;
+  }
+  [[nodiscard]] const sfc::DagSfc& dag() const {
+    DAGSFC_CHECK(sfc != nullptr);
+    return *sfc;
+  }
+  /// Structural sanity: endpoints exist, rate/size positive, SFC valid.
+  void validate() const;
+};
+
+using SlotId = std::uint32_t;
+inline constexpr SlotId kInvalidSlot = static_cast<SlotId>(-1);
+
+/// An endpoint of a meta-path: the flow source, the flow destination, or a
+/// placeable slot.
+struct SlotRef {
+  enum class Kind : std::uint8_t { Source, Destination, Slot };
+  Kind kind = Kind::Source;
+  SlotId slot = kInvalidSlot;
+
+  [[nodiscard]] static SlotRef source() { return {Kind::Source, kInvalidSlot}; }
+  [[nodiscard]] static SlotRef destination() {
+    return {Kind::Destination, kInvalidSlot};
+  }
+  [[nodiscard]] static SlotRef of(SlotId s) { return {Kind::Slot, s}; }
+
+  friend bool operator==(const SlotRef&, const SlotRef&) = default;
+};
+
+/// One logical DAG edge. `layer` is the inter-layer *group* index for P1
+/// paths (0..ω, where group ω is the final hop to the destination) and the
+/// 0-based SFC layer for P2 paths; the multicast discount of formula (9)
+/// applies per P1 group.
+struct MetaPathDesc {
+  enum class Group : std::uint8_t { InterLayer, InnerLayer };
+  Group group = Group::InterLayer;
+  std::uint32_t layer = 0;
+  SlotRef from;
+  SlotRef to;
+};
+
+class ModelIndex {
+ public:
+  explicit ModelIndex(const EmbeddingProblem& problem);
+
+  [[nodiscard]] const EmbeddingProblem& problem() const noexcept {
+    return *problem_;
+  }
+
+  // --- slots ---------------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_slots() const noexcept {
+    return slot_types_.size();
+  }
+  [[nodiscard]] VnfTypeId slot_type(SlotId s) const {
+    DAGSFC_CHECK(s < slot_types_.size());
+    return slot_types_[s];
+  }
+  [[nodiscard]] std::uint32_t slot_layer(SlotId s) const {
+    DAGSFC_CHECK(s < slot_layers_.size());
+    return slot_layers_[s];
+  }
+  [[nodiscard]] bool is_merger_slot(SlotId s) const {
+    DAGSFC_CHECK(s < slot_is_merger_.size());
+    return slot_is_merger_[s] != 0;
+  }
+  /// Slot of the γ-th VNF of 0-based layer \p l.
+  [[nodiscard]] SlotId vnf_slot(std::size_t l, std::size_t gamma) const;
+  /// Merger slot of 0-based parallel layer \p l.
+  [[nodiscard]] SlotId merger_slot(std::size_t l) const;
+  /// The slot terminating layer \p l: its merger if parallel, else its VNF.
+  [[nodiscard]] SlotId layer_end_slot(std::size_t l) const;
+  /// All slots of layer \p l (VNFs first, merger last when present).
+  [[nodiscard]] std::span<const SlotId> layer_slots(std::size_t l) const;
+
+  // --- meta-paths ----------------------------------------------------------
+
+  [[nodiscard]] const std::vector<MetaPathDesc>& inter_paths() const noexcept {
+    return inter_paths_;
+  }
+  [[nodiscard]] const std::vector<MetaPathDesc>& inner_paths() const noexcept {
+    return inner_paths_;
+  }
+  /// [first, last) indices into inter_paths() of inter-layer group \p g,
+  /// g ∈ [0, ω] (group ω is the destination hop).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> inter_group_range(
+      std::size_t g) const;
+  /// [first, last) indices into inner_paths() for 0-based layer \p l.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> inner_layer_range(
+      std::size_t l) const;
+  /// Number of inter-layer groups (= ω + 1).
+  [[nodiscard]] std::size_t num_inter_groups() const noexcept {
+    return inter_offsets_.size() - 1;
+  }
+
+ private:
+  const EmbeddingProblem* problem_;
+  std::vector<VnfTypeId> slot_types_;
+  std::vector<std::uint32_t> slot_layers_;
+  std::vector<char> slot_is_merger_;
+  std::vector<std::vector<SlotId>> layer_slot_ids_;
+  std::vector<MetaPathDesc> inter_paths_;
+  std::vector<MetaPathDesc> inner_paths_;
+  std::vector<std::size_t> inter_offsets_;  // per group
+  std::vector<std::size_t> inner_offsets_;  // per layer
+};
+
+}  // namespace dagsfc::core

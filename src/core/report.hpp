@@ -1,0 +1,25 @@
+#pragma once
+/// \file report.hpp
+/// Human-readable rendering of embedding solutions, used by the examples
+/// and handy when debugging test failures.
+
+#include <string>
+
+#include "core/solution.hpp"
+
+namespace dagsfc::core {
+
+/// Multi-line description: per-layer placements, every meta-path's
+/// real-path, and the cost breakdown.
+[[nodiscard]] std::string describe(const Evaluator& evaluator,
+                                   const EmbeddingSolution& solution);
+
+/// Graphviz overlay of the embedding on the network topology: hosting
+/// nodes are boxed and labeled with the VNFs they run, links carrying the
+/// flow are bold and annotated with their reuse count α_e. Unused nodes
+/// and links are drawn dimmed for context.
+[[nodiscard]] std::string to_dot(const Evaluator& evaluator,
+                                 const EmbeddingSolution& solution,
+                                 const std::string& name);
+
+}  // namespace dagsfc::core

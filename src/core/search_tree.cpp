@@ -1,0 +1,96 @@
+#include "core/search_tree.hpp"
+
+#include <algorithm>
+
+namespace dagsfc::core {
+
+SearchTree SearchTree::from_expander(const graph::RingExpander& expander) {
+  SearchTree t;
+  const auto& visited = expander.visited();
+  DAGSFC_CHECK(!visited.empty());
+
+  // Discovery order keeps rings contiguous: the expander appends each ring's
+  // nodes in order.
+  graph::NodeId max_node = 0;
+  for (graph::NodeId v : visited) max_node = std::max(max_node, v);
+  t.index_of_.assign(max_node + 1, kNone);
+
+  t.nodes_.reserve(visited.size());
+  for (graph::NodeId v : visited) {
+    const auto idx = static_cast<TreeIndex>(t.nodes_.size());
+    Node n;
+    n.network_node = v;
+    const graph::NodeId parent = expander.bfs_parent(v);
+    if (parent != graph::kInvalidNode) {
+      const TreeIndex pidx = t.index_of_[parent];
+      DAGSFC_ASSERT(pidx != kNone);
+      n.father = pidx;
+      n.ring = t.nodes_[pidx].ring + 1;
+      t.nodes_[pidx].children.push_back(idx);
+    }
+    t.index_of_[v] = idx;
+    t.nodes_.push_back(std::move(n));
+  }
+  return t;
+}
+
+SearchTree::TreeIndex SearchTree::find(graph::NodeId v) const {
+  if (v >= index_of_.size()) return kNone;
+  return index_of_[v];
+}
+
+std::vector<graph::NodeId> SearchTree::network_nodes() const {
+  std::vector<graph::NodeId> out;
+  out.reserve(nodes_.size());
+  for (const Node& n : nodes_) out.push_back(n.network_node);
+  return out;
+}
+
+graph::Path SearchTree::path_to_root(const graph::Graph& g,
+                                     graph::NodeId v) const {
+  TreeIndex i = find(v);
+  DAGSFC_CHECK_MSG(i != kNone, "node was not reached by this search");
+  graph::Path p;
+  p.nodes.push_back(nodes_[i].network_node);
+  while (nodes_[i].father != kNone) {
+    const TreeIndex f = nodes_[i].father;
+    const auto e =
+        g.find_edge(nodes_[i].network_node, nodes_[f].network_node);
+    DAGSFC_CHECK_MSG(e.has_value(), "father hop is not a network link");
+    p.edges.push_back(*e);
+    p.nodes.push_back(nodes_[f].network_node);
+    i = f;
+  }
+  p.cost = g.path_cost(p);
+  return p;
+}
+
+graph::Path SearchTree::path_from_root(const graph::Graph& g,
+                                       graph::NodeId v) const {
+  graph::Path p = path_to_root(g, v);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.edges.begin(), p.edges.end());
+  return p;
+}
+
+std::vector<SearchTree::BinaryNode> SearchTree::binary_view() const {
+  std::vector<BinaryNode> out(nodes_.size());
+  for (TreeIndex i = 0; i < nodes_.size(); ++i) {
+    out[i].father = nodes_[i].father;
+    out[i].network_node = nodes_[i].network_node;
+    // Left child: the first node this one discovered in the next iteration.
+    if (!nodes_[i].children.empty()) {
+      out[i].left_child = nodes_[i].children.front();
+    }
+  }
+  // Right child: the next node discovered in the same iteration. Nodes are
+  // stored in discovery order, so rings are contiguous index ranges.
+  for (TreeIndex i = 0; i + 1 < nodes_.size(); ++i) {
+    if (nodes_[i + 1].ring == nodes_[i].ring) {
+      out[i].right_child = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace dagsfc::core

@@ -1,0 +1,211 @@
+#include "core/solution.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace dagsfc::core {
+
+NodeId Evaluator::resolve(const SlotRef& ref,
+                          const EmbeddingSolution& sol) const {
+  switch (ref.kind) {
+    case SlotRef::Kind::Source:
+      return index_->problem().flow.source;
+    case SlotRef::Kind::Destination:
+      return index_->problem().flow.destination;
+    case SlotRef::Kind::Slot:
+      DAGSFC_CHECK(ref.slot < sol.placement.size());
+      return sol.placement[ref.slot];
+  }
+  DAGSFC_CHECK_MSG(false, "corrupt SlotRef");
+  return graph::kInvalidNode;
+}
+
+namespace {
+
+void check_path(const graph::Graph& g, const graph::Path& p, NodeId from,
+                NodeId to, const std::string& what,
+                std::vector<std::string>& errors) {
+  if (p.nodes.empty()) {
+    errors.push_back(what + ": meta-path not instantiated");
+    return;
+  }
+  if (!g.path_valid(p)) {
+    errors.push_back(what + ": real-path is not a walk of the topology");
+    return;
+  }
+  if (p.source() != from || p.target() != to) {
+    std::ostringstream os;
+    os << what << ": endpoints (" << p.source() << " -> " << p.target()
+       << ") do not match placement (" << from << " -> " << to << ")";
+    errors.push_back(os.str());
+  }
+  std::set<graph::EdgeId> seen(p.edges.begin(), p.edges.end());
+  if (seen.size() != p.edges.size()) {
+    errors.push_back(what + ": real-path repeats a link");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> Evaluator::validate(
+    const EmbeddingSolution& sol) const {
+  std::vector<std::string> errors;
+  const EmbeddingProblem& prob = index_->problem();
+  const net::Network& net = prob.net();
+  const graph::Graph& g = net.topology();
+
+  if (sol.placement.size() != index_->num_slots()) {
+    errors.push_back("placement vector has wrong size");
+    return errors;
+  }
+  for (SlotId s = 0; s < index_->num_slots(); ++s) {
+    const NodeId v = sol.placement[s];
+    if (!g.has_node(v)) {
+      errors.push_back("slot " + std::to_string(s) +
+                       " placed on nonexistent node");
+      continue;
+    }
+    if (!net.has_vnf(v, index_->slot_type(s))) {
+      errors.push_back("slot " + std::to_string(s) + " placed on node " +
+                       std::to_string(v) + " which does not host " +
+                       net.catalog().name(index_->slot_type(s)));
+    }
+  }
+  if (sol.inter_paths.size() != index_->inter_paths().size()) {
+    errors.push_back("inter-layer path vector has wrong size");
+    return errors;
+  }
+  if (sol.inner_paths.size() != index_->inner_paths().size()) {
+    errors.push_back("inner-layer path vector has wrong size");
+    return errors;
+  }
+  for (std::size_t i = 0; i < sol.inter_paths.size(); ++i) {
+    const MetaPathDesc& d = index_->inter_paths()[i];
+    check_path(g, sol.inter_paths[i], resolve(d.from, sol),
+               resolve(d.to, sol), "inter-layer meta-path " + std::to_string(i),
+               errors);
+  }
+  for (std::size_t i = 0; i < sol.inner_paths.size(); ++i) {
+    const MetaPathDesc& d = index_->inner_paths()[i];
+    check_path(g, sol.inner_paths[i], resolve(d.from, sol),
+               resolve(d.to, sol), "inner-layer meta-path " + std::to_string(i),
+               errors);
+  }
+  return errors;
+}
+
+ResourceUsage Evaluator::usage(const EmbeddingSolution& sol) const {
+  const net::Network& net = index_->problem().net();
+  ResourceUsage u;
+  u.link_uses.assign(net.num_links(), 0);
+  u.instance_uses.assign(net.num_instances(), 0);
+
+  // Formula (7): every slot placed on (v, type) is one use of f_v(i).
+  for (SlotId s = 0; s < index_->num_slots(); ++s) {
+    const auto inst = net.find_instance(sol.placement[s], index_->slot_type(s));
+    DAGSFC_CHECK_MSG(inst.has_value(), "invalid solution: run validate()");
+    ++u.instance_uses[*inst];
+  }
+
+  // Formula (9): inter-layer groups are multicasts — each distinct link of a
+  // group is charged once, however many of the group's paths carry it.
+  for (std::size_t g = 0; g < index_->num_inter_groups(); ++g) {
+    const auto [first, last] = index_->inter_group_range(g);
+    std::set<graph::EdgeId> group_edges;
+    for (std::size_t i = first; i < last; ++i) {
+      group_edges.insert(sol.inter_paths[i].edges.begin(),
+                         sol.inter_paths[i].edges.end());
+    }
+    for (graph::EdgeId e : group_edges) ++u.link_uses[e];
+  }
+
+  // Formula (10): inner-layer paths carry distinct packet versions — every
+  // path charges each of its links.
+  for (const graph::Path& p : sol.inner_paths) {
+    for (graph::EdgeId e : p.edges) ++u.link_uses[e];
+  }
+  return u;
+}
+
+double Evaluator::cost(const EmbeddingSolution& sol) const {
+  return cost(usage(sol));
+}
+
+double Evaluator::cost(const ResourceUsage& u) const {
+  const auto [vnf, link] = cost_breakdown(u);
+  return vnf + link;
+}
+
+std::pair<double, double> Evaluator::cost_breakdown(
+    const ResourceUsage& u) const {
+  const net::Network& net = index_->problem().net();
+  const double z = index_->problem().flow.size;
+  double vnf = 0.0;
+  for (net::InstanceId id = 0; id < u.instance_uses.size(); ++id) {
+    if (u.instance_uses[id] > 0) {
+      vnf += static_cast<double>(u.instance_uses[id]) *
+             net.instance(id).price * z;
+    }
+  }
+  double link = 0.0;
+  for (graph::EdgeId e = 0; e < u.link_uses.size(); ++e) {
+    if (u.link_uses[e] > 0) {
+      link += static_cast<double>(u.link_uses[e]) * net.link_price(e) * z;
+    }
+  }
+  return {vnf, link};
+}
+
+bool Evaluator::feasible(const ResourceUsage& u,
+                         const net::CapacityLedger& ledger) const {
+  const double rate = index_->problem().flow.rate;
+  for (net::InstanceId id = 0; id < u.instance_uses.size(); ++id) {
+    if (u.instance_uses[id] == 0) continue;
+    if (!ledger.instance_can_process(
+            id, static_cast<double>(u.instance_uses[id]) * rate)) {
+      return false;
+    }
+  }
+  for (graph::EdgeId e = 0; e < u.link_uses.size(); ++e) {
+    if (u.link_uses[e] == 0) continue;
+    if (!ledger.link_can_carry(e,
+                               static_cast<double>(u.link_uses[e]) * rate)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Evaluator::commit(const ResourceUsage& u,
+                       net::CapacityLedger& ledger) const {
+  const double rate = index_->problem().flow.rate;
+  for (net::InstanceId id = 0; id < u.instance_uses.size(); ++id) {
+    if (u.instance_uses[id] > 0) {
+      ledger.consume_instance(id,
+                              static_cast<double>(u.instance_uses[id]) * rate);
+    }
+  }
+  for (graph::EdgeId e = 0; e < u.link_uses.size(); ++e) {
+    if (u.link_uses[e] > 0) {
+      ledger.consume_link(e, static_cast<double>(u.link_uses[e]) * rate);
+    }
+  }
+}
+
+void Evaluator::release(const ResourceUsage& u,
+                        net::CapacityLedger& ledger) const {
+  const double rate = index_->problem().flow.rate;
+  for (net::InstanceId id = 0; id < u.instance_uses.size(); ++id) {
+    if (u.instance_uses[id] > 0) {
+      ledger.release_instance(id,
+                              static_cast<double>(u.instance_uses[id]) * rate);
+    }
+  }
+  for (graph::EdgeId e = 0; e < u.link_uses.size(); ++e) {
+    if (u.link_uses[e] > 0) {
+      ledger.release_link(e, static_cast<double>(u.link_uses[e]) * rate);
+    }
+  }
+}
+
+}  // namespace dagsfc::core

@@ -1,0 +1,86 @@
+#pragma once
+/// \file solution.hpp
+/// Embedding solutions and the central cost/feasibility evaluator.
+///
+/// Every algorithm in this library (exact, BBE, MBBE, RANV, MINV) produces
+/// an EmbeddingSolution and is scored by the same Evaluator, which
+/// implements the paper's objective (1) with the reuse counts of formulas
+/// (7)–(10):
+///   * VNF rental cost   Σ_v Σ_i α_{v,i} · c_{v,f(i)} · z,
+///   * link cost         Σ_e α_e · c_e · z,
+/// where a link carried by several *inter-layer* real-paths of the same
+/// layer is charged once (multicast, formula (9)) while *inner-layer*
+/// real-paths charge independently (formula (10)).
+///
+/// Capacity accounting is symmetric to cost: each counted use consumes the
+/// flow rate R from the instance/link (constraints (2)–(3)).
+
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "graph/graph.hpp"
+#include "net/ledger.hpp"
+
+namespace dagsfc::core {
+
+/// A complete embedding: one hosting node per slot, one real-path per
+/// meta-path (indexed parallel to ModelIndex::inter_paths()/inner_paths()).
+/// A meta-path whose endpoints share a node is the single-node zero-cost
+/// path.
+struct EmbeddingSolution {
+  std::vector<NodeId> placement;
+  std::vector<graph::Path> inter_paths;
+  std::vector<graph::Path> inner_paths;
+};
+
+/// Reuse counts α after applying the multicast discount.
+struct ResourceUsage {
+  std::vector<std::uint32_t> link_uses;      ///< per EdgeId
+  std::vector<std::uint32_t> instance_uses;  ///< per InstanceId
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(const ModelIndex& index) : index_(&index) {}
+
+  [[nodiscard]] const ModelIndex& index() const noexcept { return *index_; }
+
+  /// The network node an endpoint resolves to under \p sol.
+  [[nodiscard]] NodeId resolve(const SlotRef& ref,
+                               const EmbeddingSolution& sol) const;
+
+  /// Structural validation: placements host the right VNF types, every
+  /// meta-path is instantiated by a real-path whose endpoints match the
+  /// placement, paths are edge-distinct walks of the topology. Returns a
+  /// human-readable message per violation; empty means valid.
+  [[nodiscard]] std::vector<std::string> validate(
+      const EmbeddingSolution& sol) const;
+
+  /// Reuse counts per formulas (7)–(10). Requires a valid solution.
+  [[nodiscard]] ResourceUsage usage(const EmbeddingSolution& sol) const;
+
+  /// Objective (1). Requires a valid solution.
+  [[nodiscard]] double cost(const EmbeddingSolution& sol) const;
+  [[nodiscard]] double cost(const ResourceUsage& usage) const;
+
+  /// Split of the objective for reporting: {vnf rental, link}.
+  [[nodiscard]] std::pair<double, double> cost_breakdown(
+      const ResourceUsage& usage) const;
+
+  /// Capacity check of constraints (2)–(3) against residual state.
+  [[nodiscard]] bool feasible(const ResourceUsage& usage,
+                              const net::CapacityLedger& ledger) const;
+
+  /// Debits the ledger by usage·R. Contract-checked; call feasible() first.
+  void commit(const ResourceUsage& usage, net::CapacityLedger& ledger) const;
+
+  /// Credits the ledger by usage·R — the inverse of commit(), used when a
+  /// flow departs (dynamic admission) or a tentative reservation unwinds.
+  void release(const ResourceUsage& usage, net::CapacityLedger& ledger) const;
+
+ private:
+  const ModelIndex* index_;
+};
+
+}  // namespace dagsfc::core

@@ -1,0 +1,60 @@
+#include "graph/bfs.hpp"
+
+namespace dagsfc::graph {
+
+BfsRings bfs_rings(const Graph& g, NodeId start, const NodeFilter& filter) {
+  DAGSFC_CHECK(g.has_node(start));
+  BfsRings out;
+  out.depth.assign(g.num_nodes(), BfsRings::kUnreached);
+  out.parent.assign(g.num_nodes(), kInvalidNode);
+  out.rings.push_back({start});
+  out.depth[start] = 0;
+  while (true) {
+    const auto& frontier = out.rings.back();
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      for (const Incidence& inc : g.neighbors(v)) {
+        const NodeId w = inc.neighbor;
+        if (out.depth[w] != BfsRings::kUnreached) continue;
+        if (filter && !filter(w)) continue;
+        out.depth[w] = out.depth[v] + 1;
+        out.parent[w] = v;
+        next.push_back(w);
+      }
+    }
+    if (next.empty()) break;
+    out.rings.push_back(std::move(next));
+  }
+  return out;
+}
+
+RingExpander::RingExpander(const Graph& g, NodeId start, NodeFilter filter)
+    : g_(g),
+      filter_(std::move(filter)),
+      seen_(g.num_nodes(), 0),
+      parent_(g.num_nodes(), kInvalidNode) {
+  DAGSFC_CHECK(g.has_node(start));
+  seen_[start] = 1;
+  visited_.push_back(start);
+  current_ring_.push_back(start);
+}
+
+const std::vector<NodeId>& RingExpander::expand() {
+  scratch_.clear();
+  for (NodeId v : current_ring_) {
+    for (const Incidence& inc : g_.neighbors(v)) {
+      const NodeId w = inc.neighbor;
+      if (seen_[w]) continue;
+      if (filter_ && !filter_(w)) continue;
+      seen_[w] = 1;
+      parent_[w] = v;
+      scratch_.push_back(w);
+      visited_.push_back(w);
+    }
+  }
+  current_ring_.swap(scratch_);
+  ++iterations_;
+  return current_ring_;
+}
+
+}  // namespace dagsfc::graph

@@ -1,0 +1,82 @@
+#pragma once
+/// \file bfs.hpp
+/// Breadth-first search in "rings", the primitive behind the paper's forward
+/// and backward searches (§4.2, §4.3): iteration q of the search adds every
+/// node adjacent to the set accumulated after iteration q−1.
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dagsfc::graph {
+
+/// Predicate limiting which nodes a search may enter. Returning false makes
+/// the node invisible (used by the backward search, which is restricted to
+/// the forward-search node set).
+using NodeFilter = std::function<bool(NodeId)>;
+
+/// Result of an expanding ring search.
+struct BfsRings {
+  /// rings[q] lists the nodes first reached in iteration q; rings[0] is the
+  /// start node alone.
+  std::vector<std::vector<NodeId>> rings;
+  /// hop distance per node, or kUnreached.
+  std::vector<std::uint32_t> depth;
+  /// one BFS-tree parent per node (kInvalidNode for start/unreached).
+  std::vector<NodeId> parent;
+
+  static constexpr std::uint32_t kUnreached = static_cast<std::uint32_t>(-1);
+
+  [[nodiscard]] bool reached(NodeId v) const {
+    return v < depth.size() && depth[v] != kUnreached;
+  }
+};
+
+/// Full BFS from \p start. If \p filter is provided, nodes failing it are
+/// never entered (the start node is always included).
+[[nodiscard]] BfsRings bfs_rings(const Graph& g, NodeId start,
+                                 const NodeFilter& filter = {});
+
+/// Incremental ring expander: the caller pulls one ring at a time and stops
+/// when its own coverage condition holds — exactly the shape of the paper's
+/// forward search, which stops as soon as the accumulated node set hosts all
+/// VNFs of the layer. Also supports a hard cap on the visited-set size
+/// (MBBE strategy (1): |V^{F,l}| ≤ X_max).
+class RingExpander {
+ public:
+  RingExpander(const Graph& g, NodeId start, NodeFilter filter = {});
+
+  /// Expands one more ring. Returns the newly reached nodes; empty when the
+  /// reachable (filtered) component is exhausted.
+  const std::vector<NodeId>& expand();
+
+  [[nodiscard]] const std::vector<NodeId>& current_ring() const noexcept {
+    return current_ring_;
+  }
+  /// All nodes reached so far, in discovery order (start first).
+  [[nodiscard]] const std::vector<NodeId>& visited() const noexcept {
+    return visited_;
+  }
+  [[nodiscard]] bool contains(NodeId v) const {
+    return v < seen_.size() && seen_[v];
+  }
+  /// Number of completed expand() calls; ring index of current_ring().
+  [[nodiscard]] std::size_t iterations() const noexcept { return iterations_; }
+  [[nodiscard]] NodeId bfs_parent(NodeId v) const {
+    DAGSFC_CHECK(v < parent_.size());
+    return parent_[v];
+  }
+
+ private:
+  const Graph& g_;
+  NodeFilter filter_;
+  std::vector<char> seen_;
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> visited_;
+  std::vector<NodeId> current_ring_;
+  std::vector<NodeId> scratch_;
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace dagsfc::graph

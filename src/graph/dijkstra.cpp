@@ -1,0 +1,73 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace dagsfc::graph {
+
+std::optional<Path> ShortestPathTree::path_to(NodeId target) const {
+  if (!reached(target)) return std::nullopt;
+  Path p;
+  p.cost = dist[target];
+  NodeId v = target;
+  while (v != source) {
+    p.nodes.push_back(v);
+    p.edges.push_back(parent_edge[v]);
+    v = parent[v];
+  }
+  p.nodes.push_back(source);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.edges.begin(), p.edges.end());
+  return p;
+}
+
+namespace {
+
+ShortestPathTree run_dijkstra(const Graph& g, NodeId source,
+                              const EdgeFilter& filter,
+                              std::optional<NodeId> stop_at) {
+  DAGSFC_CHECK(g.has_node(source));
+  ShortestPathTree t;
+  t.source = source;
+  t.dist.assign(g.num_nodes(), kInfCost);
+  t.parent.assign(g.num_nodes(), kInvalidNode);
+  t.parent_edge.assign(g.num_nodes(), kInvalidEdge);
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  t.dist[source] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > t.dist[v]) continue;  // stale entry
+    if (stop_at && v == *stop_at) break;
+    for (const Incidence& inc : g.neighbors(v)) {
+      if (filter && !filter(inc.edge)) continue;
+      const double nd = d + g.edge(inc.edge).weight;
+      if (nd < t.dist[inc.neighbor]) {
+        t.dist[inc.neighbor] = nd;
+        t.parent[inc.neighbor] = v;
+        t.parent_edge[inc.neighbor] = inc.edge;
+        pq.emplace(nd, inc.neighbor);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                          const EdgeFilter& filter) {
+  return run_dijkstra(g, source, filter, std::nullopt);
+}
+
+std::optional<Path> min_cost_path(const Graph& g, NodeId source, NodeId target,
+                                  const EdgeFilter& filter) {
+  DAGSFC_CHECK(g.has_node(target));
+  return run_dijkstra(g, source, filter, target).path_to(target);
+}
+
+}  // namespace dagsfc::graph

@@ -1,0 +1,45 @@
+#pragma once
+/// \file dijkstra.hpp
+/// Min-cost path queries over link prices. Used by the RANV/MINV baselines,
+/// by MBBE's strategy (2) (meta-path instantiation via minimum-cost paths on
+/// the real-time network), and as the relaxation inside Yen's algorithm.
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dagsfc::graph {
+
+/// Predicate limiting which edges a search may traverse (e.g. links with
+/// remaining bandwidth). Absent ⇒ all edges usable.
+using EdgeFilter = std::function<bool(EdgeId)>;
+
+inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+/// Single-source shortest path tree by edge weight (price).
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  std::vector<double> dist;        // kInfCost if unreachable
+  std::vector<NodeId> parent;      // kInvalidNode for source/unreached
+  std::vector<EdgeId> parent_edge;
+
+  [[nodiscard]] bool reached(NodeId v) const {
+    return v < dist.size() && dist[v] < kInfCost;
+  }
+  /// Reconstructs the min-cost path source→target; nullopt if unreachable.
+  [[nodiscard]] std::optional<Path> path_to(NodeId target) const;
+};
+
+/// Dijkstra from \p source over the whole graph (or the filtered subgraph).
+[[nodiscard]] ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                                        const EdgeFilter& filter = {});
+
+/// Point-to-point min-cost path with early exit at \p target.
+[[nodiscard]] std::optional<Path> min_cost_path(const Graph& g, NodeId source,
+                                                NodeId target,
+                                                const EdgeFilter& filter = {});
+
+}  // namespace dagsfc::graph

@@ -1,0 +1,26 @@
+#include "graph/dot.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dagsfc::graph {
+
+std::string to_dot(const Graph& g, const std::string& name,
+                   const NodeLabeler& labeler) {
+  std::ostringstream os;
+  os << "graph \"" << name << "\" {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v << " [label=\""
+       << (labeler ? labeler(v) : std::to_string(v)) << "\"];\n";
+  }
+  os << std::fixed << std::setprecision(2);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    os << "  n" << ed.u << " -- n" << ed.v << " [label=\"" << ed.weight
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dagsfc::graph

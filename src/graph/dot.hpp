@@ -1,0 +1,20 @@
+#pragma once
+/// \file dot.hpp
+/// Graphviz DOT export for debugging and the examples' visual output.
+
+#include <functional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dagsfc::graph {
+
+/// Optional per-node label; default is the node id.
+using NodeLabeler = std::function<std::string(NodeId)>;
+
+/// Renders the graph as an undirected DOT document. Edge labels carry the
+/// weight (link price) with two decimals.
+[[nodiscard]] std::string to_dot(const Graph& g, const std::string& name,
+                                 const NodeLabeler& labeler = {});
+
+}  // namespace dagsfc::graph

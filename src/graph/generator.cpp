@@ -1,0 +1,62 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+
+namespace dagsfc::graph {
+
+Graph random_connected_graph(Rng& rng, const RandomGraphOptions& opts) {
+  DAGSFC_CHECK_MSG(opts.num_nodes > 0, "network size must be positive");
+  DAGSFC_CHECK_MSG(opts.average_degree >= 0.0, "degree must be non-negative");
+  const std::size_t n = opts.num_nodes;
+  Graph g(n);
+  if (n == 1) return g;
+
+  // Random spanning tree: attach each node to a uniformly random earlier
+  // node, after shuffling ids so the attachment order is itself random.
+  std::vector<NodeId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < n; ++i) {
+    const NodeId parent = order[rng.index(i)];
+    (void)g.add_edge(order[i], parent, 1.0);
+  }
+
+  // Densify to the target average degree d: |E| = d·n/2, clamped to the
+  // complete graph.
+  const auto max_edges = n * (n - 1) / 2;
+  auto target_edges = static_cast<std::size_t>(
+      opts.average_degree * static_cast<double>(n) / 2.0 + 0.5);
+  target_edges = std::clamp(target_edges, g.num_edges(), max_edges);
+
+  // Rejection sampling is fast while the graph is sparse; bail out to a
+  // dense enumeration if the reject rate becomes pathological.
+  std::size_t consecutive_rejects = 0;
+  while (g.num_edges() < target_edges) {
+    const NodeId u = static_cast<NodeId>(rng.index(n));
+    const NodeId v = static_cast<NodeId>(rng.index(n));
+    if (u == v || g.find_edge(u, v).has_value()) {
+      if (++consecutive_rejects > 50 * n) break;  // nearly complete graph
+      continue;
+    }
+    consecutive_rejects = 0;
+    (void)g.add_edge(u, v, 1.0);
+  }
+  if (g.num_edges() < target_edges) {
+    // Dense fallback: enumerate missing pairs in random order.
+    std::vector<std::pair<NodeId, NodeId>> missing;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (!g.find_edge(u, v).has_value()) missing.emplace_back(u, v);
+      }
+    }
+    rng.shuffle(missing);
+    for (const auto& [u, v] : missing) {
+      if (g.num_edges() >= target_edges) break;
+      (void)g.add_edge(u, v, 1.0);
+    }
+  }
+  DAGSFC_ASSERT(is_connected(g));
+  return g;
+}
+
+}  // namespace dagsfc::graph

@@ -1,0 +1,25 @@
+#pragma once
+/// \file generator.hpp
+/// Random network topology generator following the paper's recipe (§5.1):
+/// first a random spanning tree guarantees connectivity, then extra random
+/// edges are inserted until the requested average node degree ("network
+/// connectivity") is met. Edge weights are created as 1.0 placeholders; the
+/// net layer overwrites them with link prices.
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dagsfc::graph {
+
+struct RandomGraphOptions {
+  std::size_t num_nodes = 500;   // paper Table 2 default
+  double average_degree = 6.0;   // paper Table 2 default
+};
+
+/// Generates a connected simple graph. The achieved average degree is the
+/// closest value ≤ the request that a simple graph of this size permits
+/// (a tree already fixes the minimum at 2·(n−1)/n).
+[[nodiscard]] Graph random_connected_graph(Rng& rng,
+                                           const RandomGraphOptions& opts);
+
+}  // namespace dagsfc::graph

@@ -1,0 +1,109 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace dagsfc::graph {
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, double weight) {
+  DAGSFC_CHECK(u < adjacency_.size() && v < adjacency_.size());
+  DAGSFC_CHECK_MSG(u != v, "self loops are not allowed");
+  DAGSFC_CHECK_MSG(weight >= 0.0, "edge weights (prices) must be >= 0");
+  DAGSFC_CHECK_MSG(!find_edge(u, v).has_value(),
+                   "parallel edges are not allowed");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, weight});
+  adjacency_[u].push_back(Incidence{id, v});
+  adjacency_[v].push_back(Incidence{id, u});
+  return id;
+}
+
+void Graph::set_weight(EdgeId e, double weight) {
+  DAGSFC_CHECK(e < edges_.size());
+  DAGSFC_CHECK(weight >= 0.0);
+  edges_[e].weight = weight;
+}
+
+std::optional<EdgeId> Graph::find_edge(NodeId u, NodeId v) const {
+  DAGSFC_CHECK(u < adjacency_.size() && v < adjacency_.size());
+  // Scan the smaller incidence list.
+  const NodeId probe = adjacency_[u].size() <= adjacency_[v].size() ? u : v;
+  const NodeId want = probe == u ? v : u;
+  for (const Incidence& inc : adjacency_[probe]) {
+    if (inc.neighbor == want) return inc.edge;
+  }
+  return std::nullopt;
+}
+
+double Graph::average_degree() const noexcept {
+  if (adjacency_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(edges_.size()) /
+         static_cast<double>(adjacency_.size());
+}
+
+double Graph::path_cost(const Path& p) const {
+  double total = 0.0;
+  for (EdgeId e : p.edges) total += edge(e).weight;
+  return total;
+}
+
+bool Graph::path_valid(const Path& p) const {
+  if (p.nodes.empty()) return p.edges.empty();
+  if (p.edges.size() + 1 != p.nodes.size()) return false;
+  for (NodeId v : p.nodes) {
+    if (!has_node(v)) return false;
+  }
+  for (std::size_t i = 0; i < p.edges.size(); ++i) {
+    if (p.edges[i] >= edges_.size()) return false;
+    const Edge& e = edges_[p.edges[i]];
+    const NodeId a = p.nodes[i];
+    const NodeId b = p.nodes[i + 1];
+    if (!((e.u == a && e.v == b) || (e.u == b && e.v == a))) return false;
+  }
+  return true;
+}
+
+namespace {
+std::size_t reachable_from(const Graph& g, NodeId start,
+                           std::vector<char>& seen) {
+  std::vector<NodeId> stack{start};
+  seen[start] = 1;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const Incidence& inc : g.neighbors(v)) {
+      if (!seen[inc.neighbor]) {
+        seen[inc.neighbor] = 1;
+        stack.push_back(inc.neighbor);
+      }
+    }
+  }
+  return count;
+}
+}  // namespace
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  std::vector<char> seen(g.num_nodes(), 0);
+  return reachable_from(g, 0, seen) == g.num_nodes();
+}
+
+std::size_t component_count(const Graph& g) {
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::size_t components = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!seen[v]) {
+      ++components;
+      (void)reachable_from(g, v, seen);
+    }
+  }
+  return components;
+}
+
+}  // namespace dagsfc::graph

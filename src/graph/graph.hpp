@@ -1,0 +1,128 @@
+#pragma once
+/// \file graph.hpp
+/// Weighted undirected simple graph — the structural substrate for the
+/// target network (paper §3.2: G = (V, E), bidirectional links).
+///
+/// Nodes and edges are dense integer ids, so algorithm working sets are flat
+/// vectors indexed by id (no hashing on hot paths). Edge weights here carry
+/// the per-unit-rate link price c_e; capacities and VNF inventory live one
+/// layer up in net::Network.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dagsfc::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// An undirected edge endpoint pair plus its weight (link price).
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  double weight = 0.0;
+
+  /// The endpoint opposite \p from. Requires from ∈ {u, v}.
+  [[nodiscard]] NodeId other(NodeId from) const {
+    DAGSFC_CHECK(from == u || from == v);
+    return from == u ? v : u;
+  }
+};
+
+/// Incidence record stored per node: the edge and the neighbor it leads to.
+struct Incidence {
+  EdgeId edge = kInvalidEdge;
+  NodeId neighbor = kInvalidNode;
+};
+
+/// A walk through the graph: node sequence plus the edges between
+/// consecutive nodes (edges.size() == nodes.size() - 1). An empty path has
+/// no nodes; a zero-length path has one node and no edges.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+  double cost = 0.0;
+
+  [[nodiscard]] bool empty() const noexcept { return nodes.empty(); }
+  [[nodiscard]] std::size_t length() const noexcept { return edges.size(); }
+  [[nodiscard]] NodeId source() const {
+    DAGSFC_CHECK(!nodes.empty());
+    return nodes.front();
+  }
+  [[nodiscard]] NodeId target() const {
+    DAGSFC_CHECK(!nodes.empty());
+    return nodes.back();
+  }
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  /// Creates \p n isolated nodes.
+  explicit Graph(std::size_t n) : adjacency_(n) {}
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return adjacency_.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges_.size();
+  }
+
+  /// Appends an isolated node and returns its id.
+  NodeId add_node();
+
+  /// Adds an undirected edge u—v with weight \p weight (≥ 0). Rejects self
+  /// loops and parallel edges (the paper's networks are simple graphs).
+  EdgeId add_edge(NodeId u, NodeId v, double weight);
+
+  /// Updates the weight of an existing edge.
+  void set_weight(EdgeId e, double weight);
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    DAGSFC_CHECK(e < edges_.size());
+    return edges_[e];
+  }
+
+  /// Incidence list of \p v: every (edge, neighbor) pair.
+  [[nodiscard]] std::span<const Incidence> neighbors(NodeId v) const {
+    DAGSFC_CHECK(v < adjacency_.size());
+    return adjacency_[v];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    return neighbors(v).size();
+  }
+
+  /// Id of the edge u—v if present.
+  [[nodiscard]] std::optional<EdgeId> find_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] bool has_node(NodeId v) const noexcept {
+    return v < adjacency_.size();
+  }
+
+  /// 2·|E| / |V| — the "network connectivity" knob of the paper's §5.1.
+  [[nodiscard]] double average_degree() const noexcept;
+
+  /// Total weight of a path and structural validity against this graph.
+  [[nodiscard]] double path_cost(const Path& p) const;
+  [[nodiscard]] bool path_valid(const Path& p) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Incidence>> adjacency_;
+};
+
+/// True iff every node is reachable from node 0 (or the graph is empty).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Number of connected components.
+[[nodiscard]] std::size_t component_count(const Graph& g);
+
+}  // namespace dagsfc::graph

@@ -1,0 +1,143 @@
+#include "graph/steiner.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <set>
+
+namespace dagsfc::graph {
+
+namespace {
+
+struct Choice {
+  enum class Kind : std::uint8_t { None, Init, Merge, Extend };
+  Kind kind = Kind::None;
+  std::uint32_t split = 0;   // Merge: one proper subset S' (other is S\S')
+  NodeId from = kInvalidNode;  // Extend: predecessor node u; Init: terminal
+};
+
+}  // namespace
+
+std::optional<SteinerTree> steiner_tree(const Graph& g,
+                                        const std::vector<NodeId>& terminals,
+                                        const EdgeFilter& filter) {
+  std::vector<NodeId> terms(terminals);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (NodeId t : terms) DAGSFC_CHECK(g.has_node(t));
+  if (terms.empty()) return SteinerTree{};
+  if (terms.size() == 1) return SteinerTree{};
+  DAGSFC_CHECK_MSG(terms.size() <= 14, "too many Steiner terminals for DP");
+
+  const std::size_t n = g.num_nodes();
+  const std::size_t k = terms.size();
+  const std::uint32_t full = (1u << k) - 1;
+
+  // dp[S][v]: min weight of a tree containing node v and terminal subset S.
+  std::vector<std::vector<double>> dp(full + 1,
+                                      std::vector<double>(n, kInfCost));
+  std::vector<std::vector<Choice>> how(full + 1, std::vector<Choice>(n));
+
+  // Single-terminal base: dp[{i}][v] = shortest-path dist(t_i, v).
+  std::vector<ShortestPathTree> term_sp;
+  term_sp.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    term_sp.push_back(dijkstra(g, terms[i], filter));
+    const std::uint32_t bit = 1u << i;
+    for (NodeId v = 0; v < n; ++v) {
+      dp[bit][v] = term_sp[i].dist[v];
+      how[bit][v] = Choice{Choice::Kind::Init, 0, terms[i]};
+    }
+  }
+
+  using Item = std::pair<double, NodeId>;
+  for (std::uint32_t S = 1; S <= full; ++S) {
+    if ((S & (S - 1)) == 0) continue;  // singletons done above
+    auto& row = dp[S];
+    auto& hrow = how[S];
+    // Merge two complementary sub-trees at v.
+    for (std::uint32_t sub = (S - 1) & S; sub > 0; sub = (sub - 1) & S) {
+      const std::uint32_t rest = S ^ sub;
+      if (sub > rest) continue;  // each unordered split once
+      const auto& a = dp[sub];
+      const auto& b = dp[rest];
+      for (NodeId v = 0; v < n; ++v) {
+        if (a[v] == kInfCost || b[v] == kInfCost) continue;
+        const double c = a[v] + b[v];
+        if (c < row[v]) {
+          row[v] = c;
+          hrow[v] = Choice{Choice::Kind::Merge, sub, kInvalidNode};
+        }
+      }
+    }
+    // Dijkstra-style relaxation: grow the tree along cheap paths.
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    for (NodeId v = 0; v < n; ++v) {
+      if (row[v] < kInfCost) pq.emplace(row[v], v);
+    }
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (d > row[v]) continue;
+      for (const Incidence& inc : g.neighbors(v)) {
+        if (filter && !filter(inc.edge)) continue;
+        const double nd = d + g.edge(inc.edge).weight;
+        if (nd < row[inc.neighbor]) {
+          row[inc.neighbor] = nd;
+          hrow[inc.neighbor] = Choice{Choice::Kind::Extend, 0, v};
+          pq.emplace(nd, inc.neighbor);
+        }
+      }
+    }
+  }
+
+  const NodeId root = terms[0];
+  if (dp[full][root] == kInfCost) return std::nullopt;
+
+  // Reconstruct the edge set by unwinding the DP choices.
+  std::set<EdgeId> edges;
+  std::vector<std::pair<std::uint32_t, NodeId>> stack{{full, root}};
+  auto add_tree_path = [&](const ShortestPathTree& sp, NodeId v) {
+    while (v != sp.source) {
+      edges.insert(sp.parent_edge[v]);
+      v = sp.parent[v];
+    }
+  };
+  while (!stack.empty()) {
+    auto [S, v] = stack.back();
+    stack.pop_back();
+    const Choice& c = how[S][v];
+    switch (c.kind) {
+      case Choice::Kind::Init: {
+        // Path from terminal c.from to v along that terminal's SP tree.
+        std::size_t ti = 0;
+        while (terms[ti] != c.from) ++ti;
+        add_tree_path(term_sp[ti], v);
+        break;
+      }
+      case Choice::Kind::Merge:
+        stack.emplace_back(c.split, v);
+        stack.emplace_back(S ^ c.split, v);
+        break;
+      case Choice::Kind::Extend: {
+        const auto e = g.find_edge(c.from, v);
+        DAGSFC_ASSERT(e.has_value());
+        edges.insert(*e);
+        stack.emplace_back(S, c.from);
+        break;
+      }
+      case Choice::Kind::None:
+        DAGSFC_CHECK_MSG(false, "Steiner reconstruction hit an unset cell");
+    }
+  }
+
+  SteinerTree out;
+  out.edges.assign(edges.begin(), edges.end());
+  for (EdgeId e : out.edges) out.cost += g.edge(e).weight;
+  // Deduplication can only make the reconstruction cheaper; the DP value is
+  // optimal, so equality must hold (up to float noise).
+  DAGSFC_ASSERT(out.cost <= dp[full][root] + 1e-9);
+  return out;
+}
+
+}  // namespace dagsfc::graph

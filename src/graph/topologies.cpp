@@ -1,0 +1,146 @@
+#include "graph/topologies.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace dagsfc::graph {
+
+Graph make_ring(std::size_t n) {
+  DAGSFC_CHECK_MSG(n >= 3, "a ring needs at least 3 nodes");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)g.add_edge(static_cast<NodeId>(i),
+                     static_cast<NodeId>((i + 1) % n), 1.0);
+  }
+  return g;
+}
+
+Graph make_star(std::size_t n) {
+  DAGSFC_CHECK_MSG(n >= 2, "a star needs at least 2 nodes");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    (void)g.add_edge(0, static_cast<NodeId>(i), 1.0);
+  }
+  return g;
+}
+
+Graph make_line(std::size_t n) {
+  DAGSFC_CHECK(n >= 1);
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    (void)g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), 1.0);
+  }
+  return g;
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols, bool wrap) {
+  DAGSFC_CHECK(rows >= 1 && cols >= 1);
+  if (wrap) {
+    DAGSFC_CHECK_MSG((rows == 1 || rows >= 3) && (cols == 1 || cols >= 3),
+                     "torus wrap needs >= 3 nodes along wrapped dimensions");
+  }
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) (void)g.add_edge(id(r, c), id(r, c + 1), 1.0);
+      if (r + 1 < rows) (void)g.add_edge(id(r, c), id(r + 1, c), 1.0);
+    }
+  }
+  if (wrap) {
+    if (cols >= 3) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        (void)g.add_edge(id(r, cols - 1), id(r, 0), 1.0);
+      }
+    }
+    if (rows >= 3) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        (void)g.add_edge(id(rows - 1, c), id(0, c), 1.0);
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_leaf_spine(std::size_t n, std::size_t spines) {
+  DAGSFC_CHECK_MSG(spines >= 1 && spines < n,
+                   "need at least one spine and one leaf");
+  Graph g(n);
+  for (std::size_t leaf = spines; leaf < n; ++leaf) {
+    for (std::size_t s = 0; s < spines; ++s) {
+      (void)g.add_edge(static_cast<NodeId>(leaf), static_cast<NodeId>(s),
+                       1.0);
+    }
+  }
+  return g;
+}
+
+Graph make_fat_tree(std::size_t k) {
+  DAGSFC_CHECK_MSG(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+  const std::size_t half = k / 2;
+  const std::size_t cores = half * half;
+  Graph g(cores + k * k);  // cores + k pods × (half agg + half edge)
+  auto agg = [&](std::size_t pod, std::size_t i) {
+    return static_cast<NodeId>(cores + pod * k + i);
+  };
+  auto edge = [&](std::size_t pod, std::size_t i) {
+    return static_cast<NodeId>(cores + pod * k + half + i);
+  };
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    // Full bipartite agg↔edge inside the pod.
+    for (std::size_t a = 0; a < half; ++a) {
+      for (std::size_t e = 0; e < half; ++e) {
+        (void)g.add_edge(agg(pod, a), edge(pod, e), 1.0);
+      }
+    }
+    // Aggregation a connects to cores [a·half, (a+1)·half).
+    for (std::size_t a = 0; a < half; ++a) {
+      for (std::size_t c = 0; c < half; ++c) {
+        (void)g.add_edge(agg(pod, a), static_cast<NodeId>(a * half + c),
+                         1.0);
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_waxman(Rng& rng, const WaxmanOptions& opts) {
+  DAGSFC_CHECK(opts.num_nodes >= 1);
+  DAGSFC_CHECK(opts.alpha > 0.0 && opts.alpha <= 1.0);
+  DAGSFC_CHECK(opts.beta > 0.0);
+  const std::size_t n = opts.num_nodes;
+  Graph g(n);
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& p : pos) {
+    p = {rng.uniform_real(0.0, 1.0), rng.uniform_real(0.0, 1.0)};
+  }
+  const double max_dist = std::sqrt(2.0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = pos[u].first - pos[v].first;
+      const double dy = pos[u].second - pos[v].second;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      const double p = opts.alpha * std::exp(-d / (opts.beta * max_dist));
+      if (rng.bernoulli(p)) (void)g.add_edge(u, v, 1.0);
+    }
+  }
+  // Guarantee connectivity with a random spanning tree over the remainder.
+  std::vector<NodeId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < n; ++i) {
+    const NodeId parent = order[rng.index(i)];
+    if (!g.find_edge(order[i], parent).has_value()) {
+      (void)g.add_edge(order[i], parent, 1.0);
+    }
+  }
+  // The tree alone does not connect components formed among earlier nodes…
+  // it does: every node (in shuffled order) gains a link to some earlier
+  // node, so by induction all nodes connect to order[0].
+  DAGSFC_ASSERT(is_connected(g));
+  return g;
+}
+
+}  // namespace dagsfc::graph

@@ -1,0 +1,49 @@
+#pragma once
+/// \file topologies.hpp
+/// Structured network topologies used in NFV embedding studies, alongside
+/// the paper's random generator: ring, star, line, 2-D grid/torus,
+/// two-tier leaf-spine, three-tier fat-tree (k-ary pods), and the Waxman
+/// random-geometric model common in WAN simulation. All constructors
+/// return simple connected graphs with uniform unit edge weights — callers
+/// (net layer / scenario generators) assign link prices afterwards.
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dagsfc::graph {
+
+/// Cycle over n ≥ 3 nodes.
+[[nodiscard]] Graph make_ring(std::size_t n);
+
+/// Hub node 0 with n−1 leaves; n ≥ 2.
+[[nodiscard]] Graph make_star(std::size_t n);
+
+/// Path 0—1—…—(n−1); n ≥ 1.
+[[nodiscard]] Graph make_line(std::size_t n);
+
+/// rows×cols lattice; wrap=true adds the torus wrap-around links
+/// (wrap needs ≥ 3 nodes along a wrapped dimension to stay simple).
+[[nodiscard]] Graph make_grid(std::size_t rows, std::size_t cols,
+                              bool wrap = false);
+
+/// Two-tier Clos: nodes [0, spines) are spines, the rest leaves; every
+/// leaf connects to every spine. Requires 1 ≤ spines < n.
+[[nodiscard]] Graph make_leaf_spine(std::size_t n, std::size_t spines);
+
+/// Canonical k-ary fat-tree (k even, ≥ 2): (k/2)² core switches, k pods of
+/// k/2 aggregation + k/2 edge switches — 5k²/4 nodes total, hosts omitted.
+/// Node order: cores, then per pod aggregation then edge.
+[[nodiscard]] Graph make_fat_tree(std::size_t k);
+
+struct WaxmanOptions {
+  std::size_t num_nodes = 100;
+  double alpha = 0.4;  ///< link-probability scale
+  double beta = 0.2;   ///< distance decay (larger ⇒ longer links likelier)
+};
+
+/// Waxman random geometric graph on the unit square:
+/// P(u,v) = alpha · exp(−dist(u,v) / (beta·√2)); a random spanning tree is
+/// added first so the result is always connected.
+[[nodiscard]] Graph make_waxman(Rng& rng, const WaxmanOptions& opts);
+
+}  // namespace dagsfc::graph

@@ -1,0 +1,83 @@
+#include "graph/yen.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace dagsfc::graph {
+
+namespace {
+
+/// Lexicographic tie-break so results are deterministic across platforms.
+struct PathLess {
+  bool operator()(const Path& a, const Path& b) const {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.nodes < b.nodes;
+  }
+};
+
+}  // namespace
+
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
+                                   NodeId target, std::size_t k,
+                                   const EdgeFilter& filter) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+
+  auto first = min_cost_path(g, source, target, filter);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  std::set<Path, PathLess> candidates;
+  std::set<std::vector<NodeId>> known;  // dedupe by node sequence
+  known.insert(result.front().nodes);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    // Each node of the previous path (except the last) spawns a spur.
+    for (std::size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      const NodeId spur_node = prev.nodes[i];
+
+      // Edges removed for this spur: (a) the i-th edge of every accepted
+      // path sharing the root prefix, (b) edges internal to the root path so
+      // the spur cannot revisit it.
+      std::set<EdgeId> banned_edges;
+      for (const Path& p : result) {
+        if (p.nodes.size() > i + 1 &&
+            std::equal(p.nodes.begin(), p.nodes.begin() + i + 1,
+                       prev.nodes.begin())) {
+          banned_edges.insert(p.edges[i]);
+        }
+      }
+      std::set<NodeId> banned_nodes(prev.nodes.begin(), prev.nodes.begin() + i);
+
+      EdgeFilter spur_filter = [&](EdgeId e) {
+        if (filter && !filter(e)) return false;
+        if (banned_edges.count(e)) return false;
+        const Edge& ed = g.edge(e);
+        if (banned_nodes.count(ed.u) || banned_nodes.count(ed.v)) return false;
+        return true;
+      };
+
+      auto spur = min_cost_path(g, spur_node, target, spur_filter);
+      if (!spur) continue;
+
+      Path total;
+      total.nodes.assign(prev.nodes.begin(), prev.nodes.begin() + i);
+      total.edges.assign(prev.edges.begin(), prev.edges.begin() + i);
+      total.nodes.insert(total.nodes.end(), spur->nodes.begin(),
+                         spur->nodes.end());
+      total.edges.insert(total.edges.end(), spur->edges.begin(),
+                         spur->edges.end());
+      total.cost = g.path_cost(total);
+      if (known.insert(total.nodes).second) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace dagsfc::graph

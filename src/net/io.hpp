@@ -1,0 +1,30 @@
+#pragma once
+/// \file io.hpp
+/// Plain-text serialization of priced networks, so instances can be saved,
+/// versioned, and re-run exactly (the CLI example and regression corpora
+/// use this). The format is line-oriented:
+///
+///   # comments and blank lines are ignored
+///   catalog <num_regular>
+///   name <type_id> <identifier>          # optional category names
+///   nodes <count>
+///   link <u> <v> <price> <capacity>
+///   vnf <node> <type> <price> <capacity> # type: 1..n or "merger"
+///
+/// Declarations may appear in any order except that `catalog` and `nodes`
+/// must precede the lines that depend on them.
+
+#include <string>
+
+#include "net/network.hpp"
+
+namespace dagsfc::net {
+
+/// Serializes the network (topology, prices, capacities, deployments).
+[[nodiscard]] std::string to_text(const Network& network);
+
+/// Parses a network from to_text()'s format. Throws std::invalid_argument
+/// with a line number on malformed input.
+[[nodiscard]] Network network_from_text(const std::string& text);
+
+}  // namespace dagsfc::net

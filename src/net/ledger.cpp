@@ -1,0 +1,68 @@
+#include "net/ledger.hpp"
+
+namespace dagsfc::net {
+
+CapacityLedger::CapacityLedger(const Network& network) : net_(&network) {
+  link_residual_.reserve(network.num_links());
+  for (EdgeId e = 0; e < network.num_links(); ++e) {
+    link_residual_.push_back(network.link_capacity(e));
+  }
+  instance_residual_.reserve(network.num_instances());
+  for (InstanceId id = 0; id < network.num_instances(); ++id) {
+    instance_residual_.push_back(network.instance(id).capacity);
+  }
+}
+
+bool CapacityLedger::node_offers(NodeId node, VnfTypeId type,
+                                 double rate) const {
+  const auto id = net_->find_instance(node, type);
+  return id.has_value() && instance_can_process(*id, rate);
+}
+
+void CapacityLedger::consume_link(EdgeId e, double rate) {
+  DAGSFC_CHECK(rate >= 0.0);
+  DAGSFC_CHECK_MSG(link_can_carry(e, rate), "link over-subscribed");
+  link_residual_[e] -= rate;
+}
+
+void CapacityLedger::consume_instance(InstanceId id, double rate) {
+  DAGSFC_CHECK(rate >= 0.0);
+  DAGSFC_CHECK_MSG(instance_can_process(id, rate), "VNF over-subscribed");
+  instance_residual_[id] -= rate;
+}
+
+void CapacityLedger::release_link(EdgeId e, double rate) {
+  DAGSFC_CHECK(rate >= 0.0);
+  DAGSFC_CHECK(e < link_residual_.size());
+  link_residual_[e] += rate;
+  DAGSFC_CHECK_MSG(
+      link_residual_[e] <= net_->link_capacity(e) + kEps,
+      "release exceeds nominal link capacity");
+}
+
+void CapacityLedger::release_instance(InstanceId id, double rate) {
+  DAGSFC_CHECK(rate >= 0.0);
+  DAGSFC_CHECK(id < instance_residual_.size());
+  instance_residual_[id] += rate;
+  DAGSFC_CHECK_MSG(
+      instance_residual_[id] <= net_->instance(id).capacity + kEps,
+      "release exceeds nominal instance capacity");
+}
+
+double CapacityLedger::total_link_consumed() const {
+  double total = 0.0;
+  for (EdgeId e = 0; e < link_residual_.size(); ++e) {
+    total += net_->link_capacity(e) - link_residual_[e];
+  }
+  return total;
+}
+
+double CapacityLedger::total_instance_consumed() const {
+  double total = 0.0;
+  for (InstanceId id = 0; id < instance_residual_.size(); ++id) {
+    total += net_->instance(id).capacity - instance_residual_[id];
+  }
+  return total;
+}
+
+}  // namespace dagsfc::net

@@ -1,0 +1,67 @@
+#pragma once
+/// \file ledger.hpp
+/// Residual-capacity tracking — the "real-time network graph G_l" of
+/// Algorithm 1.
+///
+/// A CapacityLedger starts from a Network's nominal capacities and is
+/// debited as embeddings commit resources: every use of a VNF instance
+/// consumes the flow rate R of its processing capability (constraint (2)),
+/// and every traversal of a link consumes R of its bandwidth (constraint
+/// (3)). Ledgers are value types — candidate exploration copies them; the
+/// sequential multi-flow examples keep one long-lived ledger across
+/// admissions.
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace dagsfc::net {
+
+class CapacityLedger {
+ public:
+  explicit CapacityLedger(const Network& network);
+
+  [[nodiscard]] const Network& network() const noexcept { return *net_; }
+
+  [[nodiscard]] double link_residual(EdgeId e) const {
+    DAGSFC_CHECK(e < link_residual_.size());
+    return link_residual_[e];
+  }
+  [[nodiscard]] double instance_residual(InstanceId id) const {
+    DAGSFC_CHECK(id < instance_residual_.size());
+    return instance_residual_[id];
+  }
+
+  [[nodiscard]] bool link_can_carry(EdgeId e, double rate) const {
+    return link_residual(e) >= rate - kEps;
+  }
+  [[nodiscard]] bool instance_can_process(InstanceId id, double rate) const {
+    return instance_residual(id) >= rate - kEps;
+  }
+
+  /// True iff \p node hosts an instance of \p type with ≥ \p rate residual.
+  [[nodiscard]] bool node_offers(NodeId node, VnfTypeId type,
+                                 double rate) const;
+
+  /// Debits. Contract-checked against over-subscription; call the predicate
+  /// first when admission can fail.
+  void consume_link(EdgeId e, double rate);
+  void consume_instance(InstanceId id, double rate);
+
+  /// Credits (used when a tentative reservation is rolled back).
+  void release_link(EdgeId e, double rate);
+  void release_instance(InstanceId id, double rate);
+
+  /// Sum of capacity already consumed (diagnostics).
+  [[nodiscard]] double total_link_consumed() const;
+  [[nodiscard]] double total_instance_consumed() const;
+
+ private:
+  static constexpr double kEps = 1e-9;
+
+  const Network* net_;
+  std::vector<double> link_residual_;
+  std::vector<double> instance_residual_;
+};
+
+}  // namespace dagsfc::net

@@ -1,0 +1,33 @@
+#include "net/vnf.hpp"
+
+namespace dagsfc::net {
+
+VnfCatalog::VnfCatalog(std::size_t num_regular) {
+  DAGSFC_CHECK_MSG(num_regular >= 1, "catalog needs at least one category");
+  names_.reserve(num_regular + 2);
+  names_.emplace_back("dummy");
+  for (std::size_t i = 1; i <= num_regular; ++i) {
+    names_.push_back("f" + std::to_string(i));
+  }
+  names_.emplace_back("merger");
+}
+
+VnfCatalog::VnfCatalog(std::vector<std::string> regular_names) {
+  DAGSFC_CHECK_MSG(!regular_names.empty(),
+                   "catalog needs at least one category");
+  names_.reserve(regular_names.size() + 2);
+  names_.emplace_back("dummy");
+  for (auto& n : regular_names) names_.push_back(std::move(n));
+  names_.emplace_back("merger");
+}
+
+std::vector<VnfTypeId> VnfCatalog::regular_ids() const {
+  std::vector<VnfTypeId> ids;
+  ids.reserve(num_regular());
+  for (std::size_t i = 1; i <= num_regular(); ++i) {
+    ids.push_back(static_cast<VnfTypeId>(i));
+  }
+  return ids;
+}
+
+}  // namespace dagsfc::net

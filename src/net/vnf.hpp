@@ -1,0 +1,71 @@
+#pragma once
+/// \file vnf.hpp
+/// VNF type catalog (paper §3.2, "Model of VNF Deployment").
+///
+/// The catalog mirrors the paper's numbering exactly: with n regular VNF
+/// categories, type 0 is the dummy VNF f(0) assigned to the stretched SFC's
+/// source/destination layers, types 1..n are the regular categories
+/// f(1)..f(n), and type n+1 is the merger f(n+1) that integrates the outputs
+/// of a parallel VNF set.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dagsfc::net {
+
+using VnfTypeId = std::uint32_t;
+
+class VnfCatalog {
+ public:
+  /// Catalog with \p num_regular regular categories and default names
+  /// "f1".."fn". Requires num_regular >= 1.
+  explicit VnfCatalog(std::size_t num_regular);
+
+  /// Catalog with named regular categories (e.g. "firewall", "ids").
+  explicit VnfCatalog(std::vector<std::string> regular_names);
+
+  [[nodiscard]] std::size_t num_regular() const noexcept {
+    return names_.size() - 2;
+  }
+  /// Total number of type ids including dummy and merger.
+  [[nodiscard]] std::size_t num_types() const noexcept {
+    return names_.size();
+  }
+
+  [[nodiscard]] static constexpr VnfTypeId dummy() noexcept { return 0; }
+  [[nodiscard]] VnfTypeId merger() const noexcept {
+    return static_cast<VnfTypeId>(names_.size() - 1);
+  }
+  /// Id of the i-th regular category, i in [1, num_regular] (paper's f(i)).
+  [[nodiscard]] VnfTypeId regular(std::size_t i) const {
+    DAGSFC_CHECK(i >= 1 && i <= num_regular());
+    return static_cast<VnfTypeId>(i);
+  }
+
+  [[nodiscard]] bool valid(VnfTypeId t) const noexcept {
+    return t < names_.size();
+  }
+  [[nodiscard]] bool is_regular(VnfTypeId t) const noexcept {
+    return t >= 1 && t + 1 < names_.size();
+  }
+  [[nodiscard]] bool is_dummy(VnfTypeId t) const noexcept { return t == 0; }
+  [[nodiscard]] bool is_merger(VnfTypeId t) const noexcept {
+    return t + 1 == names_.size();
+  }
+
+  [[nodiscard]] const std::string& name(VnfTypeId t) const {
+    DAGSFC_CHECK(valid(t));
+    return names_[t];
+  }
+
+  /// Ids of all regular categories, in order.
+  [[nodiscard]] std::vector<VnfTypeId> regular_ids() const;
+
+ private:
+  std::vector<std::string> names_;  // [dummy, f1..fn, merger]
+};
+
+}  // namespace dagsfc::net

@@ -1,0 +1,86 @@
+#pragma once
+/// \file dag_sfc.hpp
+/// The standardized DAG-SFC abstraction (paper §3.1–§3.2).
+///
+/// A DagSfc is an ordered list of layers S = {L_1..L_ω}. A layer holds
+/// either one VNF (sequential step) or a *parallel VNF set* of φ_l ≥ 2 VNFs,
+/// which is implicitly followed by a merger f(n+1) that re-integrates the φ_l
+/// divergent packet versions. The merger is not stored in the layer's VNF
+/// list — it is implied by φ_l > 1 — but it is a real, rentable VNF that the
+/// embedding must place (see core/).
+///
+/// Meta-paths (the DAG's logical edges) come in two groups:
+///   * inter-layer (set P1): previous layer's end point → each VNF of the
+///     layer; these form a multicast, so a link shared by several of them in
+///     the same layer is charged once;
+///   * inner-layer (set P2): each parallel VNF → the layer's merger; charged
+///     per path because each carries a distinct packet version.
+
+#include <string>
+#include <vector>
+
+#include "net/vnf.hpp"
+
+namespace dagsfc::sfc {
+
+using net::VnfCatalog;
+using net::VnfTypeId;
+
+/// A sequential SFC: the classical ordered chain, input to the transform.
+struct SequentialSfc {
+  std::vector<VnfTypeId> chain;
+
+  [[nodiscard]] std::size_t size() const noexcept { return chain.size(); }
+};
+
+struct Layer {
+  std::vector<VnfTypeId> vnfs;  ///< the parallel VNF set (size φ_l ≥ 1)
+
+  [[nodiscard]] std::size_t width() const noexcept { return vnfs.size(); }
+  /// Parallel layers (φ_l > 1) are followed by a merger.
+  [[nodiscard]] bool has_merger() const noexcept { return vnfs.size() > 1; }
+};
+
+class DagSfc {
+ public:
+  DagSfc() = default;
+  explicit DagSfc(std::vector<Layer> layers);
+
+  [[nodiscard]] std::size_t num_layers() const noexcept {
+    return layers_.size();
+  }
+  [[nodiscard]] const Layer& layer(std::size_t l) const {
+    DAGSFC_CHECK(l < layers_.size());
+    return layers_[l];
+  }
+  [[nodiscard]] const std::vector<Layer>& layers() const noexcept {
+    return layers_;
+  }
+
+  /// Number of VNFs excluding mergers — the paper's "SFC size".
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Number of mergers the embedding must additionally place.
+  [[nodiscard]] std::size_t num_mergers() const noexcept;
+  /// Widest layer (φ in the complexity analysis of §4.5).
+  [[nodiscard]] std::size_t max_width() const noexcept;
+
+  /// All distinct VNF type ids appearing in the layers (mergers excluded).
+  [[nodiscard]] std::vector<VnfTypeId> distinct_types() const;
+
+  /// Checks the structure against a catalog: layers non-empty, every type a
+  /// regular category, no type repeated inside one layer (a parallel set is
+  /// a set). Throws ContractViolation on failure.
+  void validate(const VnfCatalog& catalog) const;
+
+  /// Human-readable one-liner, e.g. "[f1] -> [f2|f3|f4 +m] -> [f5]".
+  [[nodiscard]] std::string to_string(const VnfCatalog& catalog) const;
+
+  /// Graphviz rendering of the DAG including mergers and meta-path groups.
+  [[nodiscard]] std::string to_dot(const VnfCatalog& catalog,
+                                   const std::string& name) const;
+
+ private:
+  std::vector<Layer> layers_;
+};
+
+}  // namespace dagsfc::sfc

@@ -1,0 +1,43 @@
+#include "sfc/generator.hpp"
+
+#include <algorithm>
+
+namespace dagsfc::sfc {
+
+std::vector<std::size_t> layer_widths(std::size_t size,
+                                      std::size_t max_width) {
+  DAGSFC_CHECK(size >= 1);
+  DAGSFC_CHECK(max_width >= 1);
+  std::vector<std::size_t> widths;
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const std::size_t w = std::min(remaining, max_width);
+    widths.push_back(w);
+    remaining -= w;
+  }
+  return widths;
+}
+
+DagSfc random_dag_sfc(Rng& rng, const net::VnfCatalog& catalog,
+                      const RandomSfcOptions& opts) {
+  DAGSFC_CHECK_MSG(opts.size >= 1, "SFC size must be positive");
+  DAGSFC_CHECK_MSG(catalog.num_regular() >= opts.size,
+                   "catalog too small for distinct VNF sampling");
+  std::vector<VnfTypeId> pool = catalog.regular_ids();
+  rng.shuffle(pool);
+  pool.resize(opts.size);
+
+  std::vector<Layer> layers;
+  std::size_t next = 0;
+  for (std::size_t w : layer_widths(opts.size, opts.max_layer_width)) {
+    Layer layer;
+    layer.vnfs.assign(pool.begin() + next, pool.begin() + next + w);
+    next += w;
+    layers.push_back(std::move(layer));
+  }
+  DagSfc out(std::move(layers));
+  out.validate(catalog);
+  return out;
+}
+
+}  // namespace dagsfc::sfc

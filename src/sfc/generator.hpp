@@ -1,0 +1,30 @@
+#pragma once
+/// \file generator.hpp
+/// Random DAG-SFC generator following the paper's simulation rule (§5.1):
+/// "every three VNFs can be assigned in the same layer", so a size-k SFC has
+/// layer widths 3,3,…,remainder — the same *structure* each run — while the
+/// VNF types on corresponding positions differ between runs (sampled without
+/// replacement from the catalog's regular categories).
+
+#include "sfc/dag_sfc.hpp"
+#include "util/rng.hpp"
+
+namespace dagsfc::sfc {
+
+struct RandomSfcOptions {
+  std::size_t size = 5;            ///< total VNFs, paper Table 2 default
+  std::size_t max_layer_width = 3; ///< paper's "every three VNFs" rule
+};
+
+/// Generates a DAG-SFC of the requested size. Requires the catalog to have
+/// at least \p size regular categories (types are distinct across the SFC so
+/// that "each SFC is generated using different VNF sets" is meaningful).
+[[nodiscard]] DagSfc random_dag_sfc(Rng& rng, const net::VnfCatalog& catalog,
+                                    const RandomSfcOptions& opts = {});
+
+/// The deterministic layer-width pattern the generator uses for \p size
+/// (e.g. size 5 → {3, 2}); exposed for tests and benches.
+[[nodiscard]] std::vector<std::size_t> layer_widths(std::size_t size,
+                                                    std::size_t max_width);
+
+}  // namespace dagsfc::sfc

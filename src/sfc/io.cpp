@@ -1,0 +1,68 @@
+#include "sfc/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dagsfc::sfc {
+
+namespace {
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("sfc text, line " + std::to_string(line) +
+                              ": " + what);
+}
+}  // namespace
+
+std::string to_text(const DagSfc& dag) {
+  std::ostringstream os;
+  os << "# dagsfc sfc v1\n";
+  for (const Layer& l : dag.layers()) {
+    os << "layer";
+    for (VnfTypeId t : l.vnfs) os << ' ' << t;
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string to_text(const DagSfc& dag, const SfcFile::Flow& f) {
+  std::ostringstream os;
+  os.precision(17);
+  os << to_text(dag);
+  os << "flow " << f.source << ' ' << f.destination << ' ' << f.rate << ' '
+     << f.size << '\n';
+  return os.str();
+}
+
+SfcFile sfc_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  SfcFile out;
+  std::vector<Layer> layers;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "layer") {
+      Layer layer;
+      VnfTypeId t = 0;
+      while (ls >> t) layer.vnfs.push_back(t);
+      if (!ls.eof()) fail(lineno, "layer entries must be integers");
+      if (layer.vnfs.empty()) fail(lineno, "empty layer");
+      layers.push_back(std::move(layer));
+    } else if (keyword == "flow") {
+      SfcFile::Flow f;
+      if (!(ls >> f.source >> f.destination >> f.rate >> f.size)) {
+        fail(lineno, "flow needs <src> <dst> <rate> <size>");
+      }
+      out.flow = f;
+    } else {
+      fail(lineno, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (layers.empty()) fail(lineno, "no layers declared");
+  out.dag = DagSfc(std::move(layers));
+  return out;
+}
+
+}  // namespace dagsfc::sfc

@@ -1,0 +1,41 @@
+#pragma once
+/// \file io.hpp
+/// Plain-text serialization of DAG-SFCs. One `layer` line per layer with
+/// the regular-category ids of its (parallel) VNF set; a width > 1 implies
+/// the merger, exactly as in the in-memory model:
+///
+///   # dagsfc sfc v1
+///   layer 1
+///   layer 2 3 4
+///
+/// An optional `flow <src> <dst> <rate> <size>` line rides along so a full
+/// problem instance fits in two files (network + SFC/flow).
+
+#include <optional>
+#include <string>
+
+#include "sfc/dag_sfc.hpp"
+
+namespace dagsfc::sfc {
+
+struct SfcFile {
+  DagSfc dag;
+  /// Present when the text carried a flow line: {src, dst, rate, size}.
+  struct Flow {
+    std::uint32_t source = 0;
+    std::uint32_t destination = 0;
+    double rate = 1.0;
+    double size = 1.0;
+  };
+  std::optional<Flow> flow;
+};
+
+[[nodiscard]] std::string to_text(const DagSfc& dag);
+[[nodiscard]] std::string to_text(const DagSfc& dag, const SfcFile::Flow& f);
+
+/// Parses to_text()'s format; throws std::invalid_argument with a line
+/// number on malformed input. Structural validation against a catalog is
+/// the caller's job (DagSfc::validate).
+[[nodiscard]] SfcFile sfc_from_text(const std::string& text);
+
+}  // namespace dagsfc::sfc

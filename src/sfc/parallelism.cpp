@@ -1,0 +1,68 @@
+#include "sfc/parallelism.hpp"
+
+namespace dagsfc::sfc {
+
+bool profiles_parallelizable(const NfProfile& a, const NfProfile& b) noexcept {
+  // Write/write and write/read conflicts on any packet region serialize the
+  // pair; so do two droppers (their verdicts cannot be merged orderlessly —
+  // NFP resolves one dropper via the merger's AND, but not two).
+  if ((a.writes & b.writes) != 0) return false;
+  if ((a.writes & b.reads) != 0) return false;
+  if ((b.writes & a.reads) != 0) return false;
+  if (a.may_drop && b.may_drop) return false;
+  return true;
+}
+
+ProfileOracle::ProfileOracle(const net::VnfCatalog& catalog,
+                             std::vector<NfProfile> profiles)
+    : num_regular_(catalog.num_regular()), profiles_(std::move(profiles)) {
+  DAGSFC_CHECK_MSG(profiles_.size() == num_regular_,
+                   "one profile per regular catalog category required");
+}
+
+bool ProfileOracle::parallel(VnfTypeId a, VnfTypeId b) const {
+  return profiles_parallelizable(profile(a), profile(b));
+}
+
+const NfProfile& ProfileOracle::profile(VnfTypeId t) const {
+  DAGSFC_CHECK_MSG(t >= 1 && t <= num_regular_,
+                   "profiles exist only for regular categories");
+  return profiles_[t - 1];
+}
+
+MatrixOracle::MatrixOracle(std::size_t num_regular)
+    : n_(num_regular), cell_(num_regular * num_regular, 0) {
+  DAGSFC_CHECK(num_regular >= 1);
+}
+
+std::size_t MatrixOracle::idx(VnfTypeId a, VnfTypeId b) const {
+  DAGSFC_CHECK_MSG(a >= 1 && a <= n_ && b >= 1 && b <= n_,
+                   "matrix covers regular categories only");
+  return static_cast<std::size_t>(a - 1) * n_ + (b - 1);
+}
+
+void MatrixOracle::set_parallel(VnfTypeId a, VnfTypeId b, bool value) {
+  DAGSFC_CHECK_MSG(a != b, "a VNF does not pair with itself");
+  cell_[idx(a, b)] = value ? 1 : 0;
+  cell_[idx(b, a)] = value ? 1 : 0;
+}
+
+bool MatrixOracle::parallel(VnfTypeId a, VnfTypeId b) const {
+  if (a == b) return false;
+  return cell_[idx(a, b)] != 0;
+}
+
+RandomOracle::RandomOracle(std::size_t num_regular, Rng& rng, double p)
+    : m_(num_regular) {
+  for (VnfTypeId a = 1; a <= num_regular; ++a) {
+    for (VnfTypeId b = a + 1; b <= num_regular; ++b) {
+      if (rng.bernoulli(p)) m_.set_parallel(a, b);
+    }
+  }
+}
+
+bool RandomOracle::parallel(VnfTypeId a, VnfTypeId b) const {
+  return m_.parallel(a, b);
+}
+
+}  // namespace dagsfc::sfc

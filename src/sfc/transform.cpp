@@ -1,0 +1,80 @@
+#include "sfc/transform.hpp"
+
+#include <algorithm>
+
+namespace dagsfc::sfc {
+
+DagSfc transform_min_layers(const SequentialSfc& chain,
+                            const ParallelismOracle& oracle,
+                            const TransformOptions& opts) {
+  const std::vector<VnfTypeId>& c = chain.chain;
+  const std::size_t n = c.size();
+  if (n == 0) return DagSfc{};
+
+  // feasible[j][i]: chain[j..i) forms one valid parallel set — pairwise
+  // parallelizable, duplicate-free, within the width cap.
+  // dp[i]: fewest layers covering the prefix of length i.
+  constexpr std::size_t kInf = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> dp(n + 1, kInf);
+  std::vector<std::size_t> cut(n + 1, 0);  // dp backpointer: segment start
+  dp[0] = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    // Grow the segment backwards from position i−1 while it stays valid.
+    for (std::size_t j = i; j-- > 0;) {
+      if (opts.max_layer_width != 0 && i - j > opts.max_layer_width) break;
+      bool valid = true;
+      for (std::size_t k = j + 1; k < i && valid; ++k) {
+        if (c[k] == c[j] || !oracle.parallel(c[j], c[k])) valid = false;
+      }
+      // c[j] joins the segment [j+1, i); earlier members were already
+      // checked pairwise in previous iterations of j… they were checked
+      // against each other, but we must confirm c[j] vs every member —
+      // done above. Invalid j means any smaller j is invalid too only for
+      // width; parallelism can't recover once broken, so we may stop.
+      if (!valid) break;
+      if (dp[j] != kInf && dp[j] + 1 < dp[i]) {
+        dp[i] = dp[j] + 1;
+        cut[i] = j;
+      }
+    }
+  }
+  DAGSFC_ASSERT(dp[n] != kInf);  // singleton segments always feasible
+
+  std::vector<Layer> layers;
+  std::size_t i = n;
+  while (i > 0) {
+    const std::size_t j = cut[i];
+    Layer layer;
+    layer.vnfs.assign(c.begin() + j, c.begin() + i);
+    layers.push_back(std::move(layer));
+    i = j;
+  }
+  std::reverse(layers.begin(), layers.end());
+  return DagSfc(std::move(layers));
+}
+
+DagSfc transform(const SequentialSfc& chain, const ParallelismOracle& oracle,
+                 const TransformOptions& opts) {
+  std::vector<Layer> layers;
+  for (VnfTypeId t : chain.chain) {
+    bool absorbed = false;
+    if (!layers.empty()) {
+      Layer& current = layers.back();
+      const bool width_ok = opts.max_layer_width == 0 ||
+                            current.width() < opts.max_layer_width;
+      const bool fresh_type =
+          std::find(current.vnfs.begin(), current.vnfs.end(), t) ==
+          current.vnfs.end();
+      if (width_ok && fresh_type) {
+        absorbed = std::all_of(
+            current.vnfs.begin(), current.vnfs.end(),
+            [&](VnfTypeId u) { return oracle.parallel(u, t); });
+        if (absorbed) current.vnfs.push_back(t);
+      }
+    }
+    if (!absorbed) layers.push_back(Layer{{t}});
+  }
+  return DagSfc(std::move(layers));
+}
+
+}  // namespace dagsfc::sfc

@@ -1,0 +1,43 @@
+#pragma once
+/// \file transform.hpp
+/// The standardized sequential → DAG-SFC transformation (paper §3.1, Fig. 2).
+///
+/// The chain is scanned left to right; the current layer's parallel set
+/// absorbs the next VNF iff it is pairwise parallelizable with *every* VNF
+/// already in the set (order inside a layer is then immaterial). Otherwise
+/// the layer is closed — the non-parallelizable pair forces the sequential
+/// boundary the paper describes — and a new layer starts. A width cap
+/// reproduces deployments that bound fan-out (the paper's SFC generator uses
+/// cap 3: "every three VNFs can be assigned in the same layer").
+
+#include <cstddef>
+
+#include "sfc/dag_sfc.hpp"
+#include "sfc/parallelism.hpp"
+
+namespace dagsfc::sfc {
+
+struct TransformOptions {
+  /// Maximum parallel-set width; 0 means unlimited.
+  std::size_t max_layer_width = 0;
+};
+
+/// Transforms a sequential SFC into its standardized DAG-SFC. A repeated
+/// VNF type never joins a layer already containing it (a parallel set is a
+/// set); it opens a new layer instead.
+[[nodiscard]] DagSfc transform(const SequentialSfc& chain,
+                               const ParallelismOracle& oracle,
+                               const TransformOptions& opts = {});
+
+/// Minimum-layer transformation: dynamic program over contiguous chain
+/// segments (layers must respect the chain's order between layers, so each
+/// layer is a contiguous, mutually parallelizable, duplicate-free segment).
+/// The greedy transform() can be forced into more layers than necessary —
+/// e.g. widths {1,2} where {2,1} was possible and a later boundary exists —
+/// while this one is provably minimal for the same constraint set. Fewer
+/// layers ⇒ fewer mergers to rent and fewer serial stages of delay.
+[[nodiscard]] DagSfc transform_min_layers(const SequentialSfc& chain,
+                                          const ParallelismOracle& oracle,
+                                          const TransformOptions& opts = {});
+
+}  // namespace dagsfc::sfc

@@ -1,0 +1,36 @@
+#include "sim/config.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dagsfc::sim {
+
+void ExperimentConfig::validate() const {
+  DAGSFC_CHECK(network_size >= 2);
+  DAGSFC_CHECK(network_connectivity >= 0.0);
+  DAGSFC_CHECK(vnf_deploy_ratio > 0.0 && vnf_deploy_ratio <= 1.0);
+  DAGSFC_CHECK(average_price_ratio >= 0.0);
+  DAGSFC_CHECK(vnf_price_fluctuation >= 0.0 && vnf_price_fluctuation < 1.0);
+  DAGSFC_CHECK(link_price_fluctuation >= 0.0 && link_price_fluctuation < 1.0);
+  DAGSFC_CHECK(sfc_size >= 1);
+  DAGSFC_CHECK_MSG(catalog_size >= sfc_size,
+                   "catalog must hold at least sfc_size categories");
+  DAGSFC_CHECK(max_layer_width >= 1);
+  DAGSFC_CHECK(base_vnf_price > 0.0);
+  DAGSFC_CHECK(vnf_capacity > 0.0 && link_capacity > 0.0);
+  DAGSFC_CHECK(flow_rate > 0.0 && flow_size > 0.0);
+  DAGSFC_CHECK(trials >= 1);
+}
+
+std::string ExperimentConfig::summary() const {
+  std::ostringstream os;
+  os << "n=" << network_size << " deg=" << network_connectivity
+     << " deploy=" << vnf_deploy_ratio * 100 << "%"
+     << " price-ratio=" << average_price_ratio * 100 << "%"
+     << " fluct=" << vnf_price_fluctuation * 100 << "%"
+     << " sfc=" << sfc_size << " trials=" << trials;
+  return os.str();
+}
+
+}  // namespace dagsfc::sim

@@ -1,0 +1,50 @@
+#pragma once
+/// \file config.hpp
+/// Experiment configuration — the knobs of the paper's §5.1 with the
+/// Table 2 defaults. Every figure bench copies this struct and sweeps one
+/// field.
+
+#include <cstdint>
+#include <string>
+
+namespace dagsfc::sim {
+
+struct ExperimentConfig {
+  // ---- Table 2 ------------------------------------------------------------
+  std::size_t network_size = 500;       ///< |V|
+  double network_connectivity = 6.0;    ///< average node degree
+  double vnf_deploy_ratio = 0.5;        ///< P(type deployed on a node)
+  double average_price_ratio = 0.2;     ///< mean link price / mean VNF price
+  double vnf_price_fluctuation = 0.05;  ///< (max−min)/2 over mean, per VNF
+  std::size_t sfc_size = 5;             ///< VNFs in the SFC (mergers excluded)
+
+  // ---- generator details the paper fixes implicitly ------------------------
+  std::size_t max_layer_width = 3;  ///< "every three VNFs share a layer"
+  std::size_t catalog_size = 12;    ///< regular categories n (≥ max SFC size 9)
+  double base_vnf_price = 100.0;    ///< mean VNF rental price (cost unit)
+  /// Link prices fluctuate around mean·average_price_ratio with the same
+  /// relative half-spread; the paper only pins the mean, so we keep the
+  /// spread small and fixed.
+  double link_price_fluctuation = 0.05;
+
+  // ---- capacities (paper: present in the model, non-binding in Fig. 6) -----
+  double vnf_capacity = 100.0;   ///< r_{v,f(i)}, per instance
+  double link_capacity = 100.0;  ///< r_e, per link
+
+  // ---- flow -----------------------------------------------------------------
+  double flow_rate = 1.0;  ///< R
+  double flow_size = 1.0;  ///< z
+
+  // ---- harness --------------------------------------------------------------
+  std::size_t trials = 100;  ///< runs averaged per data point (paper: 100)
+  std::uint64_t seed = 0x5fcdaa11u;
+
+  /// Throws ContractViolation when fields are inconsistent (e.g. SFC larger
+  /// than the catalog, non-positive sizes).
+  void validate() const;
+
+  /// One-line description for bench headers.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace dagsfc::sim

@@ -1,0 +1,54 @@
+#pragma once
+/// \file dynamic.hpp
+/// Dynamic flow admission — the operational regime the paper's single-shot
+/// embedding feeds into (an extension beyond the paper's evaluation).
+///
+/// A fixed network receives a Poisson stream of flow requests; each carries
+/// a fresh random DAG-SFC and endpoints, holds its resources for an
+/// exponentially distributed time, and departs, returning capacity to the
+/// ledger. An arrival is *accepted* when the embedder finds a feasible
+/// solution against the current residual state; otherwise it is lost
+/// (Erlang loss semantics, no queueing/retries). Acceptance ratio and mean
+/// embedding cost under increasing offered load are the figures of merit —
+/// a cheaper, better-packing embedder keeps accepting longer.
+
+#include "core/embedder.hpp"
+#include "sim/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace dagsfc::sim {
+
+struct DynamicConfig {
+  ExperimentConfig base;            ///< network, SFC and pricing knobs
+  double arrival_rate = 1.0;        ///< Poisson arrivals per time unit
+  double mean_holding_time = 10.0;  ///< exponential holding mean
+  std::size_t num_arrivals = 200;   ///< simulated arrivals
+
+  /// Offered load in Erlangs (arrival_rate × mean_holding_time).
+  [[nodiscard]] double offered_load() const {
+    return arrival_rate * mean_holding_time;
+  }
+
+  void validate() const;
+};
+
+struct DynamicResult {
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  RunningStats cost;         ///< per accepted flow
+  RunningStats concurrency;  ///< flows in service, sampled at arrivals
+  double simulated_time = 0.0;
+
+  [[nodiscard]] double acceptance_ratio() const {
+    const std::size_t n = accepted + rejected;
+    return n ? static_cast<double>(accepted) / static_cast<double>(n) : 0.0;
+  }
+};
+
+/// Runs one dynamic-admission simulation of \p embedder on a freshly
+/// generated scenario. Deterministic in \p seed.
+[[nodiscard]] DynamicResult run_dynamic(const DynamicConfig& cfg,
+                                        const core::Embedder& embedder,
+                                        std::uint64_t seed);
+
+}  // namespace dagsfc::sim

@@ -1,0 +1,59 @@
+#pragma once
+/// \file failover.hpp
+/// Link-failure recovery — a survivability extension of the paper's model
+/// (availability-aware SFC mapping is its reference [3]).
+///
+/// A population of flows is embedded and committed onto one network. Then a
+/// link fails: every flow whose solution traverses that link is torn down
+/// (its resources released, the failed link zeroed out) and re-embedded on
+/// the degraded network. Reported: how many flows were affected, how many
+/// recovered, and the cost delta of the recovered embeddings — cost-aware
+/// embedders both strand fewer flows on hot links and re-embed them more
+/// cheaply.
+
+#include "core/embedder.hpp"
+#include "sim/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace dagsfc::sim {
+
+enum class FailureKind {
+  kLink,  ///< one link loses all bandwidth
+  kNode,  ///< a node fails: all its VNF instances and incident links die
+};
+
+struct FailoverConfig {
+  ExperimentConfig base;
+  std::size_t num_flows = 30;  ///< flows embedded before the failure
+  FailureKind kind = FailureKind::kLink;
+  /// Fail the most-loaded link/node (worst case) instead of a random one.
+  bool fail_most_loaded = true;
+
+  void validate() const;
+};
+
+struct FailoverResult {
+  std::size_t embedded = 0;      ///< flows committed before the failure
+  std::size_t affected = 0;      ///< flows using the failed element
+  std::size_t recovered = 0;     ///< affected flows re-embedded successfully
+  /// Affected flows whose source/destination *is* the failed node — no
+  /// re-embedding can save those (kNode mode only).
+  std::size_t endpoint_lost = 0;
+  RunningStats original_cost;    ///< affected flows, before the failure
+  RunningStats recovery_cost;    ///< the same flows, after re-embedding
+  graph::EdgeId failed_link = graph::kInvalidEdge;  ///< kLink mode
+  graph::NodeId failed_node = graph::kInvalidNode;  ///< kNode mode
+
+  [[nodiscard]] double recovery_ratio() const {
+    return affected ? static_cast<double>(recovered) /
+                          static_cast<double>(affected)
+                    : 1.0;
+  }
+};
+
+/// Runs one embed → fail → recover episode. Deterministic in \p seed.
+[[nodiscard]] FailoverResult run_failover(const FailoverConfig& cfg,
+                                          const core::Embedder& embedder,
+                                          std::uint64_t seed);
+
+}  // namespace dagsfc::sim

@@ -1,0 +1,84 @@
+#include "sim/runner.hpp"
+
+#include <mutex>
+
+#include "util/timer.hpp"
+
+namespace dagsfc::sim {
+
+std::vector<AlgorithmStats> run_comparison(
+    const ExperimentConfig& cfg,
+    const std::vector<const core::Embedder*>& algorithms,
+    const RunOptions& opts) {
+  cfg.validate();
+  DAGSFC_CHECK_MSG(!algorithms.empty(), "no algorithms to compare");
+
+  std::vector<AlgorithmStats> totals(algorithms.size());
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    totals[a].name = algorithms[a]->name();
+  }
+
+  // Pre-derive one seed per trial so the trial → stream mapping does not
+  // depend on scheduling.
+  Rng seeder(cfg.seed);
+  std::vector<std::uint64_t> trial_seeds(cfg.trials);
+  for (auto& s : trial_seeds) s = seeder.fork_seed();
+
+  std::mutex mu;
+  ThreadPool pool(opts.threads);
+  parallel_for(pool, cfg.trials, [&](std::size_t trial) {
+    Rng rng(trial_seeds[trial]);
+    const Scenario scenario = make_scenario(rng, cfg);
+    const sfc::DagSfc dag = make_sfc(rng, scenario.network.catalog(), cfg);
+
+    core::EmbeddingProblem problem;
+    problem.network = &scenario.network;
+    problem.sfc = &dag;
+    problem.flow = core::Flow{scenario.source, scenario.destination,
+                              cfg.flow_rate, cfg.flow_size};
+    const core::ModelIndex index(problem);
+
+    struct TrialRow {
+      bool ok = false;
+      double cost = 0.0;
+      double vnf = 0.0;
+      double link = 0.0;
+      double ms = 0.0;
+      double expanded = 0.0;
+    };
+    const core::Evaluator evaluator(index);
+    std::vector<TrialRow> rows(algorithms.size());
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      WallTimer timer;
+      const core::SolveResult r = algorithms[a]->solve_fresh(index, rng);
+      rows[a].ms = timer.elapsed_ms();
+      rows[a].ok = r.ok();
+      rows[a].cost = r.cost;
+      rows[a].expanded = static_cast<double>(r.expanded_sub_solutions);
+      if (r.ok()) {
+        const auto [vnf, link] =
+            evaluator.cost_breakdown(evaluator.usage(*r.solution));
+        rows[a].vnf = vnf;
+        rows[a].link = link;
+      }
+    }
+
+    std::lock_guard lock(mu);
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      totals[a].wall_ms.add(rows[a].ms);
+      totals[a].expanded.add(rows[a].expanded);
+      if (rows[a].ok) {
+        totals[a].cost.add(rows[a].cost);
+        totals[a].vnf_cost.add(rows[a].vnf);
+        totals[a].link_cost.add(rows[a].link);
+        ++totals[a].successes;
+      } else {
+        ++totals[a].failures;
+      }
+    }
+  });
+
+  return totals;
+}
+
+}  // namespace dagsfc::sim

@@ -1,0 +1,49 @@
+#pragma once
+/// \file runner.hpp
+/// The Monte-Carlo comparison runner (paper §5.1–§5.2 methodology).
+///
+/// One data point = `cfg.trials` independent trials. Each trial generates a
+/// fresh scenario (network + prices + deployments + s/t pair) and a fresh
+/// DAG-SFC of the configured structure, then runs every algorithm on the
+/// *same* instance — a paired comparison, like the paper's "100 times with
+/// different SFCs … then set the average cost". Trials run in parallel on a
+/// thread pool; each derives its own RNG stream from the base seed, so
+/// results are bit-identical regardless of thread count.
+
+#include <vector>
+
+#include "core/embedder.hpp"
+#include "sim/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dagsfc::sim {
+
+struct AlgorithmStats {
+  std::string name;
+  RunningStats cost;         ///< over successful trials
+  RunningStats vnf_cost;     ///< rental share of the objective (§5.2.5)
+  RunningStats link_cost;    ///< link share of the objective
+  RunningStats wall_ms;      ///< per-solve wall clock
+  RunningStats expanded;     ///< expanded sub-solutions (search effort)
+  std::size_t successes = 0;
+  std::size_t failures = 0;
+
+  [[nodiscard]] double success_rate() const noexcept {
+    const std::size_t n = successes + failures;
+    return n ? static_cast<double>(successes) / static_cast<double>(n) : 0.0;
+  }
+};
+
+struct RunOptions {
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Runs the comparison for one configuration. Algorithm order in the result
+/// matches the input order.
+[[nodiscard]] std::vector<AlgorithmStats> run_comparison(
+    const ExperimentConfig& cfg,
+    const std::vector<const core::Embedder*>& algorithms,
+    const RunOptions& opts = {});
+
+}  // namespace dagsfc::sim

@@ -1,0 +1,62 @@
+#include "sim/scenario.hpp"
+
+#include "graph/generator.hpp"
+
+namespace dagsfc::sim {
+
+Scenario make_scenario(Rng& rng, const ExperimentConfig& cfg) {
+  cfg.validate();
+
+  graph::RandomGraphOptions gopts;
+  gopts.num_nodes = cfg.network_size;
+  gopts.average_degree = cfg.network_connectivity;
+  graph::Graph topo = graph::random_connected_graph(rng, gopts);
+
+  // Link prices.
+  const double mean_link = cfg.base_vnf_price * cfg.average_price_ratio;
+  const double lf = cfg.link_price_fluctuation;
+  for (graph::EdgeId e = 0; e < topo.num_edges(); ++e) {
+    topo.set_weight(e, rng.uniform_real(mean_link * (1.0 - lf),
+                                        mean_link * (1.0 + lf)));
+  }
+
+  net::VnfCatalog catalog(cfg.catalog_size);
+  net::Network network(std::move(topo), catalog, cfg.link_capacity);
+
+  // Deploy every category (merger included) per the deploy ratio.
+  const double f = cfg.vnf_price_fluctuation;
+  auto draw_price = [&] {
+    return rng.uniform_real(cfg.base_vnf_price * (1.0 - f),
+                            cfg.base_vnf_price * (1.0 + f));
+  };
+  std::vector<net::VnfTypeId> all_types = catalog.regular_ids();
+  all_types.push_back(catalog.merger());
+  for (net::VnfTypeId t : all_types) {
+    for (graph::NodeId v = 0; v < network.num_nodes(); ++v) {
+      if (rng.bernoulli(cfg.vnf_deploy_ratio)) {
+        (void)network.deploy(v, t, draw_price(), cfg.vnf_capacity);
+      }
+    }
+    if (network.nodes_with(t).empty()) {
+      const auto v = static_cast<graph::NodeId>(rng.index(network.num_nodes()));
+      (void)network.deploy(v, t, draw_price(), cfg.vnf_capacity);
+    }
+  }
+
+  Scenario s{std::move(network), 0, 0};
+  s.source = static_cast<graph::NodeId>(rng.index(cfg.network_size));
+  do {
+    s.destination = static_cast<graph::NodeId>(rng.index(cfg.network_size));
+  } while (s.destination == s.source);
+  return s;
+}
+
+sfc::DagSfc make_sfc(Rng& rng, const net::VnfCatalog& catalog,
+                     const ExperimentConfig& cfg) {
+  sfc::RandomSfcOptions opts;
+  opts.size = cfg.sfc_size;
+  opts.max_layer_width = cfg.max_layer_width;
+  return sfc::random_dag_sfc(rng, catalog, opts);
+}
+
+}  // namespace dagsfc::sim

@@ -1,0 +1,40 @@
+#pragma once
+/// \file scenario.hpp
+/// Scenario generation: wires the topology generator, the pricing model and
+/// the VNF deployment process into a ready-to-embed Network, plus a random
+/// source/destination flow — the paper's "simulated network" recipe (§5.1).
+///
+/// Deployment: every VNF category (the merger included — it is rentable
+/// like any VNF, see DESIGN.md) is deployed on each node with probability
+/// vnf_deploy_ratio. When the coin flips leave a category entirely
+/// undeployed, it is force-deployed on one random node so every generated
+/// instance admits *some* embedding — otherwise all algorithms would fail
+/// identically and the trial would carry no information.
+///
+/// Prices: VNF prices are uniform on [µ(1−f), µ(1+f)] with µ =
+/// base_vnf_price and f = vnf_price_fluctuation, matching the paper's
+/// definition f = (max−min)/2 / mean. Link prices use µ·average_price_ratio
+/// and the (small, fixed) link fluctuation.
+
+#include "net/network.hpp"
+#include "sfc/dag_sfc.hpp"
+#include "sfc/generator.hpp"
+#include "sim/config.hpp"
+#include "util/rng.hpp"
+
+namespace dagsfc::sim {
+
+struct Scenario {
+  net::Network network;
+  graph::NodeId source;
+  graph::NodeId destination;
+};
+
+/// Generates topology, prices, deployments, and a random s≠t pair.
+[[nodiscard]] Scenario make_scenario(Rng& rng, const ExperimentConfig& cfg);
+
+/// Generates the trial's DAG-SFC with the paper's fixed-structure rule.
+[[nodiscard]] sfc::DagSfc make_sfc(Rng& rng, const net::VnfCatalog& catalog,
+                                   const ExperimentConfig& cfg);
+
+}  // namespace dagsfc::sim

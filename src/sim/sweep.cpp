@@ -1,0 +1,61 @@
+#include "sim/sweep.hpp"
+
+#include <ostream>
+
+namespace dagsfc::sim {
+
+SweepResult run_sweep(const std::string& x_name,
+                      const std::vector<SweepPoint>& points,
+                      const std::vector<const core::Embedder*>& algorithms,
+                      const RunOptions& opts, std::ostream* progress) {
+  DAGSFC_CHECK(!points.empty());
+  DAGSFC_CHECK(!algorithms.empty());
+
+  std::vector<std::string> cost_cols{x_name};
+  for (const auto* a : algorithms) cost_cols.push_back(a->name());
+  std::vector<std::string> detail_cols{x_name};
+  for (const auto* a : algorithms) {
+    detail_cols.push_back(a->name() + " ok%");
+    detail_cols.push_back(a->name() + " ms");
+    detail_cols.push_back(a->name() + " expanded");
+  }
+
+  SweepResult out{Table(cost_cols), Table(detail_cols)};
+  for (const SweepPoint& point : points) {
+    const auto stats = run_comparison(point.config, algorithms, opts);
+    out.cost_table.row().cell(point.label);
+    out.detail_table.row().cell(point.label);
+    for (const AlgorithmStats& s : stats) {
+      if (s.successes > 0) {
+        out.cost_table.cell(s.cost.mean());
+      } else {
+        out.cost_table.cell("-");
+      }
+      out.detail_table.cell(s.success_rate() * 100.0, 1);
+      out.detail_table.cell(s.wall_ms.mean(), 3);
+      out.detail_table.cell(s.expanded.mean(), 1);
+    }
+    if (progress != nullptr) {
+      *progress << x_name << "=" << point.label << " done ("
+                << point.config.summary() << ")\n";
+      progress->flush();
+    }
+  }
+  return out;
+}
+
+std::vector<SweepPoint> make_points(
+    const ExperimentConfig& base, const std::vector<double>& values,
+    const std::function<void(ExperimentConfig&, double)>& apply,
+    const std::function<std::string(double)>& label) {
+  std::vector<SweepPoint> points;
+  points.reserve(values.size());
+  for (double v : values) {
+    SweepPoint p{label(v), base};
+    apply(p.config, v);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace dagsfc::sim

@@ -1,0 +1,44 @@
+#pragma once
+/// \file sweep.hpp
+/// Parameter-sweep driver shared by every figure bench: runs one
+/// run_comparison() per sweep point and renders the paper's series (mean
+/// total cost per algorithm vs the swept parameter) plus success rates and
+/// timing as an ASCII table and CSV.
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+namespace dagsfc::sim {
+
+struct SweepPoint {
+  std::string label;  ///< x-axis value as printed (e.g. "500", "20%")
+  ExperimentConfig config;
+};
+
+struct SweepResult {
+  /// label × algorithm grid of the paper's series.
+  Table cost_table;
+  /// success rate / mean wall-clock / mean expanded sub-solutions.
+  Table detail_table;
+};
+
+/// Runs all points sequentially (each point parallelizes its trials) and
+/// reports progress on \p progress (one line per point) when non-null.
+[[nodiscard]] SweepResult run_sweep(
+    const std::string& x_name, const std::vector<SweepPoint>& points,
+    const std::vector<const core::Embedder*>& algorithms,
+    const RunOptions& opts = {}, std::ostream* progress = nullptr);
+
+/// Convenience used by the figure benches: builds points by mutating a base
+/// config per value.
+[[nodiscard]] std::vector<SweepPoint> make_points(
+    const ExperimentConfig& base, const std::vector<double>& values,
+    const std::function<void(ExperimentConfig&, double)>& apply,
+    const std::function<std::string(double)>& label);
+
+}  // namespace dagsfc::sim

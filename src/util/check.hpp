@@ -1,0 +1,51 @@
+#pragma once
+/// \file check.hpp
+/// Lightweight contract checking used across the library.
+///
+/// DAGSFC_CHECK is an always-on precondition/invariant check that throws
+/// dagsfc::ContractViolation (derived from std::logic_error) with the failing
+/// expression and source location. It is used for API misuse that a caller
+/// can trigger; internal sanity checks that should be unreachable use
+/// DAGSFC_ASSERT, which is compiled out in NDEBUG builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dagsfc {
+
+/// Thrown when a DAGSFC_CHECK contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace dagsfc
+
+#define DAGSFC_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::dagsfc::detail::contract_fail(#expr, __FILE__, __LINE__, {});   \
+  } while (false)
+
+#define DAGSFC_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::dagsfc::detail::contract_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define DAGSFC_ASSERT(expr) ((void)0)
+#else
+#define DAGSFC_ASSERT(expr) DAGSFC_CHECK(expr)
+#endif

@@ -1,0 +1,128 @@
+#include "util/flags.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dagsfc {
+
+Flags& Flags::define(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  auto [it, inserted] =
+      entries_.emplace(name, Entry{default_value, default_value, help});
+  if (!inserted) {
+    throw std::invalid_argument("duplicate flag: --" + name);
+  }
+  order_.push_back(name);
+  return *this;
+}
+
+Flags& Flags::define_int(const std::string& name, std::int64_t default_value,
+                         const std::string& help) {
+  return define(name, std::to_string(default_value), help);
+}
+
+Flags& Flags::define_double(const std::string& name, double default_value,
+                            const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  return define(name, os.str(), help);
+}
+
+Flags& Flags::define_bool(const std::string& name, bool default_value,
+                          const std::string& help) {
+  return define(name, default_value ? "true" : "false", help);
+}
+
+void Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg.erase(0, 2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = entries_.find(name);
+      if (it == entries_.end()) {
+        throw std::invalid_argument("unknown flag: --" + name);
+      }
+      const bool is_bool = it->second.default_value == "true" ||
+                           it->second.default_value == "false";
+      if (is_bool) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("missing value for --" + name);
+        }
+        value = argv[++i];
+      }
+    }
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+    it->second.value = value;
+  }
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Entry& e = entries_.at(name);
+    os << "  --" << name << " (default: " << e.default_value << ")\n      "
+       << e.help << '\n';
+  }
+  return os.str();
+}
+
+const Flags::Entry& Flags::entry(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("flag not defined: --" + name);
+  }
+  return it->second;
+}
+
+const std::string& Flags::get(const std::string& name) const {
+  return entry(name).value;
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  const std::string& v = entry(name).value;
+  std::size_t pos = 0;
+  const std::int64_t out = std::stoll(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("flag --" + name + " is not an integer: " + v);
+  }
+  return out;
+}
+
+double Flags::get_double(const std::string& name) const {
+  const std::string& v = entry(name).value;
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("flag --" + name + " is not a number: " + v);
+  }
+  return out;
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const std::string& v = entry(name).value;
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw std::invalid_argument("flag --" + name + " is not a boolean: " + v);
+}
+
+}  // namespace dagsfc

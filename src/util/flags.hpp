@@ -1,0 +1,51 @@
+#pragma once
+/// \file flags.hpp
+/// Minimal command-line flag parsing for the bench and example binaries.
+/// Supports --name=value and --name value forms, plus bare --flag for bools.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dagsfc {
+
+class Flags {
+ public:
+  /// Registers a flag with a default and a help string. Returns *this so
+  /// registrations chain.
+  Flags& define(const std::string& name, const std::string& default_value,
+                const std::string& help);
+  Flags& define_int(const std::string& name, std::int64_t default_value,
+                    const std::string& help);
+  Flags& define_double(const std::string& name, double default_value,
+                       const std::string& help);
+  Flags& define_bool(const std::string& name, bool default_value,
+                     const std::string& help);
+
+  /// Parses argv. Throws std::invalid_argument on unknown flags or malformed
+  /// values. Recognizes --help by setting help_requested().
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  const Entry& entry(const std::string& name) const;
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+  bool help_ = false;
+};
+
+}  // namespace dagsfc

@@ -1,0 +1,45 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace dagsfc {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_mu;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO ";
+    case LogLevel::Warn:
+      return "WARN ";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_mu);
+  std::cerr << "[dagsfc " << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace dagsfc

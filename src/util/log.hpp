@@ -1,0 +1,35 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logging to stderr. Thread-safe (one lock per line).
+/// Default level is Warn so library users see nothing unless they opt in.
+
+#include <sstream>
+#include <string>
+
+namespace dagsfc {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+}  // namespace dagsfc
+
+#define DAGSFC_LOG(level, expr)                                      \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::dagsfc::log_level())) {                   \
+      std::ostringstream dagsfc_log_os_;                             \
+      dagsfc_log_os_ << expr;                                        \
+      ::dagsfc::detail::log_line(level, dagsfc_log_os_.str());       \
+    }                                                                \
+  } while (false)
+
+#define DAGSFC_DEBUG(expr) DAGSFC_LOG(::dagsfc::LogLevel::Debug, expr)
+#define DAGSFC_INFO(expr) DAGSFC_LOG(::dagsfc::LogLevel::Info, expr)
+#define DAGSFC_WARN(expr) DAGSFC_LOG(::dagsfc::LogLevel::Warn, expr)
+#define DAGSFC_ERROR(expr) DAGSFC_LOG(::dagsfc::LogLevel::Error, expr)

@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dagsfc {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  DAGSFC_CHECK_MSG(!columns_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  DAGSFC_CHECK_MSG(rows_.empty() || rows_.back().size() == columns_.size(),
+                   "previous row is incomplete");
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  DAGSFC_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  DAGSFC_CHECK_MSG(rows_.back().size() < columns_.size(), "row overflow");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+std::string Table::ascii() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+         << v;
+    }
+    os << " |\n";
+  };
+  emit_row(columns_);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (char ch : v) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c ? "," : "") << csv_escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << (c ? "," : "") << csv_escape(r[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << ascii(); }
+
+}  // namespace dagsfc

@@ -1,0 +1,42 @@
+#pragma once
+/// \file table.hpp
+/// Result tables rendered as aligned ASCII (for terminals) and CSV (for
+/// plotting). Every bench binary prints its figure's series through this.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dagsfc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::size_t value);
+  Table& cell(long long value);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return columns_.size();
+  }
+
+  /// Aligned ASCII rendering with a header rule.
+  [[nodiscard]] std::string ascii() const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dagsfc

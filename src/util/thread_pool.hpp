@@ -1,0 +1,63 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Fixed-size thread pool plus a blocking parallel_for helper.
+///
+/// The Monte-Carlo harness runs 100 independent trials per data point; each
+/// trial embeds the same DAG-SFC structure into the same network with a fresh
+/// random SFC. Trials share no mutable state (each gets its own capacity
+/// ledger), so a plain fork-join pool is the right tool — no work stealing
+/// needed, the trials are coarse and uniform.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dagsfc {
+
+class ThreadPool {
+ public:
+  /// Spawns \p threads workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future propagates exceptions.
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& f) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(i) for i in [0, n) across \p pool, blocking until all complete.
+/// The first exception thrown by any body is rethrown on the caller.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace dagsfc

@@ -1,0 +1,141 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace dagsfc::core {
+namespace {
+
+TEST(Minv, PicksCheapestInstancesOnCanonicalFixture) {
+  auto fx = test::canonical_fixture();
+  const MinvEmbedder minv;
+  Rng rng(1);
+  const auto r = minv.solve_fresh(*fx->index, rng);
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  // Cheapest hosts: f1@1 (only), f2@5 (8<12), f3@3 (7<9), merger@3 (5<6).
+  EXPECT_EQ(r.solution->placement,
+            (std::vector<graph::NodeId>{1, 5, 3, 3}));
+  // Cost within [optimum 35, hand-worst 41]; routing ties decide exact value.
+  EXPECT_GE(r.cost, 35.0 - 1e-9);
+  EXPECT_LE(r.cost, 41.0 + 1e-9);
+}
+
+TEST(Minv, IsDeterministic) {
+  auto fx = test::canonical_fixture();
+  const MinvEmbedder minv;
+  Rng rng(1);
+  const auto a = minv.solve_fresh(*fx->index, rng);
+  const auto b = minv.solve_fresh(*fx->index, rng);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.solution->placement, b.solution->placement);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(Ranv, ProducesValidSolutionsAcrossSeeds) {
+  auto fx = test::canonical_fixture();
+  const RanvEmbedder ranv;
+  const Evaluator ev(*fx->index);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const auto r = ranv.solve_fresh(*fx->index, rng);
+    ASSERT_TRUE(r.ok()) << r.failure_reason;
+    EXPECT_TRUE(ev.validate(*r.solution).empty());
+    EXPECT_NEAR(ev.cost(*r.solution), r.cost, 1e-9);
+  }
+}
+
+TEST(Ranv, ExploresDifferentPlacements) {
+  auto fx = test::canonical_fixture();
+  const RanvEmbedder ranv;
+  std::set<std::vector<graph::NodeId>> placements;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const auto r = ranv.solve_fresh(*fx->index, rng);
+    ASSERT_TRUE(r.ok());
+    placements.insert(r.solution->placement);
+  }
+  EXPECT_GT(placements.size(), 1u);  // f2/f3/merger each have 2 hosts
+}
+
+TEST(Baselines, FailWhenTypeUndeployed) {
+  test::NetBuilder b(3, 2);
+  b.link(0, 1, 1.0).link(1, 2, 1.0);
+  b.put(1, 1, 5.0);  // f2 never deployed
+  auto fx = test::make_fixture(
+      b.build(), sfc::DagSfc({sfc::Layer{{1}}, sfc::Layer{{2}}}),
+      Flow{0, 2, 1.0, 1.0});
+  Rng rng(3);
+  for (const Embedder* algo :
+       std::initializer_list<const Embedder*>{new RanvEmbedder,
+                                              new MinvEmbedder}) {
+    const auto r = algo->solve_fresh(*fx->index, rng);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.failure_reason.empty());
+    delete algo;
+  }
+}
+
+TEST(Baselines, FailWhenInstanceCapacityTooSmall) {
+  test::NetBuilder b(2, 1);
+  b.link(0, 1, 1.0);
+  b.put(1, 1, 5.0, /*capacity=*/0.5);  // below flow rate 1.0
+  auto fx = test::make_fixture(b.build(), sfc::DagSfc({sfc::Layer{{1}}}),
+                               Flow{0, 1, 1.0, 1.0});
+  Rng rng(4);
+  const MinvEmbedder minv;
+  const auto r = minv.solve_fresh(*fx->index, rng);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Baselines, RepeatedTypeRespectsInstanceCapacity) {
+  // SFC needs f1 twice; the cheap instance can only process one use, so the
+  // second use must land on the expensive node.
+  test::NetBuilder b(3, 1);
+  b.link(0, 1, 1.0).link(1, 2, 1.0);
+  b.put(1, 1, 1.0, /*capacity=*/1.0);   // cheap but tiny
+  b.put(2, 1, 50.0, /*capacity=*/10.0); // pricey fallback
+  auto fx = test::make_fixture(
+      b.build(), sfc::DagSfc({sfc::Layer{{1}}, sfc::Layer{{1}}}),
+      Flow{0, 2, 1.0, 1.0});
+  Rng rng(5);
+  const MinvEmbedder minv;
+  const auto r = minv.solve_fresh(*fx->index, rng);
+  ASSERT_TRUE(r.ok()) << r.failure_reason;
+  const std::vector<graph::NodeId>& p = r.solution->placement;
+  EXPECT_NE(p[0], p[1]);  // both on node 1 would exceed capacity 1.0
+}
+
+TEST(Baselines, MinvRoutesWithMinimumCostPaths) {
+  // Two routes between f1 and f2: hop-short but pricey vs longer but cheap;
+  // Dijkstra-by-price must take the cheap one.
+  test::NetBuilder b(4, 2);
+  b.link(0, 1, 1.0);
+  b.link(1, 3, 10.0);           // expensive direct
+  b.link(1, 2, 1.0).link(2, 3, 1.0);  // cheap detour
+  b.put(1, 1, 5.0).put(3, 2, 5.0);
+  auto fx = test::make_fixture(
+      b.build(), sfc::DagSfc({sfc::Layer{{1}}, sfc::Layer{{2}}}),
+      Flow{0, 3, 1.0, 1.0});
+  Rng rng(6);
+  const MinvEmbedder minv;
+  const auto r = minv.solve_fresh(*fx->index, rng);
+  ASSERT_TRUE(r.ok());
+  // Path f1→f2 must be 1-2-3 (cost 2), not 1-3 (cost 10).
+  const graph::Path& p = r.solution->inter_paths[1];
+  EXPECT_EQ(p.nodes, (std::vector<graph::NodeId>{1, 2, 3}));
+}
+
+TEST(Baselines, ZeroExpansionReported) {
+  auto fx = test::canonical_fixture();
+  Rng rng(7);
+  const MinvEmbedder minv;
+  const auto r = minv.solve_fresh(*fx->index, rng);
+  EXPECT_EQ(r.expanded_sub_solutions, 0u);
+  EXPECT_EQ(r.candidate_solutions, 1u);
+}
+
+}  // namespace
+}  // namespace dagsfc::core

@@ -1,0 +1,169 @@
+#include "core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/backtracking.hpp"
+#include "core/baselines.hpp"
+#include "test_helpers.hpp"
+
+namespace dagsfc::core {
+namespace {
+
+/// Line network with a bottleneck VNF: capacity fits exactly two uses.
+struct BatchWorld {
+  net::Network network;
+  sfc::DagSfc small;
+  sfc::DagSfc big;
+
+  BatchWorld()
+      : network(make_network()),
+        small({sfc::Layer{{1}}}),
+        big({sfc::Layer{{1}}, sfc::Layer{{2}}}) {}
+
+  static net::Network make_network() {
+    test::NetBuilder b(4, 2);
+    b.link(0, 1, 1.0, 10.0).link(1, 2, 1.0, 10.0).link(2, 3, 1.0, 10.0);
+    b.put(1, 1, 5.0, /*capacity=*/2.0);
+    b.put(2, 2, 5.0, /*capacity=*/1.0);
+    return b.build();
+  }
+};
+
+TEST(Batch, ArrivalOrderCommitsSequentially) {
+  BatchWorld w;
+  const std::vector<BatchRequest> reqs{
+      {&w.small, Flow{0, 3, 1.0, 1.0}},
+      {&w.small, Flow{0, 3, 1.0, 1.0}},
+      {&w.small, Flow{0, 3, 1.0, 1.0}},  // third exceeds f1 capacity 2
+  };
+  const MbbeEmbedder mbbe;
+  Rng rng(1);
+  const BatchResult r =
+      embed_batch(w.network, reqs, mbbe, BatchOrder::Arrival, rng);
+  EXPECT_EQ(r.items.size(), 3u);
+  EXPECT_EQ(r.accepted, 2u);
+  EXPECT_FALSE(r.items[2].result.ok());
+  EXPECT_NEAR(r.acceptance_ratio(), 2.0 / 3.0, 1e-12);
+  EXPECT_GT(r.total_cost, 0.0);
+}
+
+TEST(Batch, SmallestFirstAdmitsMoreUnderContention) {
+  // One big request burns the f2 instance AND one f1 use; three smalls only
+  // need f1. Arrival order (big first) strands a small; smallest-first
+  // packs both smalls then rejects the big.
+  BatchWorld w;
+  const std::vector<BatchRequest> reqs{
+      {&w.big, Flow{0, 3, 1.0, 1.0}},
+      {&w.small, Flow{0, 3, 1.0, 1.0}},
+      {&w.small, Flow{0, 3, 1.0, 1.0}},
+  };
+  const MbbeEmbedder mbbe;
+  Rng rng(2);
+  const BatchResult arrival =
+      embed_batch(w.network, reqs, mbbe, BatchOrder::Arrival, rng);
+  const BatchResult smallest =
+      embed_batch(w.network, reqs, mbbe, BatchOrder::SmallestFirst, rng);
+  EXPECT_EQ(arrival.accepted, 2u);   // big + one small
+  EXPECT_EQ(smallest.accepted, 2u);  // both smalls; big rejected
+  // Smallest-first commits the two smalls before the big.
+  EXPECT_EQ(smallest.items[0].request_index, 1u);
+  EXPECT_EQ(smallest.items[1].request_index, 2u);
+  EXPECT_TRUE(smallest.items[0].result.ok());
+  EXPECT_TRUE(smallest.items[1].result.ok());
+  EXPECT_FALSE(smallest.items[2].result.ok());
+}
+
+TEST(Batch, LargestFirstPrioritizesBigRequests) {
+  BatchWorld w;
+  const std::vector<BatchRequest> reqs{
+      {&w.small, Flow{0, 3, 1.0, 1.0}},
+      {&w.big, Flow{0, 3, 1.0, 1.0}},
+  };
+  const MbbeEmbedder mbbe;
+  Rng rng(3);
+  const BatchResult r =
+      embed_batch(w.network, reqs, mbbe, BatchOrder::LargestFirst, rng);
+  EXPECT_EQ(r.items[0].request_index, 1u);  // the big one went first
+  EXPECT_EQ(r.accepted, 2u);                // both fit here
+}
+
+TEST(Batch, CheapestFirstOrdersByProbeCost) {
+  // Two requests with very different costs on an uncontended network: the
+  // cheap one must be committed first.
+  test::NetBuilder b(5, 2);
+  b.link(0, 1, 1.0).link(1, 2, 1.0).link(2, 3, 1.0).link(3, 4, 1.0);
+  b.put(1, 1, 1.0);    // cheap f1
+  b.put(3, 2, 90.0);   // expensive f2
+  auto network = b.build();
+  const sfc::DagSfc cheap({sfc::Layer{{1}}});
+  const sfc::DagSfc pricey({sfc::Layer{{2}}});
+  const std::vector<BatchRequest> reqs{
+      {&pricey, Flow{0, 4, 1.0, 1.0}},
+      {&cheap, Flow{0, 4, 1.0, 1.0}},
+  };
+  const MbbeEmbedder mbbe;
+  Rng rng(4);
+  const BatchResult r =
+      embed_batch(network, reqs, mbbe, BatchOrder::CheapestFirst, rng);
+  EXPECT_EQ(r.items[0].request_index, 1u);
+  EXPECT_EQ(r.accepted, 2u);
+}
+
+TEST(Batch, CheapestFirstPutsUnsolvableLast) {
+  BatchWorld w;
+  const sfc::DagSfc impossible(
+      {sfc::Layer{{2}}, sfc::Layer{{2}}});  // f2 capacity is 1, needs 2
+  const std::vector<BatchRequest> reqs{
+      {&impossible, Flow{0, 3, 1.0, 1.0}},
+      {&w.small, Flow{0, 3, 1.0, 1.0}},
+  };
+  const MbbeEmbedder mbbe;
+  Rng rng(5);
+  const BatchResult r =
+      embed_batch(w.network, reqs, mbbe, BatchOrder::CheapestFirst, rng);
+  EXPECT_EQ(r.items[0].request_index, 1u);
+  EXPECT_TRUE(r.items[0].result.ok());
+  EXPECT_FALSE(r.items[1].result.ok());
+}
+
+TEST(Batch, EmptyBatch) {
+  BatchWorld w;
+  const MbbeEmbedder mbbe;
+  Rng rng(6);
+  const BatchResult r = embed_batch(w.network, {}, mbbe,
+                                    BatchOrder::Arrival, rng);
+  EXPECT_TRUE(r.items.empty());
+  EXPECT_EQ(r.accepted, 0u);
+  EXPECT_DOUBLE_EQ(r.acceptance_ratio(), 0.0);
+}
+
+TEST(Batch, NullSfcRejected) {
+  BatchWorld w;
+  const MbbeEmbedder mbbe;
+  Rng rng(7);
+  const std::vector<BatchRequest> reqs{{nullptr, Flow{0, 3, 1.0, 1.0}}};
+  EXPECT_THROW(
+      (void)embed_batch(w.network, reqs, mbbe, BatchOrder::Arrival, rng),
+      ContractViolation);
+}
+
+TEST(Batch, TotalCostSumsAcceptedOnly) {
+  BatchWorld w;
+  const std::vector<BatchRequest> reqs{
+      {&w.small, Flow{0, 3, 1.0, 1.0}},
+      {&w.small, Flow{0, 3, 1.0, 1.0}},
+      {&w.small, Flow{0, 3, 1.0, 1.0}},
+  };
+  const MbbeEmbedder mbbe;
+  Rng rng(8);
+  const BatchResult r =
+      embed_batch(w.network, reqs, mbbe, BatchOrder::Arrival, rng);
+  double expect = 0.0;
+  for (const auto& item : r.items) {
+    if (item.result.ok()) expect += item.result.cost;
+  }
+  EXPECT_DOUBLE_EQ(r.total_cost, expect);
+}
+
+}  // namespace
+}  // namespace dagsfc::core

@@ -1,0 +1,122 @@
+#include "graph/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace dagsfc::graph {
+namespace {
+
+/// Path 0-1-2-3 plus a branch 1-4.
+Graph branchy() {
+  Graph g(5);
+  (void)g.add_edge(0, 1, 1.0);
+  (void)g.add_edge(1, 2, 1.0);
+  (void)g.add_edge(2, 3, 1.0);
+  (void)g.add_edge(1, 4, 1.0);
+  return g;
+}
+
+TEST(BfsRings, RingsHoldHopDistances) {
+  const Graph g = branchy();
+  const BfsRings r = bfs_rings(g, 0);
+  ASSERT_EQ(r.rings.size(), 4u);
+  EXPECT_EQ(r.rings[0], std::vector<NodeId>{0});
+  EXPECT_EQ(r.rings[1], std::vector<NodeId>{1});
+  const std::set<NodeId> ring2(r.rings[2].begin(), r.rings[2].end());
+  EXPECT_EQ(ring2, (std::set<NodeId>{2, 4}));
+  EXPECT_EQ(r.rings[3], std::vector<NodeId>{3});
+  EXPECT_EQ(r.depth[3], 3u);
+  EXPECT_TRUE(r.reached(4));
+}
+
+TEST(BfsRings, ParentsFormTree) {
+  const Graph g = branchy();
+  const BfsRings r = bfs_rings(g, 0);
+  EXPECT_EQ(r.parent[0], kInvalidNode);
+  EXPECT_EQ(r.parent[1], 0u);
+  EXPECT_EQ(r.parent[2], 1u);
+  EXPECT_EQ(r.parent[4], 1u);
+  EXPECT_EQ(r.parent[3], 2u);
+}
+
+TEST(BfsRings, FilterBlocksNodes) {
+  const Graph g = branchy();
+  const BfsRings r = bfs_rings(g, 0, [](NodeId v) { return v != 2; });
+  EXPECT_TRUE(r.reached(4));
+  EXPECT_FALSE(r.reached(2));
+  EXPECT_FALSE(r.reached(3));  // only reachable through 2
+}
+
+TEST(BfsRings, DisconnectedNodeUnreached) {
+  Graph g(3);
+  (void)g.add_edge(0, 1, 1.0);
+  const BfsRings r = bfs_rings(g, 0);
+  EXPECT_FALSE(r.reached(2));
+  EXPECT_EQ(r.depth[2], BfsRings::kUnreached);
+}
+
+TEST(RingExpander, StartsWithStartNode) {
+  const Graph g = branchy();
+  RingExpander e(g, 0);
+  EXPECT_EQ(e.visited(), std::vector<NodeId>{0});
+  EXPECT_EQ(e.current_ring(), std::vector<NodeId>{0});
+  EXPECT_EQ(e.iterations(), 0u);
+  EXPECT_TRUE(e.contains(0));
+  EXPECT_FALSE(e.contains(1));
+}
+
+TEST(RingExpander, ExpandMatchesBfsRings) {
+  const Graph g = branchy();
+  const BfsRings full = bfs_rings(g, 0);
+  RingExpander e(g, 0);
+  for (std::size_t q = 1; q < full.rings.size(); ++q) {
+    const auto ring = e.expand();
+    std::set<NodeId> got(ring.begin(), ring.end());
+    std::set<NodeId> want(full.rings[q].begin(), full.rings[q].end());
+    EXPECT_EQ(got, want) << "ring " << q;
+  }
+  EXPECT_TRUE(e.expand().empty());
+}
+
+TEST(RingExpander, ParentsReconstructPaths) {
+  const Graph g = branchy();
+  RingExpander e(g, 0);
+  while (!e.expand().empty()) {
+  }
+  EXPECT_EQ(e.bfs_parent(3), 2u);
+  EXPECT_EQ(e.bfs_parent(0), kInvalidNode);
+}
+
+TEST(RingExpander, FilterRestrictsExpansion) {
+  const Graph g = branchy();
+  RingExpander e(g, 0, [](NodeId v) { return v <= 2; });
+  while (!e.expand().empty()) {
+  }
+  EXPECT_TRUE(e.contains(2));
+  EXPECT_FALSE(e.contains(3));
+  EXPECT_FALSE(e.contains(4));
+}
+
+TEST(RingExpander, VisitedIsDiscoveryOrdered) {
+  const Graph g = branchy();
+  RingExpander e(g, 0);
+  while (!e.expand().empty()) {
+  }
+  const auto& v = e.visited();
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 1u);  // ring 1
+  // rings are contiguous: {2,4} before 3.
+  EXPECT_TRUE((v[2] == 2 && v[3] == 4) || (v[2] == 4 && v[3] == 2));
+  EXPECT_EQ(v[4], 3u);
+}
+
+TEST(RingExpander, InvalidStartRejected) {
+  const Graph g = branchy();
+  EXPECT_THROW(RingExpander(g, 99), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dagsfc::graph

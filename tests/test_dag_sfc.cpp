@@ -1,0 +1,87 @@
+#include "sfc/dag_sfc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dagsfc::sfc {
+namespace {
+
+/// Fig. 2's layering: [1] -> [2,3,4,5] -> [6,7] (mergers implied).
+DagSfc fig2(const net::VnfCatalog& c) {
+  return DagSfc({Layer{{c.regular(1)}},
+                 Layer{{c.regular(2), c.regular(3), c.regular(4),
+                        c.regular(5)}},
+                 Layer{{c.regular(6), c.regular(7)}}});
+}
+
+TEST(DagSfc, StructureAccessors) {
+  const net::VnfCatalog c(7);
+  const DagSfc dag = fig2(c);
+  EXPECT_EQ(dag.num_layers(), 3u);
+  EXPECT_EQ(dag.size(), 7u);        // VNFs, mergers excluded
+  EXPECT_EQ(dag.num_mergers(), 2u);  // layers 2 and 3
+  EXPECT_EQ(dag.max_width(), 4u);
+  EXPECT_EQ(dag.layer(0).width(), 1u);
+  EXPECT_FALSE(dag.layer(0).has_merger());
+  EXPECT_TRUE(dag.layer(1).has_merger());
+}
+
+TEST(DagSfc, DistinctTypes) {
+  const net::VnfCatalog c(7);
+  const DagSfc dag({Layer{{1}}, Layer{{2, 3}}, Layer{{1}}});
+  EXPECT_EQ(dag.distinct_types(), (std::vector<net::VnfTypeId>{1, 2, 3}));
+}
+
+TEST(DagSfc, ValidateAcceptsFig2) {
+  const net::VnfCatalog c(7);
+  EXPECT_NO_THROW(fig2(c).validate(c));
+}
+
+TEST(DagSfc, ValidateRejectsEmptyDag) {
+  const net::VnfCatalog c(3);
+  EXPECT_THROW(DagSfc(std::vector<Layer>{}).validate(c), ContractViolation);
+}
+
+TEST(DagSfc, ValidateRejectsEmptyLayer) {
+  const net::VnfCatalog c(3);
+  EXPECT_THROW(DagSfc({Layer{{}}}).validate(c), ContractViolation);
+}
+
+TEST(DagSfc, ValidateRejectsDummyAndMergerInLayers) {
+  const net::VnfCatalog c(3);
+  EXPECT_THROW(DagSfc({Layer{{net::VnfCatalog::dummy()}}}).validate(c),
+               ContractViolation);
+  EXPECT_THROW(DagSfc({Layer{{c.merger()}}}).validate(c), ContractViolation);
+}
+
+TEST(DagSfc, ValidateRejectsDuplicateInsideLayer) {
+  const net::VnfCatalog c(3);
+  EXPECT_THROW(DagSfc({Layer{{1, 1}}}).validate(c), ContractViolation);
+}
+
+TEST(DagSfc, ValidateAcceptsRepeatAcrossLayers) {
+  const net::VnfCatalog c(3);
+  EXPECT_NO_THROW(DagSfc({Layer{{1}}, Layer{{1}}}).validate(c));
+}
+
+TEST(DagSfc, ToStringShowsStructure) {
+  const net::VnfCatalog c(7);
+  EXPECT_EQ(fig2(c).to_string(c),
+            "[f1] -> [f2|f3|f4|f5 +m] -> [f6|f7 +m]");
+}
+
+TEST(DagSfc, ToDotHasMergersAndEndpoints) {
+  const net::VnfCatalog c(7);
+  const std::string dot = fig2(c).to_dot(c, "fig2");
+  EXPECT_NE(dot.find("src"), std::string::npos);
+  EXPECT_NE(dot.find("dst"), std::string::npos);
+  EXPECT_NE(dot.find("merger"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // inner-layer
+}
+
+TEST(SequentialSfc, SizeIsChainLength) {
+  SequentialSfc s{{1, 2, 3}};
+  EXPECT_EQ(s.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dagsfc::sfc

@@ -1,0 +1,244 @@
+#include "core/delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/backtracking.hpp"
+#include "sim/scenario.hpp"
+#include "test_helpers.hpp"
+
+namespace dagsfc::core {
+namespace {
+
+/// The hand solution from test_solution.cpp: f1@1, f2@5, f3@3, merger@3.
+/// inter paths: 0-1 (1 hop), 1-5 (1), 1-5-3 (2), 3-4 (1);
+/// inner paths: 5-3 (1 hop), trivial.
+EmbeddingSolution hand_solution(const test::Fixture& fx) {
+  const graph::Graph& g = fx.network.topology();
+  auto path = [&](std::initializer_list<graph::NodeId> nodes) {
+    graph::Path p;
+    p.nodes = nodes;
+    for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+      p.edges.push_back(*g.find_edge(p.nodes[i], p.nodes[i + 1]));
+    }
+    return p;
+  };
+  EmbeddingSolution sol;
+  sol.placement = {1, 5, 3, 3};
+  sol.inter_paths = {path({0, 1}), path({1, 5}), path({1, 5, 3}),
+                     path({3, 4})};
+  sol.inner_paths = {path({5, 3}), path({3})};
+  return sol;
+}
+
+TEST(Delay, EndToEndMatchesHandComputation) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const DelayModel m;  // 1ms/hop, 1ms/VNF, 0.2ms merger
+  // Layer 1: 1 hop + f1 = 2.
+  // Layer 2 branches: f2: 1 + 1 + 1 = 3; f3: 2 + 1 + 0 = 3 → max 3, +0.2.
+  // Final hop: 1.  Total 6.2.
+  EXPECT_NEAR(end_to_end_delay(ev, hand_solution(*fx), m), 6.2, 1e-12);
+}
+
+TEST(Delay, SerializedSumsBranches) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const DelayModel m;
+  // Layer 2 serialized: 3 + 3 = 6 instead of max 3 → total 9.2.
+  EXPECT_NEAR(serialized_delay(ev, hand_solution(*fx), m), 9.2, 1e-12);
+}
+
+TEST(Delay, ParallelNeverSlowerThanSerialized) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const EmbeddingSolution sol = hand_solution(*fx);
+  for (double hop : {0.1, 1.0, 5.0}) {
+    DelayModel m;
+    m.per_hop_ms = hop;
+    EXPECT_LE(end_to_end_delay(ev, sol, m),
+              serialized_delay(ev, sol, m) + 1e-12);
+  }
+}
+
+TEST(Delay, EqualForPurelySequentialSfc) {
+  test::NetBuilder b(3, 2);
+  b.link(0, 1, 1.0).link(1, 2, 1.0);
+  b.put(1, 1, 1.0).put(1, 2, 1.0);
+  auto fx = test::make_fixture(
+      b.build(), sfc::DagSfc({sfc::Layer{{1}}, sfc::Layer{{2}}}),
+      Flow{0, 2, 1.0, 1.0});
+  const Evaluator ev(*fx->index);
+  const MbbeEmbedder mbbe;
+  Rng rng(1);
+  const auto r = mbbe.solve_fresh(*fx->index, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(end_to_end_delay(ev, *r.solution),
+                   serialized_delay(ev, *r.solution));
+}
+
+TEST(Delay, PerCategoryProcessingOverrides) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  DelayModel m;
+  m.vnf_ms.assign(fx->network.catalog().num_types(), -1.0);
+  m.vnf_ms[1] = 10.0;  // f1 is slow (e.g. DPI)
+  // Layer 1 becomes 1 + 10 = 11; rest unchanged (3 + 0.2 + 1) → 15.2.
+  EXPECT_NEAR(end_to_end_delay(ev, hand_solution(*fx), m), 15.2, 1e-12);
+}
+
+TEST(Delay, ScalesLinearlyInHopLatency) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const EmbeddingSolution sol = hand_solution(*fx);
+  DelayModel zero;
+  zero.per_hop_ms = 0.0;
+  DelayModel one;
+  DelayModel two;
+  two.per_hop_ms = 2.0;
+  const double d0 = end_to_end_delay(ev, sol, zero);
+  const double d1 = end_to_end_delay(ev, sol, one);
+  const double d2 = end_to_end_delay(ev, sol, two);
+  // Both branches have identical hop counts here, so the critical path
+  // never switches and delay is affine in the per-hop latency.
+  EXPECT_NEAR(d2 - d1, d1 - d0, 1e-9);
+}
+
+TEST(DelayConstrained, UnboundedBudgetMatchesUnconstrained) {
+  auto fx = test::canonical_fixture();
+  Rng rng(10);
+  const MbbeEmbedder plain;
+  MbbeOptions opts;
+  opts.delay_budget_ms = 1e9;
+  const MbbeEmbedder bounded(opts);
+  const auto a = plain.solve_fresh(*fx->index, rng);
+  const auto b = bounded.solve_fresh(*fx->index, rng);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.solution->placement, b.solution->placement);
+}
+
+TEST(DelayConstrained, SolutionsRespectTheBudget) {
+  auto fx = test::canonical_fixture();
+  Rng rng(11);
+  // Unconstrained MBBE solution has delay 8.2ms on this fixture (cost 40).
+  for (double budget : {8.2, 9.0, 20.0}) {
+    MbbeOptions opts;
+    opts.delay_budget_ms = budget;
+    const MbbeEmbedder mbbe(opts);
+    const auto r = mbbe.solve_fresh(*fx->index, rng);
+    ASSERT_TRUE(r.ok()) << "budget " << budget << ": " << r.failure_reason;
+    const Evaluator ev(*fx->index);
+    EXPECT_LE(end_to_end_delay(ev, *r.solution), budget + 1e-9);
+  }
+}
+
+TEST(DelayConstrained, ImpossibleBudgetFailsCleanly) {
+  auto fx = test::canonical_fixture();
+  Rng rng(12);
+  MbbeOptions opts;
+  opts.delay_budget_ms = 0.5;  // less than one VNF's processing time
+  const MbbeEmbedder mbbe(opts);
+  const auto r = mbbe.solve_fresh(*fx->index, rng);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.failure_reason.empty());
+}
+
+TEST(DelayConstrained, TighterBudgetNeverCheaper) {
+  // Cost(budget) is non-increasing in the budget: relaxing the constraint
+  // can only help. Checked across a sweep on a random instance.
+  sim::ExperimentConfig cfg;
+  cfg.network_size = 40;
+  cfg.catalog_size = 8;
+  cfg.sfc_size = 5;
+  Rng rng(13);
+  const sim::Scenario scenario = sim::make_scenario(rng, cfg);
+  const sfc::DagSfc dag = sim::make_sfc(rng, scenario.network.catalog(), cfg);
+  EmbeddingProblem problem;
+  problem.network = &scenario.network;
+  problem.sfc = &dag;
+  problem.flow = Flow{scenario.source, scenario.destination, 1.0, 1.0};
+  const ModelIndex index(problem);
+
+  double previous_cost = -1.0;
+  for (double budget : {40.0, 20.0, 12.0, 9.0}) {  // tightening
+    MbbeOptions opts;
+    opts.delay_budget_ms = budget;
+    const MbbeEmbedder mbbe(opts);
+    const auto r = mbbe.solve_fresh(index, rng);
+    if (!r.ok()) break;  // even tighter budgets only fail harder
+    if (previous_cost >= 0.0) {
+      EXPECT_GE(r.cost + 1e-9, previous_cost)
+          << "tightening the budget made the embedding cheaper";
+    }
+    previous_cost = r.cost;
+  }
+}
+
+TEST(DelayConstrained, BudgetCanForceCostlierButFasterEmbedding) {
+  // Two hosts one hop from the source (both inside the forward search's
+  // first ring): the cheap one sits three hops from the destination, the
+  // pricey one a single hop. Cost-optimal embedding is slow; a tight
+  // budget must switch to the pricey fast host.
+  test::NetBuilder b(6, 1);
+  b.link(0, 1, 1.0).link(0, 2, 1.0);
+  b.link(1, 4, 1.0);                              // fast exit
+  b.link(2, 3, 1.0).link(3, 5, 1.0).link(5, 4, 1.0);  // slow exit
+  b.put(1, 1, 50.0);  // pricey, 1 hop from the destination
+  b.put(2, 1, 5.0);   // cheap, 3 hops from the destination
+  auto fx = test::make_fixture(b.build(), sfc::DagSfc({sfc::Layer{{1}}}),
+                               Flow{0, 4, 1.0, 1.0});
+  Rng rng(14);
+  const MbbeEmbedder loose;
+  const auto rl = loose.solve_fresh(*fx->index, rng);
+  ASSERT_TRUE(rl.ok());
+  EXPECT_EQ(rl.solution->placement[0], 2u);  // cost-optimal: 5+1+3 = 9
+  EXPECT_DOUBLE_EQ(rl.cost, 9.0);
+
+  MbbeOptions opts;
+  opts.delay_budget_ms = 3.0;  // 1 hop + 1ms VNF + 1 hop; the 5ms slow
+                               // route is out of budget
+  const MbbeEmbedder tight(opts);
+  const auto rt = tight.solve_fresh(*fx->index, rng);
+  ASSERT_TRUE(rt.ok()) << rt.failure_reason;
+  EXPECT_EQ(rt.solution->placement[0], 1u);
+  EXPECT_DOUBLE_EQ(rt.cost, 52.0);
+  const Evaluator ev(*fx->index);
+  EXPECT_LE(end_to_end_delay(ev, *rt.solution), 3.0 + 1e-9);
+}
+
+TEST(Delay, HybridBeatsSequentialOnGeneratedScenarios) {
+  // The library-level restatement of NFP's headline: for wide SFCs the
+  // parallel execution is strictly faster on the same embedding.
+  sim::ExperimentConfig cfg;
+  cfg.network_size = 40;
+  cfg.catalog_size = 9;
+  cfg.sfc_size = 9;  // layers 3,3,3 — plenty of parallelism
+  Rng rng(7);
+  const MbbeEmbedder mbbe;
+  int strictly_faster = 0;
+  int total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const sim::Scenario scenario = sim::make_scenario(rng, cfg);
+    const sfc::DagSfc dag =
+        sim::make_sfc(rng, scenario.network.catalog(), cfg);
+    EmbeddingProblem problem;
+    problem.network = &scenario.network;
+    problem.sfc = &dag;
+    problem.flow =
+        Flow{scenario.source, scenario.destination, 1.0, 1.0};
+    const ModelIndex index(problem);
+    const auto r = mbbe.solve_fresh(index, rng);
+    if (!r.ok()) continue;
+    ++total;
+    const Evaluator ev(index);
+    const double par = end_to_end_delay(ev, *r.solution);
+    const double seq = serialized_delay(ev, *r.solution);
+    EXPECT_LE(par, seq + 1e-12);
+    if (par < seq - 1e-12) ++strictly_faster;
+  }
+  ASSERT_GT(total, 5);
+  EXPECT_GT(strictly_faster, total / 2);
+}
+
+}  // namespace
+}  // namespace dagsfc::core

@@ -1,0 +1,131 @@
+#include "graph/dijkstra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+
+namespace dagsfc::graph {
+namespace {
+
+/// Weighted diamond: 0-1 (1), 1-3 (5), 0-2 (2), 2-3 (1), 1-2 (1).
+Graph diamond() {
+  Graph g(4);
+  (void)g.add_edge(0, 1, 1.0);
+  (void)g.add_edge(1, 3, 5.0);
+  (void)g.add_edge(0, 2, 2.0);
+  (void)g.add_edge(2, 3, 1.0);
+  (void)g.add_edge(1, 2, 1.0);
+  return g;
+}
+
+TEST(Dijkstra, DistancesAreCheapestByPrice) {
+  const Graph g = diamond();
+  const ShortestPathTree t = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(t.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(t.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(t.dist[2], 2.0);
+  EXPECT_DOUBLE_EQ(t.dist[3], 3.0);  // 0-1-2-3 (1+1+1) or 0-2-3 (2+1)
+}
+
+TEST(Dijkstra, PathReconstructionIsConsistent) {
+  const Graph g = diamond();
+  const ShortestPathTree t = dijkstra(g, 0);
+  const auto p = t.path_to(3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->source(), 0u);
+  EXPECT_EQ(p->target(), 3u);
+  EXPECT_TRUE(g.path_valid(*p));
+  EXPECT_DOUBLE_EQ(g.path_cost(*p), 3.0);
+  EXPECT_DOUBLE_EQ(p->cost, 3.0);
+}
+
+TEST(Dijkstra, PathToSourceIsTrivial) {
+  const Graph g = diamond();
+  const ShortestPathTree t = dijkstra(g, 0);
+  const auto p = t.path_to(0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodes, std::vector<NodeId>{0});
+  EXPECT_TRUE(p->edges.empty());
+  EXPECT_DOUBLE_EQ(p->cost, 0.0);
+}
+
+TEST(Dijkstra, UnreachableNode) {
+  Graph g(3);
+  (void)g.add_edge(0, 1, 1.0);
+  const ShortestPathTree t = dijkstra(g, 0);
+  EXPECT_FALSE(t.reached(2));
+  EXPECT_FALSE(t.path_to(2).has_value());
+}
+
+TEST(Dijkstra, EdgeFilterChangesRouting) {
+  Graph g = diamond();
+  // Ban the 2-3 edge: the cheapest 0→3 route becomes 0-1-3 = 6? No:
+  // 0-1(1)+1-3(5)=6 vs 0-2(2)+... 2-3 banned, 2-1-3 = 2+1+5=8 → 6.
+  const auto banned = g.find_edge(2, 3);
+  ASSERT_TRUE(banned.has_value());
+  const auto p = min_cost_path(
+      g, 0, 3, [&](EdgeId e) { return e != *banned; });
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->cost, 6.0);
+}
+
+TEST(Dijkstra, FilterCanDisconnect) {
+  const Graph g = diamond();
+  const auto p =
+      min_cost_path(g, 0, 3, [](EdgeId) { return false; });
+  EXPECT_FALSE(p.has_value());
+}
+
+TEST(Dijkstra, ZeroWeightEdgesSupported) {
+  Graph g(3);
+  (void)g.add_edge(0, 1, 0.0);
+  (void)g.add_edge(1, 2, 0.0);
+  const auto p = min_cost_path(g, 0, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->cost, 0.0);
+  EXPECT_EQ(p->length(), 2u);
+}
+
+TEST(Dijkstra, MinCostPathEqualsFullTreeOnRandomGraphs) {
+  Rng rng(61);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomGraphOptions opts;
+    opts.num_nodes = 40;
+    opts.average_degree = 4.0;
+    Graph g = random_connected_graph(rng, opts);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      g.set_weight(e, rng.uniform_real(0.1, 5.0));
+    }
+    const NodeId src = static_cast<NodeId>(rng.index(40));
+    const NodeId dst = static_cast<NodeId>(rng.index(40));
+    const ShortestPathTree t = dijkstra(g, src);
+    const auto p = min_cost_path(g, src, dst);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NEAR(p->cost, t.dist[dst], 1e-9);
+  }
+}
+
+TEST(Dijkstra, TriangleInequalityHoldsOnRandomGraph) {
+  Rng rng(67);
+  RandomGraphOptions opts;
+  opts.num_nodes = 30;
+  opts.average_degree = 4.0;
+  Graph g = random_connected_graph(rng, opts);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    g.set_weight(e, rng.uniform_real(0.1, 3.0));
+  }
+  const ShortestPathTree from0 = dijkstra(g, 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    EXPECT_LE(from0.dist[ed.v], from0.dist[ed.u] + ed.weight + 1e-9);
+    EXPECT_LE(from0.dist[ed.u], from0.dist[ed.v] + ed.weight + 1e-9);
+  }
+}
+
+TEST(Dijkstra, InvalidSourceRejected) {
+  const Graph g = diamond();
+  EXPECT_THROW((void)dijkstra(g, 17), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dagsfc::graph

@@ -1,0 +1,109 @@
+#include "sim/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/backtracking.hpp"
+#include "core/baselines.hpp"
+
+namespace dagsfc::sim {
+namespace {
+
+DynamicConfig tight() {
+  DynamicConfig cfg;
+  cfg.base.network_size = 40;
+  cfg.base.network_connectivity = 4.0;
+  cfg.base.catalog_size = 6;
+  cfg.base.sfc_size = 3;
+  cfg.base.vnf_capacity = 5.0;
+  cfg.base.link_capacity = 6.0;
+  cfg.arrival_rate = 2.0;
+  cfg.mean_holding_time = 5.0;
+  cfg.num_arrivals = 120;
+  return cfg;
+}
+
+TEST(Dynamic, ArrivalsAccountedFor) {
+  const core::MbbeEmbedder mbbe;
+  const DynamicResult r = run_dynamic(tight(), mbbe, 1);
+  EXPECT_EQ(r.accepted + r.rejected, 120u);
+  EXPECT_EQ(r.cost.count(), r.accepted);
+  EXPECT_GT(r.simulated_time, 0.0);
+}
+
+TEST(Dynamic, DeterministicForFixedSeed) {
+  const core::MbbeEmbedder mbbe;
+  const DynamicResult a = run_dynamic(tight(), mbbe, 7);
+  const DynamicResult b = run_dynamic(tight(), mbbe, 7);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_DOUBLE_EQ(a.cost.mean(), b.cost.mean());
+  EXPECT_DOUBLE_EQ(a.simulated_time, b.simulated_time);
+}
+
+TEST(Dynamic, GenerousCapacityAcceptsEverything) {
+  DynamicConfig cfg = tight();
+  cfg.base.vnf_capacity = 1e6;
+  cfg.base.link_capacity = 1e6;
+  const core::MbbeEmbedder mbbe;
+  const DynamicResult r = run_dynamic(cfg, mbbe, 2);
+  EXPECT_EQ(r.rejected, 0u);
+}
+
+TEST(Dynamic, HigherLoadNeverImprovesAcceptance) {
+  const core::MbbeEmbedder mbbe;
+  DynamicConfig low = tight();
+  low.arrival_rate = 0.2;
+  DynamicConfig high = tight();
+  high.arrival_rate = 20.0;
+  const DynamicResult rl = run_dynamic(low, mbbe, 3);
+  const DynamicResult rh = run_dynamic(high, mbbe, 3);
+  EXPECT_GE(rl.acceptance_ratio() + 1e-9, rh.acceptance_ratio());
+  EXPECT_GT(rh.concurrency.mean(), rl.concurrency.mean());
+}
+
+TEST(Dynamic, DeparturesReturnCapacity) {
+  // With a holding time far shorter than the inter-arrival gap, the system
+  // empties between arrivals — acceptance must match the uncontended case.
+  DynamicConfig cfg = tight();
+  cfg.arrival_rate = 0.01;        // mean gap 100
+  cfg.mean_holding_time = 0.001;  // flows vanish instantly
+  cfg.num_arrivals = 60;
+  const core::MbbeEmbedder mbbe;
+  const DynamicResult r = run_dynamic(cfg, mbbe, 4);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_LE(r.concurrency.max(), 1.0);
+}
+
+TEST(Dynamic, CostAwareEmbedderBeatsRandomUnderLoad) {
+  DynamicConfig cfg = tight();
+  cfg.arrival_rate = 6.0;
+  const core::MbbeEmbedder mbbe;
+  const core::RanvEmbedder ranv;
+  const DynamicResult rm = run_dynamic(cfg, mbbe, 5);
+  const DynamicResult rr = run_dynamic(cfg, ranv, 5);
+  EXPECT_GE(rm.acceptance_ratio(), rr.acceptance_ratio());
+  if (rm.accepted > 0 && rr.accepted > 0) {
+    EXPECT_LT(rm.cost.mean(), rr.cost.mean());
+  }
+}
+
+TEST(Dynamic, ValidationCatchesBadConfig) {
+  DynamicConfig cfg = tight();
+  cfg.arrival_rate = 0.0;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg = tight();
+  cfg.num_arrivals = 0;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg = tight();
+  cfg.mean_holding_time = -1.0;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+}
+
+TEST(Dynamic, OfferedLoadAccessor) {
+  DynamicConfig cfg;
+  cfg.arrival_rate = 3.0;
+  cfg.mean_holding_time = 4.0;
+  EXPECT_DOUBLE_EQ(cfg.offered_load(), 12.0);
+}
+
+}  // namespace
+}  // namespace dagsfc::sim

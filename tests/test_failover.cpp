@@ -1,0 +1,121 @@
+#include "sim/failover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/backtracking.hpp"
+#include "core/baselines.hpp"
+
+namespace dagsfc::sim {
+namespace {
+
+FailoverConfig small() {
+  FailoverConfig cfg;
+  cfg.base.network_size = 30;
+  cfg.base.network_connectivity = 4.0;
+  cfg.base.catalog_size = 6;
+  cfg.base.sfc_size = 3;
+  cfg.base.vnf_capacity = 50.0;
+  cfg.base.link_capacity = 50.0;
+  cfg.num_flows = 20;
+  return cfg;
+}
+
+TEST(Failover, AccountingIsConsistent) {
+  const core::MbbeEmbedder mbbe;
+  const FailoverResult r = run_failover(small(), mbbe, 1);
+  EXPECT_LE(r.embedded, 20u);
+  EXPECT_LE(r.affected, r.embedded);
+  EXPECT_LE(r.recovered, r.affected);
+  EXPECT_EQ(r.original_cost.count(), r.affected);
+  EXPECT_EQ(r.recovery_cost.count(), r.recovered);
+  EXPECT_NE(r.failed_link, graph::kInvalidEdge);
+}
+
+TEST(Failover, MostLoadedLinkActuallyCarriesFlows) {
+  // On a populated network the most-loaded link must affect someone —
+  // otherwise no link carries anything, contradicting embedded > 0.
+  const core::MbbeEmbedder mbbe;
+  const FailoverResult r = run_failover(small(), mbbe, 2);
+  ASSERT_GT(r.embedded, 0u);
+  EXPECT_GT(r.affected, 0u);
+}
+
+TEST(Failover, GenerousNetworkRecoversEveryone) {
+  FailoverConfig cfg = small();
+  cfg.base.network_connectivity = 6.0;  // plenty of alternative routes
+  const core::MbbeEmbedder mbbe;
+  const FailoverResult r = run_failover(cfg, mbbe, 3);
+  EXPECT_EQ(r.recovered, r.affected);
+}
+
+TEST(Failover, DeterministicForFixedSeed) {
+  const core::MbbeEmbedder mbbe;
+  const FailoverResult a = run_failover(small(), mbbe, 5);
+  const FailoverResult b = run_failover(small(), mbbe, 5);
+  EXPECT_EQ(a.embedded, b.embedded);
+  EXPECT_EQ(a.affected, b.affected);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.failed_link, b.failed_link);
+}
+
+TEST(Failover, RandomLinkModeRuns) {
+  FailoverConfig cfg = small();
+  cfg.fail_most_loaded = false;
+  const core::MbbeEmbedder mbbe;
+  const FailoverResult r = run_failover(cfg, mbbe, 6);
+  EXPECT_GT(r.embedded, 0u);  // failure mode may or may not affect flows
+}
+
+TEST(Failover, RecoveryRatioBounds) {
+  const core::MbbeEmbedder mbbe;
+  const FailoverResult r = run_failover(small(), mbbe, 7);
+  EXPECT_GE(r.recovery_ratio(), 0.0);
+  EXPECT_LE(r.recovery_ratio(), 1.0);
+  FailoverResult empty;
+  EXPECT_DOUBLE_EQ(empty.recovery_ratio(), 1.0);  // nothing affected
+}
+
+TEST(Failover, NodeFailureKillsInstancesAndIncidentLinks) {
+  FailoverConfig cfg = small();
+  cfg.kind = FailureKind::kNode;
+  const core::MbbeEmbedder mbbe;
+  const FailoverResult r = run_failover(cfg, mbbe, 8);
+  ASSERT_GT(r.embedded, 0u);
+  EXPECT_NE(r.failed_node, graph::kInvalidNode);
+  EXPECT_EQ(r.failed_link, graph::kInvalidEdge);
+  // The most-loaded node carries VNFs, so someone must be affected.
+  EXPECT_GT(r.affected, 0u);
+  EXPECT_LE(r.recovered, r.affected);
+}
+
+TEST(Failover, NodeFailureRecoveryAvoidsTheDeadNode) {
+  // Generous network: recovery should succeed and (by the engine's
+  // feasibility screening) never touch the dead node again — asserted
+  // internally by run_failover; here we just require full recovery.
+  FailoverConfig cfg = small();
+  cfg.kind = FailureKind::kNode;
+  cfg.base.network_connectivity = 6.0;
+  cfg.base.vnf_deploy_ratio = 0.7;  // plenty of replacement hosts
+  const core::MbbeEmbedder mbbe;
+  const FailoverResult r = run_failover(cfg, mbbe, 9);
+  EXPECT_EQ(r.recovered + r.endpoint_lost, r.affected);
+}
+
+TEST(Failover, NodeFailureDeterministic) {
+  FailoverConfig cfg = small();
+  cfg.kind = FailureKind::kNode;
+  const core::MbbeEmbedder mbbe;
+  const FailoverResult a = run_failover(cfg, mbbe, 10);
+  const FailoverResult b = run_failover(cfg, mbbe, 10);
+  EXPECT_EQ(a.failed_node, b.failed_node);
+  EXPECT_EQ(a.recovered, b.recovered);
+}
+
+TEST(Failover, ValidationCatchesBadConfig) {
+  FailoverConfig cfg = small();
+  cfg.num_flows = 0;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dagsfc::sim

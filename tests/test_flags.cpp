@@ -1,0 +1,113 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dagsfc {
+namespace {
+
+Flags standard_flags() {
+  Flags f;
+  f.define_int("count", 10, "a count")
+      .define_double("ratio", 0.5, "a ratio")
+      .define_bool("verbose", false, "chatty")
+      .define("name", "default", "a string");
+  return f;
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args);
+  return v;
+}
+
+TEST(Flags, DefaultsApply) {
+  Flags f = standard_flags();
+  const auto argv = argv_of({});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_int("count"), 10);
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), 0.5);
+  EXPECT_FALSE(f.get_bool("verbose"));
+  EXPECT_EQ(f.get("name"), "default");
+}
+
+TEST(Flags, EqualsForm) {
+  Flags f = standard_flags();
+  const auto argv = argv_of({"--count=42", "--ratio=0.25", "--name=abc"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), 0.25);
+  EXPECT_EQ(f.get("name"), "abc");
+}
+
+TEST(Flags, SpaceForm) {
+  Flags f = standard_flags();
+  const auto argv = argv_of({"--count", "7"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_int("count"), 7);
+}
+
+TEST(Flags, BareBooleanSetsTrue) {
+  Flags f = standard_flags();
+  const auto argv = argv_of({"--verbose"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  Flags f = standard_flags();
+  const auto argv = argv_of({"--nope=1"});
+  EXPECT_THROW(f.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, PositionalRejected) {
+  Flags f = standard_flags();
+  const auto argv = argv_of({"stray"});
+  EXPECT_THROW(f.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, MissingValueRejected) {
+  Flags f = standard_flags();
+  const auto argv = argv_of({"--count"});
+  EXPECT_THROW(f.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, MalformedNumberRejectedOnRead) {
+  Flags f = standard_flags();
+  const auto argv = argv_of({"--count=12abc"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW((void)f.get_int("count"), std::invalid_argument);
+}
+
+TEST(Flags, HelpRequested) {
+  Flags f = standard_flags();
+  const auto argv = argv_of({"--help"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(f.help_requested());
+}
+
+TEST(Flags, UsageListsAllFlags) {
+  Flags f = standard_flags();
+  const std::string u = f.usage("prog");
+  for (const char* name : {"count", "ratio", "verbose", "name"}) {
+    EXPECT_NE(u.find(std::string("--") + name), std::string::npos) << name;
+  }
+}
+
+TEST(Flags, DuplicateDefinitionRejected) {
+  Flags f;
+  f.define_int("x", 1, "");
+  EXPECT_THROW(f.define_int("x", 2, ""), std::invalid_argument);
+}
+
+TEST(Flags, UndefinedReadRejected) {
+  Flags f = standard_flags();
+  EXPECT_THROW((void)f.get("missing"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dagsfc

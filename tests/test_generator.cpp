@@ -1,0 +1,122 @@
+#include "graph/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/dot.hpp"
+
+namespace dagsfc::graph {
+namespace {
+
+TEST(Generator, ProducesRequestedSize) {
+  Rng rng(1);
+  RandomGraphOptions opts;
+  opts.num_nodes = 100;
+  opts.average_degree = 6.0;
+  const Graph g = random_connected_graph(rng, opts);
+  EXPECT_EQ(g.num_nodes(), 100u);
+}
+
+TEST(Generator, AlwaysConnected) {
+  Rng rng(2);
+  for (double degree : {2.0, 4.0, 8.0}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      RandomGraphOptions opts;
+      opts.num_nodes = 60;
+      opts.average_degree = degree;
+      EXPECT_TRUE(is_connected(random_connected_graph(rng, opts)));
+    }
+  }
+}
+
+TEST(Generator, HitsTargetAverageDegree) {
+  Rng rng(3);
+  RandomGraphOptions opts;
+  opts.num_nodes = 200;
+  opts.average_degree = 6.0;
+  const Graph g = random_connected_graph(rng, opts);
+  EXPECT_NEAR(g.average_degree(), 6.0, 0.1);
+}
+
+TEST(Generator, LowDegreeClampsToTree) {
+  Rng rng(4);
+  RandomGraphOptions opts;
+  opts.num_nodes = 50;
+  opts.average_degree = 0.0;  // below tree minimum
+  const Graph g = random_connected_graph(rng, opts);
+  EXPECT_EQ(g.num_edges(), 49u);  // spanning tree
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generator, HighDegreeClampsToCompleteGraph) {
+  Rng rng(5);
+  RandomGraphOptions opts;
+  opts.num_nodes = 8;
+  opts.average_degree = 100.0;
+  const Graph g = random_connected_graph(rng, opts);
+  EXPECT_EQ(g.num_edges(), 28u);  // 8*7/2
+}
+
+TEST(Generator, SingleNode) {
+  Rng rng(6);
+  RandomGraphOptions opts;
+  opts.num_nodes = 1;
+  const Graph g = random_connected_graph(rng, opts);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Generator, ZeroNodesRejected) {
+  Rng rng(7);
+  RandomGraphOptions opts;
+  opts.num_nodes = 0;
+  EXPECT_THROW((void)random_connected_graph(rng, opts), ContractViolation);
+}
+
+TEST(Generator, DeterministicForFixedSeed) {
+  RandomGraphOptions opts;
+  opts.num_nodes = 40;
+  opts.average_degree = 5.0;
+  Rng r1(99);
+  Rng r2(99);
+  const Graph a = random_connected_graph(r1, opts);
+  const Graph b = random_connected_graph(r2, opts);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  RandomGraphOptions opts;
+  opts.num_nodes = 40;
+  opts.average_degree = 5.0;
+  Rng r1(1);
+  Rng r2(2);
+  const Graph a = random_connected_graph(r1, opts);
+  const Graph b = random_connected_graph(r2, opts);
+  bool any_diff = a.num_edges() != b.num_edges();
+  for (EdgeId e = 0; !any_diff && e < a.num_edges(); ++e) {
+    any_diff = a.edge(e).u != b.edge(e).u || a.edge(e).v != b.edge(e).v;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Dot, RendersNodesAndEdges) {
+  Graph g(2);
+  (void)g.add_edge(0, 1, 2.5);
+  const std::string dot = to_dot(g, "tiny");
+  EXPECT_NE(dot.find("graph \"tiny\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("2.50"), std::string::npos);
+}
+
+TEST(Dot, CustomLabeler) {
+  Graph g(1);
+  const std::string dot =
+      to_dot(g, "x", [](NodeId) { return std::string("host-a"); });
+  EXPECT_NE(dot.find("host-a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dagsfc::graph

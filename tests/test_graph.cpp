@@ -1,0 +1,150 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dagsfc::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(component_count(g), 0u);
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  const EdgeId e = g.add_edge(0, 1, 2.5);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(e).u, 0u);
+  EXPECT_EQ(g.edge(e).v, 1u);
+  EXPECT_DOUBLE_EQ(g.edge(e).weight, 2.5);
+  const NodeId n = g.add_node();
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(g.num_nodes(), 4u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW((void)g.add_edge(1, 1, 1.0), ContractViolation);
+}
+
+TEST(Graph, ParallelEdgeRejectedBothDirections) {
+  Graph g(2);
+  (void)g.add_edge(0, 1, 1.0);
+  EXPECT_THROW((void)g.add_edge(0, 1, 2.0), ContractViolation);
+  EXPECT_THROW((void)g.add_edge(1, 0, 2.0), ContractViolation);
+}
+
+TEST(Graph, NegativeWeightRejected) {
+  Graph g(2);
+  EXPECT_THROW((void)g.add_edge(0, 1, -0.1), ContractViolation);
+}
+
+TEST(Graph, OutOfRangeEndpointsRejected) {
+  Graph g(2);
+  EXPECT_THROW((void)g.add_edge(0, 5, 1.0), ContractViolation);
+}
+
+TEST(Graph, EdgeOther) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 2, 1.0);
+  EXPECT_EQ(g.edge(e).other(0), 2u);
+  EXPECT_EQ(g.edge(e).other(2), 0u);
+  EXPECT_THROW((void)g.edge(e).other(1), ContractViolation);
+}
+
+TEST(Graph, NeighborsAndDegree) {
+  Graph g(4);
+  (void)g.add_edge(0, 1, 1.0);
+  (void)g.add_edge(0, 2, 1.0);
+  (void)g.add_edge(0, 3, 1.0);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  bool saw2 = false;
+  for (const Incidence& inc : g.neighbors(0)) {
+    if (inc.neighbor == 2) saw2 = true;
+  }
+  EXPECT_TRUE(saw2);
+}
+
+TEST(Graph, FindEdgeSymmetric) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(1, 2, 1.0);
+  EXPECT_EQ(g.find_edge(1, 2), std::optional<EdgeId>(e));
+  EXPECT_EQ(g.find_edge(2, 1), std::optional<EdgeId>(e));
+  EXPECT_FALSE(g.find_edge(0, 1).has_value());
+}
+
+TEST(Graph, SetWeight) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  g.set_weight(e, 9.0);
+  EXPECT_DOUBLE_EQ(g.edge(e).weight, 9.0);
+  EXPECT_THROW(g.set_weight(e, -1.0), ContractViolation);
+}
+
+TEST(Graph, AverageDegree) {
+  Graph g(4);
+  (void)g.add_edge(0, 1, 1.0);
+  (void)g.add_edge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.0);  // 2*2/4
+}
+
+TEST(Graph, PathCostAndValidity) {
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1, 1.5);
+  const EdgeId e12 = g.add_edge(1, 2, 2.5);
+  (void)g.add_edge(2, 3, 4.0);
+
+  Path p;
+  p.nodes = {0, 1, 2};
+  p.edges = {e01, e12};
+  EXPECT_TRUE(g.path_valid(p));
+  EXPECT_DOUBLE_EQ(g.path_cost(p), 4.0);
+
+  Path wrong_order = p;
+  std::swap(wrong_order.edges[0], wrong_order.edges[1]);
+  EXPECT_FALSE(g.path_valid(wrong_order));
+
+  Path size_mismatch;
+  size_mismatch.nodes = {0, 1};
+  EXPECT_FALSE(g.path_valid(size_mismatch));
+
+  Path single_node;
+  single_node.nodes = {2};
+  EXPECT_TRUE(g.path_valid(single_node));
+  EXPECT_EQ(single_node.length(), 0u);
+
+  Path empty;
+  EXPECT_TRUE(g.path_valid(empty));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Graph, PathEndpointAccessors) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 2, 1.0);
+  Path p;
+  p.nodes = {0, 2};
+  p.edges = {e};
+  EXPECT_EQ(p.source(), 0u);
+  EXPECT_EQ(p.target(), 2u);
+  Path empty;
+  EXPECT_THROW((void)empty.source(), ContractViolation);
+}
+
+TEST(Graph, ConnectivityDetection) {
+  Graph g(4);
+  (void)g.add_edge(0, 1, 1.0);
+  (void)g.add_edge(1, 2, 1.0);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(component_count(g), 2u);
+  (void)g.add_edge(2, 3, 1.0);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(component_count(g), 1u);
+}
+
+}  // namespace
+}  // namespace dagsfc::graph

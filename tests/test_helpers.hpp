@@ -1,0 +1,103 @@
+#pragma once
+/// Shared fixtures for the test suite: hand-crafted tiny networks with known
+/// optimal embeddings, plus a lifetime-stable problem bundle.
+
+#include <memory>
+#include <vector>
+
+#include "core/model.hpp"
+#include "net/network.hpp"
+#include "sfc/dag_sfc.hpp"
+
+namespace dagsfc::test {
+
+/// Incremental builder for small explicit networks.
+class NetBuilder {
+ public:
+  NetBuilder(std::size_t nodes, std::size_t catalog_regular)
+      : g_(nodes), catalog_(catalog_regular) {}
+
+  NetBuilder& link(graph::NodeId u, graph::NodeId v, double price,
+                   double capacity = 100.0) {
+    const graph::EdgeId e = g_.add_edge(u, v, price);
+    caps_.push_back({e, capacity});
+    return *this;
+  }
+
+  /// Deploys VNF type \p t (1..n regular; use merger() for the merger).
+  NetBuilder& put(graph::NodeId v, net::VnfTypeId t, double price,
+                  double capacity = 100.0) {
+    deploys_.push_back({v, t, price, capacity});
+    return *this;
+  }
+
+  [[nodiscard]] net::VnfTypeId merger() const { return catalog_.merger(); }
+
+  [[nodiscard]] net::Network build() {
+    net::Network n(std::move(g_), catalog_);
+    for (const auto& [e, c] : caps_) n.set_link_capacity(e, c);
+    for (const auto& d : deploys_) {
+      (void)n.deploy(d.node, d.type, d.price, d.capacity);
+    }
+    return n;
+  }
+
+ private:
+  struct Deploy {
+    graph::NodeId node;
+    net::VnfTypeId type;
+    double price;
+    double capacity;
+  };
+  graph::Graph g_;
+  net::VnfCatalog catalog_;
+  std::vector<std::pair<graph::EdgeId, double>> caps_;
+  std::vector<Deploy> deploys_;
+};
+
+/// Bundles a network, a DAG-SFC and the derived problem/index with stable
+/// addresses (heap-allocated, non-movable members referenced by pointers).
+struct Fixture {
+  net::Network network;
+  sfc::DagSfc dag;
+  core::EmbeddingProblem problem;
+  std::unique_ptr<core::ModelIndex> index;
+
+  Fixture(net::Network n, sfc::DagSfc d, core::Flow flow)
+      : network(std::move(n)), dag(std::move(d)) {
+    problem.network = &network;
+    problem.sfc = &dag;
+    problem.flow = flow;
+    index = std::make_unique<core::ModelIndex>(problem);
+  }
+};
+
+[[nodiscard]] inline std::unique_ptr<Fixture> make_fixture(net::Network n,
+                                                           sfc::DagSfc d,
+                                                           core::Flow flow) {
+  return std::make_unique<Fixture>(std::move(n), std::move(d), flow);
+}
+
+/// The canonical tiny instance used across algorithm tests: a 6-node path
+/// with a shortcut, uniform link price 1, one parallel layer.
+///
+///     0 --- 1 --- 2 --- 3 --- 4
+///            \----- 5 -----/
+///
+/// f1 on node 1 (price 10), f2 on nodes 2 (price 12) and 5 (price 8),
+/// f3 on nodes 2 (price 9) and 3 (price 7), merger on nodes 3 (5) and 5 (6).
+/// SFC: [f1] -> [f2 | f3].  Flow 0 -> 4.
+[[nodiscard]] inline std::unique_ptr<Fixture> canonical_fixture() {
+  NetBuilder b(6, 3);
+  b.link(0, 1, 1.0).link(1, 2, 1.0).link(2, 3, 1.0).link(3, 4, 1.0);
+  b.link(1, 5, 1.0).link(5, 3, 1.0);
+  b.put(1, 1, 10.0);
+  b.put(2, 2, 12.0).put(5, 2, 8.0);
+  b.put(2, 3, 9.0).put(3, 3, 7.0);
+  b.put(3, b.merger(), 5.0).put(5, b.merger(), 6.0);
+  sfc::DagSfc dag({sfc::Layer{{1}}, sfc::Layer{{2, 3}}});
+  return make_fixture(b.build(), std::move(dag),
+                      core::Flow{0, 4, 1.0, 1.0});
+}
+
+}  // namespace dagsfc::test

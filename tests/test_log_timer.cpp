@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace dagsfc {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The library must stay silent on info/debug unless the user opts in.
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::Warn));
+}
+
+TEST(Log, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                         LogLevel::Error, LogLevel::Off}) {
+    set_log_level(level);
+    EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(level));
+  }
+}
+
+TEST(Log, MacroEvaluatesStreamLazily) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  DAGSFC_DEBUG("value: " << expensive());
+  EXPECT_EQ(evaluations, 0) << "suppressed levels must not evaluate args";
+  set_log_level(LogLevel::Debug);
+  DAGSFC_DEBUG("value: " << expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, MacroCompilesForAllLevels) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);  // keep the test output clean
+  DAGSFC_DEBUG("d" << 1);
+  DAGSFC_INFO("i" << 2);
+  DAGSFC_WARN("w" << 3);
+  DAGSFC_ERROR("e" << 4);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.elapsed_seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(t.elapsed_ms(), t.elapsed_seconds() * 1e3,
+              t.elapsed_ms() * 0.5);
+}
+
+TEST(Timer, ResetRestartsTheClock) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  EXPECT_LT(t.elapsed_seconds(), 0.015);
+}
+
+TEST(Timer, Monotonic) {
+  WallTimer t;
+  double prev = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const double now = t.elapsed_seconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace dagsfc

@@ -1,0 +1,97 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dagsfc::net {
+namespace {
+
+Network triangle() {
+  graph::Graph g(3);
+  (void)g.add_edge(0, 1, 2.0);
+  (void)g.add_edge(1, 2, 3.0);
+  (void)g.add_edge(0, 2, 4.0);
+  return Network(std::move(g), VnfCatalog(2), 50.0);
+}
+
+TEST(Network, TopologyAndLinkDefaults) {
+  const Network n = triangle();
+  EXPECT_EQ(n.num_nodes(), 3u);
+  EXPECT_EQ(n.num_links(), 3u);
+  EXPECT_DOUBLE_EQ(n.link_price(0), 2.0);
+  EXPECT_DOUBLE_EQ(n.link_capacity(0), 50.0);
+}
+
+TEST(Network, LinkMutation) {
+  Network n = triangle();
+  n.set_link_price(1, 7.5);
+  n.set_link_capacity(1, 9.0);
+  EXPECT_DOUBLE_EQ(n.link_price(1), 7.5);
+  EXPECT_DOUBLE_EQ(n.link_capacity(1), 9.0);
+  EXPECT_THROW(n.set_link_capacity(1, -1.0), ContractViolation);
+}
+
+TEST(Network, DeployAndLookup) {
+  Network n = triangle();
+  const InstanceId id = n.deploy(1, 1, 10.0, 5.0);
+  EXPECT_EQ(n.num_instances(), 1u);
+  EXPECT_EQ(n.instance(id).node, 1u);
+  EXPECT_EQ(n.instance(id).type, 1u);
+  EXPECT_DOUBLE_EQ(n.instance(id).price, 10.0);
+  EXPECT_DOUBLE_EQ(n.instance(id).capacity, 5.0);
+  EXPECT_EQ(n.find_instance(1, 1), std::optional<InstanceId>(id));
+  EXPECT_FALSE(n.find_instance(0, 1).has_value());
+  EXPECT_TRUE(n.has_vnf(1, 1));
+  EXPECT_FALSE(n.has_vnf(1, 2));
+}
+
+TEST(Network, OneInstancePerTypePerNode) {
+  Network n = triangle();
+  (void)n.deploy(0, 1, 1.0, 1.0);
+  EXPECT_THROW((void)n.deploy(0, 1, 2.0, 2.0), ContractViolation);
+  (void)n.deploy(0, 2, 2.0, 2.0);  // different type on same node is fine
+  EXPECT_EQ(n.instances_on(0).size(), 2u);
+}
+
+TEST(Network, DummyNotDeployable) {
+  Network n = triangle();
+  EXPECT_THROW((void)n.deploy(0, VnfCatalog::dummy(), 1.0, 1.0),
+               ContractViolation);
+}
+
+TEST(Network, MergerIsDeployable) {
+  Network n = triangle();
+  const VnfTypeId m = n.catalog().merger();
+  (void)n.deploy(2, m, 3.0, 4.0);
+  EXPECT_TRUE(n.has_vnf(2, m));
+  EXPECT_EQ(n.nodes_with(m), std::vector<graph::NodeId>{2});
+}
+
+TEST(Network, TypeNodeSetsTrackDeployments) {
+  Network n = triangle();
+  (void)n.deploy(0, 1, 1.0, 1.0);
+  (void)n.deploy(2, 1, 1.0, 1.0);
+  (void)n.deploy(1, 2, 1.0, 1.0);
+  EXPECT_EQ(n.nodes_with(1), (std::vector<graph::NodeId>{0, 2}));
+  EXPECT_EQ(n.nodes_with(2), std::vector<graph::NodeId>{1});
+  EXPECT_TRUE(n.nodes_with(n.catalog().merger()).empty());
+}
+
+TEST(Network, MeanPrices) {
+  Network n = triangle();
+  EXPECT_DOUBLE_EQ(n.mean_link_price(), 3.0);
+  EXPECT_DOUBLE_EQ(n.mean_vnf_price(), 0.0);  // nothing deployed
+  (void)n.deploy(0, 1, 10.0, 1.0);
+  (void)n.deploy(1, 2, 20.0, 1.0);
+  EXPECT_DOUBLE_EQ(n.mean_vnf_price(), 15.0);
+}
+
+TEST(Network, InvalidArgumentsRejected) {
+  Network n = triangle();
+  EXPECT_THROW((void)n.deploy(9, 1, 1.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)n.deploy(0, 99, 1.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)n.deploy(0, 1, -1.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)n.deploy(0, 1, 1.0, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dagsfc::net

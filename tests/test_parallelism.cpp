@@ -1,0 +1,135 @@
+#include "sfc/parallelism.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dagsfc::sfc {
+namespace {
+
+TEST(Profiles, ReadReadIsParallel) {
+  const NfProfile a{to_mask(PacketField::kPayload), 0, false};
+  const NfProfile b{to_mask(PacketField::kPayload), 0, false};
+  EXPECT_TRUE(profiles_parallelizable(a, b));
+}
+
+TEST(Profiles, WriteWriteOnSameFieldConflicts) {
+  const NfProfile a{0, to_mask(PacketField::kDstAddr), false};
+  const NfProfile b{0, to_mask(PacketField::kDstAddr), false};
+  EXPECT_FALSE(profiles_parallelizable(a, b));
+}
+
+TEST(Profiles, WriteReadConflictIsSymmetric) {
+  const NfProfile writer{0, to_mask(PacketField::kSrcAddr), false};
+  const NfProfile reader{to_mask(PacketField::kSrcAddr), 0, false};
+  EXPECT_FALSE(profiles_parallelizable(writer, reader));
+  EXPECT_FALSE(profiles_parallelizable(reader, writer));
+}
+
+TEST(Profiles, DisjointWritesAreParallel) {
+  const NfProfile a{0, to_mask(PacketField::kSrcAddr), false};
+  const NfProfile b{0, to_mask(PacketField::kPayload), false};
+  EXPECT_TRUE(profiles_parallelizable(a, b));
+}
+
+TEST(Profiles, TwoDroppersConflict) {
+  const NfProfile fw{to_mask(PacketField::kSrcAddr), 0, true};
+  const NfProfile ips{to_mask(PacketField::kPayload), 0, true};
+  EXPECT_FALSE(profiles_parallelizable(fw, ips));
+}
+
+TEST(Profiles, SingleDropperIsFine) {
+  const NfProfile fw{to_mask(PacketField::kSrcAddr), 0, true};
+  const NfProfile monitor{to_mask(PacketField::kPayload), 0, false};
+  EXPECT_TRUE(profiles_parallelizable(fw, monitor));
+}
+
+TEST(Profiles, MultiFieldMasksCombine) {
+  const NfProfile a{PacketField::kSrcAddr | PacketField::kDstAddr,
+                    to_mask(PacketField::kTransportPorts), false};
+  const NfProfile b{to_mask(PacketField::kTransportPorts), 0, false};
+  EXPECT_FALSE(profiles_parallelizable(a, b));  // a writes what b reads
+}
+
+TEST(ProfileOracle, MapsCatalogTypes) {
+  const net::VnfCatalog c(2);
+  std::vector<NfProfile> profiles(2);
+  profiles[0] = {0, to_mask(PacketField::kSrcAddr), false};  // f1 writes src
+  profiles[1] = {to_mask(PacketField::kSrcAddr), 0, false};  // f2 reads src
+  const ProfileOracle oracle(c, profiles);
+  EXPECT_FALSE(oracle.parallel(1, 2));
+  EXPECT_EQ(oracle.profile(1).writes, to_mask(PacketField::kSrcAddr));
+}
+
+TEST(ProfileOracle, WrongProfileCountRejected) {
+  const net::VnfCatalog c(3);
+  EXPECT_THROW(ProfileOracle(c, std::vector<NfProfile>(2)),
+               ContractViolation);
+}
+
+TEST(ProfileOracle, NonRegularTypeRejected) {
+  const net::VnfCatalog c(2);
+  const ProfileOracle oracle(c, std::vector<NfProfile>(2));
+  EXPECT_THROW((void)oracle.parallel(0, 1), ContractViolation);
+  EXPECT_THROW((void)oracle.parallel(1, c.merger()), ContractViolation);
+}
+
+TEST(MatrixOracle, DefaultsToSequential) {
+  const MatrixOracle m(3);
+  EXPECT_FALSE(m.parallel(1, 2));
+}
+
+TEST(MatrixOracle, SetIsSymmetric) {
+  MatrixOracle m(3);
+  m.set_parallel(1, 3);
+  EXPECT_TRUE(m.parallel(1, 3));
+  EXPECT_TRUE(m.parallel(3, 1));
+  EXPECT_FALSE(m.parallel(1, 2));
+  m.set_parallel(1, 3, false);
+  EXPECT_FALSE(m.parallel(1, 3));
+}
+
+TEST(MatrixOracle, SelfPairNeverParallel) {
+  MatrixOracle m(2);
+  EXPECT_FALSE(m.parallel(1, 1));
+  EXPECT_THROW(m.set_parallel(2, 2), ContractViolation);
+}
+
+TEST(RandomOracle, ExtremeProbabilities) {
+  Rng rng(3);
+  const RandomOracle never(5, rng, 0.0);
+  const RandomOracle always(5, rng, 1.0);
+  for (net::VnfTypeId a = 1; a <= 5; ++a) {
+    for (net::VnfTypeId b = a + 1; b <= 5; ++b) {
+      EXPECT_FALSE(never.parallel(a, b));
+      EXPECT_TRUE(always.parallel(a, b));
+    }
+  }
+}
+
+TEST(RandomOracle, FrequencyNearP) {
+  Rng rng(5);
+  const RandomOracle o(40, rng, 0.538);
+  int parallel = 0;
+  int total = 0;
+  for (net::VnfTypeId a = 1; a <= 40; ++a) {
+    for (net::VnfTypeId b = a + 1; b <= 40; ++b) {
+      ++total;
+      parallel += o.parallel(a, b) ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(parallel) / total, 0.538, 0.06);
+}
+
+TEST(RandomOracle, SymmetricAndStable) {
+  Rng rng(7);
+  const RandomOracle o(10, rng, 0.5);
+  for (net::VnfTypeId a = 1; a <= 10; ++a) {
+    for (net::VnfTypeId b = 1; b <= 10; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(o.parallel(a, b), o.parallel(b, a));
+      EXPECT_EQ(o.parallel(a, b), o.parallel(a, b));  // no re-randomizing
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dagsfc::sfc

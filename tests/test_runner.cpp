@@ -1,0 +1,126 @@
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/backtracking.hpp"
+#include "core/baselines.hpp"
+#include "sim/sweep.hpp"
+
+namespace dagsfc::sim {
+namespace {
+
+ExperimentConfig tiny() {
+  ExperimentConfig cfg;
+  cfg.network_size = 25;
+  cfg.network_connectivity = 3.0;
+  cfg.catalog_size = 6;
+  cfg.sfc_size = 3;
+  cfg.trials = 8;
+  return cfg;
+}
+
+TEST(Runner, TrialCountsAddUp) {
+  const core::MinvEmbedder minv;
+  const core::MbbeEmbedder mbbe;
+  const auto stats = run_comparison(tiny(), {&minv, &mbbe}, RunOptions{2});
+  ASSERT_EQ(stats.size(), 2u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.successes + s.failures, 8u);
+    EXPECT_EQ(s.wall_ms.count(), 8u);
+  }
+  EXPECT_EQ(stats[0].name, "MINV");
+  EXPECT_EQ(stats[1].name, "MBBE");
+}
+
+TEST(Runner, SameSeedReproducesExactly) {
+  const core::RanvEmbedder ranv;
+  const core::MinvEmbedder minv;
+  const auto a = run_comparison(tiny(), {&ranv, &minv}, RunOptions{1});
+  const auto b = run_comparison(tiny(), {&ranv, &minv}, RunOptions{1});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].cost.mean(), b[i].cost.mean());
+    EXPECT_EQ(a[i].successes, b[i].successes);
+  }
+}
+
+TEST(Runner, DifferentSeedsDiffer) {
+  const core::MinvEmbedder minv;
+  ExperimentConfig c1 = tiny();
+  ExperimentConfig c2 = tiny();
+  c2.seed = 12345;
+  const auto a = run_comparison(c1, {&minv}, RunOptions{1});
+  const auto b = run_comparison(c2, {&minv}, RunOptions{1});
+  EXPECT_NE(a[0].cost.mean(), b[0].cost.mean());
+}
+
+TEST(Runner, CostBreakdownSumsToTotal) {
+  const core::MinvEmbedder minv;
+  const core::MbbeEmbedder mbbe;
+  const auto stats = run_comparison(tiny(), {&minv, &mbbe}, RunOptions{2});
+  for (const auto& s : stats) {
+    SCOPED_TRACE(s.name);
+    ASSERT_GT(s.successes, 0u);
+    EXPECT_NEAR(s.vnf_cost.mean() + s.link_cost.mean(), s.cost.mean(), 1e-6);
+    EXPECT_GT(s.vnf_cost.mean(), 0.0);
+  }
+}
+
+TEST(Runner, SuccessRateAccessor) {
+  AlgorithmStats s;
+  EXPECT_DOUBLE_EQ(s.success_rate(), 0.0);
+  s.successes = 3;
+  s.failures = 1;
+  EXPECT_DOUBLE_EQ(s.success_rate(), 0.75);
+}
+
+TEST(Runner, EmptyAlgorithmListRejected) {
+  EXPECT_THROW((void)run_comparison(tiny(), {}, RunOptions{1}),
+               ContractViolation);
+}
+
+TEST(Sweep, TableShapeMatchesPointsAndAlgorithms) {
+  const core::MinvEmbedder minv;
+  const core::MbbeEmbedder mbbe;
+  auto base = tiny();
+  base.trials = 4;
+  const auto points = make_points(
+      base, {20.0, 30.0},
+      [](ExperimentConfig& cfg, double v) {
+        cfg.network_size = static_cast<std::size_t>(v);
+      },
+      [](double v) { return std::to_string(static_cast<int>(v)); });
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].label, "20");
+  EXPECT_EQ(points[0].config.network_size, 20u);
+  EXPECT_EQ(points[1].config.network_size, 30u);
+
+  const auto result = run_sweep("n", points, {&minv, &mbbe}, RunOptions{2});
+  EXPECT_EQ(result.cost_table.row_count(), 2u);
+  EXPECT_EQ(result.cost_table.column_count(), 3u);  // n + 2 algorithms
+  EXPECT_EQ(result.detail_table.column_count(), 7u);  // n + 3 per algorithm
+  // CSV must parse back to the same number of lines.
+  const std::string csv = result.cost_table.csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Sweep, ProgressStreamReceivesOneLinePerPoint) {
+  const core::MinvEmbedder minv;
+  auto base = tiny();
+  base.trials = 2;
+  const auto points = make_points(
+      base, {20.0, 25.0, 30.0},
+      [](ExperimentConfig& cfg, double v) {
+        cfg.network_size = static_cast<std::size_t>(v);
+      },
+      [](double v) { return std::to_string(static_cast<int>(v)); });
+  std::ostringstream progress;
+  (void)run_sweep("n", points, {&minv}, RunOptions{1}, &progress);
+  const std::string text = progress.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace dagsfc::sim

@@ -1,0 +1,157 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dagsfc::sim {
+namespace {
+
+ExperimentConfig small() {
+  ExperimentConfig cfg;
+  cfg.network_size = 60;
+  cfg.network_connectivity = 4.0;
+  cfg.catalog_size = 6;
+  cfg.sfc_size = 4;
+  return cfg;
+}
+
+TEST(Config, DefaultsMatchPaperTable2) {
+  const ExperimentConfig cfg;
+  EXPECT_EQ(cfg.network_size, 500u);
+  EXPECT_DOUBLE_EQ(cfg.network_connectivity, 6.0);
+  EXPECT_DOUBLE_EQ(cfg.vnf_deploy_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.average_price_ratio, 0.2);
+  EXPECT_DOUBLE_EQ(cfg.vnf_price_fluctuation, 0.05);
+  EXPECT_EQ(cfg.sfc_size, 5u);
+  EXPECT_EQ(cfg.trials, 100u);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, ValidationCatchesBadFields) {
+  ExperimentConfig cfg;
+  cfg.sfc_size = 20;  // > catalog_size 12
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg = ExperimentConfig{};
+  cfg.vnf_deploy_ratio = 0.0;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg = ExperimentConfig{};
+  cfg.network_size = 1;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg = ExperimentConfig{};
+  cfg.trials = 0;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+}
+
+TEST(Config, SummaryMentionsKeyKnobs) {
+  const std::string s = ExperimentConfig{}.summary();
+  EXPECT_NE(s.find("n=500"), std::string::npos);
+  EXPECT_NE(s.find("sfc=5"), std::string::npos);
+}
+
+TEST(Scenario, TopologyMatchesConfig) {
+  Rng rng(1);
+  const Scenario s = make_scenario(rng, small());
+  EXPECT_EQ(s.network.num_nodes(), 60u);
+  EXPECT_TRUE(graph::is_connected(s.network.topology()));
+  EXPECT_NEAR(s.network.topology().average_degree(), 4.0, 0.5);
+}
+
+TEST(Scenario, EveryCategoryIncludingMergerIsDeployed) {
+  Rng rng(2);
+  const Scenario s = make_scenario(rng, small());
+  const auto& c = s.network.catalog();
+  for (net::VnfTypeId t : c.regular_ids()) {
+    EXPECT_FALSE(s.network.nodes_with(t).empty()) << "type " << t;
+  }
+  EXPECT_FALSE(s.network.nodes_with(c.merger()).empty());
+}
+
+TEST(Scenario, DeployRatioIsRespected) {
+  Rng rng(3);
+  ExperimentConfig cfg = small();
+  cfg.network_size = 400;
+  cfg.vnf_deploy_ratio = 0.3;
+  const Scenario s = make_scenario(rng, cfg);
+  // Expect ≈ 0.3·400 deployments per category.
+  for (net::VnfTypeId t : s.network.catalog().regular_ids()) {
+    const double n = static_cast<double>(s.network.nodes_with(t).size());
+    EXPECT_NEAR(n, 120.0, 35.0) << "type " << t;
+  }
+}
+
+TEST(Scenario, SparseRatioStillGuaranteesOneHostPerType) {
+  Rng rng(4);
+  ExperimentConfig cfg = small();
+  cfg.network_size = 30;
+  cfg.vnf_deploy_ratio = 0.01;  // coin flips will miss some types entirely
+  const Scenario s = make_scenario(rng, cfg);
+  for (net::VnfTypeId t : s.network.catalog().regular_ids()) {
+    EXPECT_GE(s.network.nodes_with(t).size(), 1u);
+  }
+}
+
+TEST(Scenario, PricesRespectFluctuationBand) {
+  Rng rng(5);
+  ExperimentConfig cfg = small();
+  cfg.vnf_price_fluctuation = 0.10;
+  const Scenario s = make_scenario(rng, cfg);
+  for (net::InstanceId id = 0; id < s.network.num_instances(); ++id) {
+    const double p = s.network.instance(id).price;
+    EXPECT_GE(p, cfg.base_vnf_price * 0.9 - 1e-9);
+    EXPECT_LE(p, cfg.base_vnf_price * 1.1 + 1e-9);
+  }
+}
+
+TEST(Scenario, LinkPricesFollowAveragePriceRatio) {
+  Rng rng(6);
+  ExperimentConfig cfg = small();
+  cfg.average_price_ratio = 0.25;
+  const Scenario s = make_scenario(rng, cfg);
+  EXPECT_NEAR(s.network.mean_link_price(),
+              cfg.base_vnf_price * 0.25,
+              cfg.base_vnf_price * 0.25 * 0.1);
+  EXPECT_NEAR(s.network.mean_vnf_price(), cfg.base_vnf_price, 5.0);
+}
+
+TEST(Scenario, FlowEndpointsDistinctAndInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const Scenario s = make_scenario(rng, small());
+    EXPECT_NE(s.source, s.destination);
+    EXPECT_LT(s.source, 60u);
+    EXPECT_LT(s.destination, 60u);
+  }
+}
+
+TEST(Scenario, CapacitiesApplied) {
+  Rng rng(8);
+  ExperimentConfig cfg = small();
+  cfg.vnf_capacity = 7.0;
+  cfg.link_capacity = 9.0;
+  const Scenario s = make_scenario(rng, cfg);
+  EXPECT_DOUBLE_EQ(s.network.instance(0).capacity, 7.0);
+  EXPECT_DOUBLE_EQ(s.network.link_capacity(0), 9.0);
+}
+
+TEST(Scenario, DeterministicForFixedSeed) {
+  ExperimentConfig cfg = small();
+  Rng r1(9);
+  Rng r2(9);
+  const Scenario a = make_scenario(r1, cfg);
+  const Scenario b = make_scenario(r2, cfg);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.network.num_instances(), b.network.num_instances());
+  EXPECT_DOUBLE_EQ(a.network.mean_vnf_price(), b.network.mean_vnf_price());
+}
+
+TEST(MakeSfc, FollowsConfig) {
+  Rng rng(10);
+  const ExperimentConfig cfg = small();
+  const net::VnfCatalog c(cfg.catalog_size);
+  const sfc::DagSfc dag = make_sfc(rng, c, cfg);
+  EXPECT_EQ(dag.size(), cfg.sfc_size);
+  EXPECT_LE(dag.max_width(), cfg.max_layer_width);
+  EXPECT_NO_THROW(dag.validate(c));
+}
+
+}  // namespace
+}  // namespace dagsfc::sim

@@ -1,0 +1,109 @@
+#include "sfc/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dagsfc::sfc {
+namespace {
+
+TEST(LayerWidths, PaperRuleOfThree) {
+  EXPECT_EQ(layer_widths(1, 3), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(layer_widths(3, 3), (std::vector<std::size_t>{3}));
+  EXPECT_EQ(layer_widths(5, 3), (std::vector<std::size_t>{3, 2}));
+  EXPECT_EQ(layer_widths(9, 3), (std::vector<std::size_t>{3, 3, 3}));
+  EXPECT_EQ(layer_widths(10, 3), (std::vector<std::size_t>{3, 3, 3, 1}));
+}
+
+TEST(LayerWidths, OtherCaps) {
+  EXPECT_EQ(layer_widths(5, 1),
+            (std::vector<std::size_t>{1, 1, 1, 1, 1}));
+  EXPECT_EQ(layer_widths(5, 10), (std::vector<std::size_t>{5}));
+}
+
+TEST(LayerWidths, RejectsZero) {
+  EXPECT_THROW((void)layer_widths(0, 3), ContractViolation);
+  EXPECT_THROW((void)layer_widths(3, 0), ContractViolation);
+}
+
+TEST(RandomDagSfc, SizeAndStructureMatchRequest) {
+  Rng rng(1);
+  const net::VnfCatalog c(12);
+  for (std::size_t size = 1; size <= 9; ++size) {
+    RandomSfcOptions opts;
+    opts.size = size;
+    const DagSfc dag = random_dag_sfc(rng, c, opts);
+    EXPECT_EQ(dag.size(), size);
+    const auto widths = layer_widths(size, 3);
+    ASSERT_EQ(dag.num_layers(), widths.size());
+    for (std::size_t l = 0; l < widths.size(); ++l) {
+      EXPECT_EQ(dag.layer(l).width(), widths[l]);
+    }
+  }
+}
+
+TEST(RandomDagSfc, TypesAreDistinctAcrossWholeSfc) {
+  Rng rng(2);
+  const net::VnfCatalog c(12);
+  for (int t = 0; t < 20; ++t) {
+    RandomSfcOptions opts;
+    opts.size = 9;
+    const DagSfc dag = random_dag_sfc(rng, c, opts);
+    std::set<net::VnfTypeId> seen;
+    for (const Layer& l : dag.layers()) {
+      for (net::VnfTypeId v : l.vnfs) {
+        EXPECT_TRUE(seen.insert(v).second) << "duplicate type " << v;
+        EXPECT_TRUE(c.is_regular(v));
+      }
+    }
+  }
+}
+
+TEST(RandomDagSfc, SameStructureDifferentVnfsAcrossRuns) {
+  Rng rng(3);
+  const net::VnfCatalog c(12);
+  RandomSfcOptions opts;
+  opts.size = 5;
+  const DagSfc a = random_dag_sfc(rng, c, opts);
+  const DagSfc b = random_dag_sfc(rng, c, opts);
+  ASSERT_EQ(a.num_layers(), b.num_layers());
+  bool differs = false;
+  for (std::size_t l = 0; l < a.num_layers(); ++l) {
+    ASSERT_EQ(a.layer(l).width(), b.layer(l).width());
+    if (a.layer(l).vnfs != b.layer(l).vnfs) differs = true;
+  }
+  EXPECT_TRUE(differs) << "generator should vary VNFs between runs";
+}
+
+TEST(RandomDagSfc, DeterministicForFixedSeed) {
+  const net::VnfCatalog c(12);
+  RandomSfcOptions opts;
+  opts.size = 7;
+  Rng r1(42);
+  Rng r2(42);
+  const DagSfc a = random_dag_sfc(r1, c, opts);
+  const DagSfc b = random_dag_sfc(r2, c, opts);
+  for (std::size_t l = 0; l < a.num_layers(); ++l) {
+    EXPECT_EQ(a.layer(l).vnfs, b.layer(l).vnfs);
+  }
+}
+
+TEST(RandomDagSfc, CatalogTooSmallRejected) {
+  Rng rng(4);
+  const net::VnfCatalog c(3);
+  RandomSfcOptions opts;
+  opts.size = 4;
+  EXPECT_THROW((void)random_dag_sfc(rng, c, opts), ContractViolation);
+}
+
+TEST(RandomDagSfc, ResultValidates) {
+  Rng rng(5);
+  const net::VnfCatalog c(10);
+  RandomSfcOptions opts;
+  opts.size = 6;
+  const DagSfc dag = random_dag_sfc(rng, c, opts);
+  EXPECT_NO_THROW(dag.validate(c));
+}
+
+}  // namespace
+}  // namespace dagsfc::sfc

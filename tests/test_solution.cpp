@@ -1,0 +1,229 @@
+#include "core/solution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "test_helpers.hpp"
+
+namespace dagsfc::core {
+namespace {
+
+/// Hand-built valid solution on the canonical fixture:
+/// f1@1, f2@5, f3@3, merger@3; known cost 35 (the instance optimum).
+EmbeddingSolution hand_solution(const test::Fixture& fx) {
+  const graph::Graph& g = fx.network.topology();
+  auto path = [&](std::initializer_list<graph::NodeId> nodes) {
+    graph::Path p;
+    p.nodes = nodes;
+    for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+      p.edges.push_back(*g.find_edge(p.nodes[i], p.nodes[i + 1]));
+    }
+    p.cost = g.path_cost(p);
+    return p;
+  };
+  EmbeddingSolution sol;
+  sol.placement = {1, 5, 3, 3};
+  sol.inter_paths = {path({0, 1}),      // src → f1
+                     path({1, 5}),      // f1 → f2
+                     path({1, 5, 3}),   // f1 → f3 (shares 1-5: multicast)
+                     path({3, 4})};     // merger → t
+  sol.inner_paths = {path({5, 3}),      // f2 → merger
+                     path({3})};        // f3 co-located with merger
+  return sol;
+}
+
+TEST(Evaluator, ResolveEndpoints) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const EmbeddingSolution sol = hand_solution(*fx);
+  EXPECT_EQ(ev.resolve(SlotRef::source(), sol), 0u);
+  EXPECT_EQ(ev.resolve(SlotRef::destination(), sol), 4u);
+  EXPECT_EQ(ev.resolve(SlotRef::of(1), sol), 5u);
+}
+
+TEST(Evaluator, HandSolutionIsValid) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const auto errors = ev.validate(hand_solution(*fx));
+  EXPECT_TRUE(errors.empty()) << errors.front();
+}
+
+TEST(Evaluator, CostMatchesHandComputation) {
+  // VNF: f1@1=10, f2@5=8, f3@3=7, merger@3=5 → 30.
+  // Links: group0 {0-1}=1; group1 {1-5, 5-3}=2 (multicast shares 1-5);
+  // inner 5-3=1 (charged again: different group); group2 {3-4}=1 → 5.
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  EXPECT_DOUBLE_EQ(ev.cost(hand_solution(*fx)), 35.0);
+}
+
+TEST(Evaluator, MulticastDiscountCountsSharedEdgeOnce) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const ResourceUsage u = ev.usage(hand_solution(*fx));
+  const auto e15 = fx->network.topology().find_edge(1, 5);
+  const auto e53 = fx->network.topology().find_edge(5, 3);
+  ASSERT_TRUE(e15 && e53);
+  // 1-5 carried by both group-1 inter paths → once.
+  EXPECT_EQ(u.link_uses[*e15], 1u);
+  // 5-3 carried by a group-1 inter path AND an inner path → twice.
+  EXPECT_EQ(u.link_uses[*e53], 2u);
+}
+
+TEST(Evaluator, FlowSizeScalesCost) {
+  auto fx = test::canonical_fixture();
+  fx->problem.flow.size = 3.0;
+  const ModelIndex idx(fx->problem);
+  const Evaluator ev(idx);
+  EXPECT_DOUBLE_EQ(ev.cost(hand_solution(*fx)), 105.0);
+}
+
+TEST(Evaluator, CostBreakdownSums) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const ResourceUsage u = ev.usage(hand_solution(*fx));
+  const auto [vnf, link] = ev.cost_breakdown(u);
+  EXPECT_DOUBLE_EQ(vnf, 30.0);
+  EXPECT_DOUBLE_EQ(link, 5.0);
+}
+
+TEST(Evaluator, InstanceUsesCountRepeats) {
+  // Same type in two layers mapped to one node: α counts both uses.
+  test::NetBuilder b(2, 1);
+  b.link(0, 1, 1.0);
+  b.put(1, 1, 4.0);
+  auto fx = test::make_fixture(
+      b.build(), sfc::DagSfc({sfc::Layer{{1}}, sfc::Layer{{1}}}),
+      Flow{0, 0, 1.0, 1.0});
+  const Evaluator ev(*fx->index);
+  EmbeddingSolution sol;
+  sol.placement = {1, 1};
+  auto one = [&](std::vector<graph::NodeId> nodes) {
+    graph::Path p;
+    p.nodes = std::move(nodes);
+    for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+      p.edges.push_back(
+          *fx->network.topology().find_edge(p.nodes[i], p.nodes[i + 1]));
+    }
+    return p;
+  };
+  sol.inter_paths = {one({0, 1}), one({1}), one({1, 0})};
+  ASSERT_TRUE(ev.validate(sol).empty());
+  const ResourceUsage u = ev.usage(sol);
+  EXPECT_EQ(u.instance_uses[0], 2u);
+  // Cost: 2·4 rental + links 1 + 0 + 1.
+  EXPECT_DOUBLE_EQ(ev.cost(u), 10.0);
+}
+
+TEST(Evaluator, ValidateCatchesWrongHost) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  EmbeddingSolution sol = hand_solution(*fx);
+  sol.placement[0] = 0;  // node 0 hosts nothing
+  EXPECT_FALSE(ev.validate(sol).empty());
+}
+
+TEST(Evaluator, ValidateCatchesEndpointMismatch) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  EmbeddingSolution sol = hand_solution(*fx);
+  std::swap(sol.inter_paths[1], sol.inter_paths[2]);  // endpoints now wrong
+  EXPECT_FALSE(ev.validate(sol).empty());
+}
+
+TEST(Evaluator, ValidateCatchesMissingPath) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  EmbeddingSolution sol = hand_solution(*fx);
+  sol.inter_paths[3] = graph::Path{};
+  EXPECT_FALSE(ev.validate(sol).empty());
+}
+
+TEST(Evaluator, ValidateCatchesNonWalk) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  EmbeddingSolution sol = hand_solution(*fx);
+  sol.inter_paths[0].nodes = {0, 4};  // no such edge
+  EXPECT_FALSE(ev.validate(sol).empty());
+}
+
+TEST(Evaluator, ValidateCatchesSizeMismatch) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  EmbeddingSolution sol = hand_solution(*fx);
+  sol.placement.pop_back();
+  EXPECT_FALSE(ev.validate(sol).empty());
+  sol = hand_solution(*fx);
+  sol.inner_paths.pop_back();
+  EXPECT_FALSE(ev.validate(sol).empty());
+}
+
+TEST(Evaluator, FeasibilityAgainstLedger) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const EmbeddingSolution sol = hand_solution(*fx);
+  const ResourceUsage u = ev.usage(sol);
+  net::CapacityLedger ledger(fx->network);
+  EXPECT_TRUE(ev.feasible(u, ledger));
+  // Drain the f1 instance: infeasible.
+  const auto inst = fx->network.find_instance(1, 1);
+  ledger.consume_instance(*inst, ledger.instance_residual(*inst));
+  EXPECT_FALSE(ev.feasible(u, ledger));
+}
+
+TEST(Evaluator, CommitDebitsSharedEdgeTwice) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const ResourceUsage u = ev.usage(hand_solution(*fx));
+  net::CapacityLedger ledger(fx->network);
+  ev.commit(u, ledger);
+  const auto e53 = fx->network.topology().find_edge(5, 3);
+  EXPECT_DOUBLE_EQ(ledger.link_residual(*e53), 98.0);  // 2 uses × rate 1
+  const auto inst = fx->network.find_instance(1, 1);
+  EXPECT_DOUBLE_EQ(ledger.instance_residual(*inst), 99.0);
+}
+
+TEST(Evaluator, ReleaseUndoesCommitExactly) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const ResourceUsage u = ev.usage(hand_solution(*fx));
+  net::CapacityLedger ledger(fx->network);
+  ev.commit(u, ledger);
+  EXPECT_GT(ledger.total_link_consumed(), 0.0);
+  ev.release(u, ledger);
+  EXPECT_DOUBLE_EQ(ledger.total_link_consumed(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_instance_consumed(), 0.0);
+  // Multiple commit/release cycles stay balanced.
+  for (int i = 0; i < 3; ++i) ev.commit(u, ledger);
+  for (int i = 0; i < 3; ++i) ev.release(u, ledger);
+  EXPECT_DOUBLE_EQ(ledger.total_link_consumed(), 0.0);
+}
+
+TEST(Report, DotOverlayMarksUsedElements) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const std::string dot = to_dot(ev, hand_solution(*fx), "sol");
+  // Source and destination get the doublecircle shape.
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  // Hosting node 5 rents f2 and is boxed.
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("f2"), std::string::npos);
+  // The doubly-used link 5-3 is bold with its reuse count.
+  EXPECT_NE(dot.find("x2"), std::string::npos);
+  // Unused elements are dimmed.
+  EXPECT_NE(dot.find("color=gray"), std::string::npos);
+  EXPECT_EQ(dot.find("x0"), std::string::npos);  // no zero-count labels
+}
+
+TEST(Report, DescribeMentionsPlacementsAndCost) {
+  auto fx = test::canonical_fixture();
+  const Evaluator ev(*fx->index);
+  const std::string text = describe(ev, hand_solution(*fx));
+  EXPECT_NE(text.find("f1@node1"), std::string::npos);
+  EXPECT_NE(text.find("merger@node3"), std::string::npos);
+  EXPECT_NE(text.find("35.00"), std::string::npos);
+  EXPECT_NE(text.find("co-located"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dagsfc::core

@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dagsfc {
+namespace {
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, CellBeforeRowRejected) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), ContractViolation);
+}
+
+TEST(Table, RowOverflowRejected) {
+  Table t({"a", "b"});
+  t.row().cell("1").cell("2");
+  EXPECT_THROW(t.cell("3"), ContractViolation);
+}
+
+TEST(Table, IncompleteRowRejectedOnNextRow) {
+  Table t({"a", "b"});
+  t.row().cell("1");
+  EXPECT_THROW(t.row(), ContractViolation);
+}
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"name", "v"});
+  t.row().cell("x").cell("1");
+  t.row().cell("longer").cell("22");
+  const std::string out = t.ascii();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("| longer |"), std::string::npos);
+  EXPECT_NE(out.find("|      x |"), std::string::npos);
+}
+
+TEST(Table, NumericFormatting) {
+  Table t({"d", "i"});
+  t.row().cell(3.14159, 3).cell(static_cast<std::size_t>(42));
+  EXPECT_NE(t.ascii().find("3.142"), std::string::npos);
+  EXPECT_NE(t.ascii().find("42"), std::string::npos);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.row().cell("1").cell("2");
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a"});
+  t.row().cell("hello, world");
+  t.row().cell("quote\"inside");
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, RowAndColumnCounts) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.column_count(), 3u);
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell("x").cell("y").cell("z");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace dagsfc

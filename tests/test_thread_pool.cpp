@@ -1,0 +1,103 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dagsfc {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExplicitSizeRespected) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllExecute) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(300);
+  parallel_for(pool, visits.size(),
+               [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelFor, RethrowsFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 10,
+                   [](std::size_t i) {
+                     if (i == 3) throw std::invalid_argument("bad index");
+                   }),
+      std::invalid_argument);
+}
+
+TEST(ParallelFor, OtherTasksStillRunAfterThrow) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  try {
+    parallel_for(pool, 20, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("early");
+      ++counter;
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(counter.load(), 19);  // failure does not cancel siblings
+}
+
+TEST(ParallelFor, ResultsMatchSequentialSum) {
+  ThreadPool pool(3);
+  std::vector<long> out(500, 0);
+  parallel_for(pool, out.size(),
+               [&](std::size_t i) { out[i] = static_cast<long>(i) * 2; });
+  const long sum = std::accumulate(out.begin(), out.end(), 0L);
+  EXPECT_EQ(sum, 499L * 500L);  // 2 * Σ i = n(n-1)
+}
+
+}  // namespace
+}  // namespace dagsfc

@@ -1,0 +1,114 @@
+#include "graph/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dagsfc::graph {
+namespace {
+
+TEST(Topologies, Ring) {
+  const Graph g = make_ring(6);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_TRUE(is_connected(g));
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW((void)make_ring(2), ContractViolation);
+}
+
+TEST(Topologies, Star) {
+  const Graph g = make_star(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_THROW((void)make_star(1), ContractViolation);
+}
+
+TEST(Topologies, Line) {
+  const Graph g = make_line(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  const Graph single = make_line(1);
+  EXPECT_EQ(single.num_edges(), 0u);
+}
+
+TEST(Topologies, GridFlat) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // Edges: 3·3 horizontal + 2·4 vertical = 17.
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (row 1, col 1)
+}
+
+TEST(Topologies, GridTorusAddsWraps) {
+  const Graph g = make_grid(3, 3, /*wrap=*/true);
+  EXPECT_EQ(g.num_edges(), 18u);  // 2·n for a torus
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_THROW((void)make_grid(2, 3, true), ContractViolation);
+}
+
+TEST(Topologies, LeafSpine) {
+  const Graph g = make_leaf_spine(10, 3);
+  EXPECT_EQ(g.num_edges(), 21u);  // 7 leaves × 3 spines
+  for (NodeId s = 0; s < 3; ++s) EXPECT_EQ(g.degree(s), 7u);
+  for (NodeId l = 3; l < 10; ++l) EXPECT_EQ(g.degree(l), 3u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW((void)make_leaf_spine(5, 5), ContractViolation);
+}
+
+TEST(Topologies, FatTreeK4) {
+  const Graph g = make_fat_tree(4);
+  // k=4: 4 cores + 4 pods × 4 switches = 20 nodes.
+  EXPECT_EQ(g.num_nodes(), 20u);
+  // Edges: per pod 2·2 agg-edge + 2·2 agg-core = 8 → 32.
+  EXPECT_EQ(g.num_edges(), 32u);
+  EXPECT_TRUE(is_connected(g));
+  // Every core has degree k (one per pod).
+  for (NodeId c = 0; c < 4; ++c) EXPECT_EQ(g.degree(c), 4u);
+  EXPECT_THROW((void)make_fat_tree(3), ContractViolation);
+}
+
+TEST(Topologies, FatTreeK2Degenerate) {
+  const Graph g = make_fat_tree(2);
+  EXPECT_EQ(g.num_nodes(), 5u);  // 1 core + 2 pods × 2
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Topologies, WaxmanConnectedAndSeeded) {
+  WaxmanOptions opts;
+  opts.num_nodes = 60;
+  Rng r1(5);
+  Rng r2(5);
+  const Graph a = make_waxman(r1, opts);
+  const Graph b = make_waxman(r2, opts);
+  EXPECT_TRUE(is_connected(a));
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_GE(a.num_edges(), 59u);
+}
+
+TEST(Topologies, WaxmanDensityGrowsWithAlpha) {
+  WaxmanOptions sparse;
+  sparse.num_nodes = 80;
+  sparse.alpha = 0.05;
+  WaxmanOptions dense = sparse;
+  dense.alpha = 0.9;
+  Rng r1(9);
+  Rng r2(9);
+  const Graph gs = make_waxman(r1, sparse);
+  const Graph gd = make_waxman(r2, dense);
+  EXPECT_LT(gs.num_edges(), gd.num_edges());
+}
+
+TEST(Topologies, AllUnitWeights) {
+  for (const Graph& g :
+       {make_ring(5), make_star(5), make_grid(2, 2), make_leaf_spine(6, 2),
+        make_fat_tree(4)}) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      EXPECT_DOUBLE_EQ(g.edge(e).weight, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dagsfc::graph

@@ -1,0 +1,199 @@
+#include "sfc/transform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dagsfc::sfc {
+namespace {
+
+MatrixOracle all_parallel(std::size_t n) {
+  MatrixOracle m(n);
+  for (net::VnfTypeId a = 1; a <= n; ++a) {
+    for (net::VnfTypeId b = a + 1; b <= n; ++b) m.set_parallel(a, b);
+  }
+  return m;
+}
+
+TEST(Transform, FullyParallelChainCollapsesToOneLayer) {
+  const auto oracle = all_parallel(4);
+  const DagSfc dag = transform(SequentialSfc{{1, 2, 3, 4}}, oracle);
+  ASSERT_EQ(dag.num_layers(), 1u);
+  EXPECT_EQ(dag.layer(0).vnfs, (std::vector<net::VnfTypeId>{1, 2, 3, 4}));
+  EXPECT_TRUE(dag.layer(0).has_merger());
+}
+
+TEST(Transform, FullySequentialChainKeepsAllLayers) {
+  const MatrixOracle oracle(4);  // nothing parallel
+  const DagSfc dag = transform(SequentialSfc{{1, 2, 3, 4}}, oracle);
+  EXPECT_EQ(dag.num_layers(), 4u);
+  for (std::size_t l = 0; l < 4; ++l) {
+    EXPECT_EQ(dag.layer(l).width(), 1u);
+    EXPECT_FALSE(dag.layer(l).has_merger());
+  }
+}
+
+TEST(Transform, Fig2StyleMixedChain) {
+  // 1 ∥ nothing; {2,3,4,5} mutually parallel; {6,7} mutually parallel.
+  MatrixOracle m(7);
+  for (net::VnfTypeId a = 2; a <= 5; ++a) {
+    for (net::VnfTypeId b = a + 1; b <= 5; ++b) m.set_parallel(a, b);
+  }
+  m.set_parallel(6, 7);
+  const DagSfc dag = transform(SequentialSfc{{1, 2, 3, 4, 5, 6, 7}}, m);
+  ASSERT_EQ(dag.num_layers(), 3u);
+  EXPECT_EQ(dag.layer(0).vnfs, (std::vector<net::VnfTypeId>{1}));
+  EXPECT_EQ(dag.layer(1).vnfs, (std::vector<net::VnfTypeId>{2, 3, 4, 5}));
+  EXPECT_EQ(dag.layer(2).vnfs, (std::vector<net::VnfTypeId>{6, 7}));
+}
+
+TEST(Transform, AbsorbRequiresParallelWithWholeLayer) {
+  // 1∥2 and 2∥3 but 1∦3: 3 must open a new layer.
+  MatrixOracle m(3);
+  m.set_parallel(1, 2);
+  m.set_parallel(2, 3);
+  const DagSfc dag = transform(SequentialSfc{{1, 2, 3}}, m);
+  ASSERT_EQ(dag.num_layers(), 2u);
+  EXPECT_EQ(dag.layer(0).vnfs, (std::vector<net::VnfTypeId>{1, 2}));
+  EXPECT_EQ(dag.layer(1).vnfs, (std::vector<net::VnfTypeId>{3}));
+}
+
+TEST(Transform, WidthCapSplitsLayers) {
+  const auto oracle = all_parallel(6);
+  TransformOptions opts;
+  opts.max_layer_width = 3;
+  const DagSfc dag = transform(SequentialSfc{{1, 2, 3, 4, 5, 6}}, oracle,
+                               opts);
+  ASSERT_EQ(dag.num_layers(), 2u);
+  EXPECT_EQ(dag.layer(0).width(), 3u);
+  EXPECT_EQ(dag.layer(1).width(), 3u);
+}
+
+TEST(Transform, RepeatedTypeNeverSharesItsOwnLayer) {
+  const auto oracle = all_parallel(2);
+  const DagSfc dag = transform(SequentialSfc{{1, 1}}, oracle);
+  ASSERT_EQ(dag.num_layers(), 2u);  // a parallel set is a set
+}
+
+TEST(Transform, EmptyChainGivesEmptyDag) {
+  const MatrixOracle oracle(2);
+  const DagSfc dag = transform(SequentialSfc{{}}, oracle);
+  EXPECT_EQ(dag.num_layers(), 0u);
+  EXPECT_EQ(dag.size(), 0u);
+}
+
+TEST(Transform, SingleVnfChain) {
+  const MatrixOracle oracle(2);
+  const DagSfc dag = transform(SequentialSfc{{2}}, oracle);
+  ASSERT_EQ(dag.num_layers(), 1u);
+  EXPECT_FALSE(dag.layer(0).has_merger());
+}
+
+TEST(Transform, PreservesVnfMultiset) {
+  const auto oracle = all_parallel(5);
+  const SequentialSfc chain{{3, 1, 4, 1, 5}};
+  const DagSfc dag = transform(chain, oracle);
+  std::multiset<net::VnfTypeId> want(chain.chain.begin(), chain.chain.end());
+  std::multiset<net::VnfTypeId> got;
+  for (const Layer& l : dag.layers()) {
+    got.insert(l.vnfs.begin(), l.vnfs.end());
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(TransformMinLayers, MatchesGreedyOnEasyChains) {
+  const auto oracle = all_parallel(4);
+  const SequentialSfc chain{{1, 2, 3, 4}};
+  const DagSfc greedy = transform(chain, oracle);
+  const DagSfc optimal = transform_min_layers(chain, oracle);
+  EXPECT_EQ(optimal.num_layers(), greedy.num_layers());
+  EXPECT_EQ(optimal.num_layers(), 1u);
+}
+
+TEST(TransformMinLayers, BeatsGreedyWhenGreedyOverCommits) {
+  // 1∥2 but 2∥3 only: greedy grabs {1,2} then {3},{4} when 3∦4 — 3 layers.
+  // The optimum is {1},{2,3},{4}… both 3. Construct a genuine gap:
+  // width cap 2, chain 1 2 3 with 1∥2 and 2∥3, 1∦3:
+  //   greedy: {1,2},{3} = 2 — already minimal. Need a case where deferring
+  // pays: chain a b c d with a∥b, b∥c, c∥d, a∦c, b∦d:
+  //   greedy: {a,b},{c,d} = 2 (minimal).
+  // True gaps need a later boundary penalty; classic example:
+  // chain 1 2 3 4, pairs: 1∥2, 3∥4, 2∥3, 1∦3, 2∦4... greedy {1,2},{3,4}=2.
+  // Greedy IS optimal for interval partitions of a chain when growth is
+  // only blocked by conflicts — a known exchange argument — EXCEPT when the
+  // width cap interacts: cap 2 on an all-parallel 3-chain: greedy {1,2},{3}
+  // = optimal 2 as well. So assert the DP never does WORSE than greedy
+  // across randomized oracles instead (the provable property).
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomOracle oracle(8, rng, 0.5);
+    std::vector<net::VnfTypeId> c;
+    for (int i = 0; i < 7; ++i) {
+      c.push_back(static_cast<net::VnfTypeId>(1 + rng.index(8)));
+    }
+    for (std::size_t cap : {0u, 2u, 3u}) {
+      TransformOptions opts;
+      opts.max_layer_width = cap;
+      const DagSfc greedy = transform(SequentialSfc{c}, oracle, opts);
+      const DagSfc optimal =
+          transform_min_layers(SequentialSfc{c}, oracle, opts);
+      EXPECT_LE(optimal.num_layers(), greedy.num_layers());
+      EXPECT_EQ(optimal.size(), c.size());
+    }
+  }
+}
+
+TEST(TransformMinLayers, SegmentsAreValidParallelSets) {
+  Rng rng(19);
+  const RandomOracle oracle(6, rng, 0.6);
+  const SequentialSfc chain{{1, 2, 3, 4, 5, 6}};
+  const DagSfc dag = transform_min_layers(chain, oracle);
+  for (const Layer& l : dag.layers()) {
+    for (std::size_t a = 0; a < l.vnfs.size(); ++a) {
+      for (std::size_t b = a + 1; b < l.vnfs.size(); ++b) {
+        EXPECT_TRUE(oracle.parallel(l.vnfs[a], l.vnfs[b]));
+      }
+    }
+  }
+  // Concatenated layers reproduce the chain order.
+  std::vector<net::VnfTypeId> flat;
+  for (const Layer& l : dag.layers()) {
+    flat.insert(flat.end(), l.vnfs.begin(), l.vnfs.end());
+  }
+  EXPECT_EQ(flat, chain.chain);
+}
+
+TEST(TransformMinLayers, WidthCapRespected) {
+  const auto oracle = all_parallel(6);
+  TransformOptions opts;
+  opts.max_layer_width = 2;
+  const DagSfc dag =
+      transform_min_layers(SequentialSfc{{1, 2, 3, 4, 5, 6}}, oracle, opts);
+  EXPECT_EQ(dag.num_layers(), 3u);
+  EXPECT_EQ(dag.max_width(), 2u);
+}
+
+TEST(TransformMinLayers, EmptyAndSingleton) {
+  const MatrixOracle oracle(2);
+  EXPECT_EQ(transform_min_layers(SequentialSfc{{}}, oracle).num_layers(), 0u);
+  EXPECT_EQ(transform_min_layers(SequentialSfc{{2}}, oracle).num_layers(),
+            1u);
+}
+
+TEST(TransformMinLayers, DuplicatesForceBoundaries) {
+  const auto oracle = all_parallel(2);
+  const DagSfc dag = transform_min_layers(SequentialSfc{{1, 1, 1}}, oracle);
+  EXPECT_EQ(dag.num_layers(), 3u);
+}
+
+TEST(Transform, OrderWithinChainRespectedAcrossLayers) {
+  // With nothing parallel, layer order must equal chain order.
+  const MatrixOracle oracle(5);
+  const SequentialSfc chain{{5, 3, 1}};
+  const DagSfc dag = transform(chain, oracle);
+  ASSERT_EQ(dag.num_layers(), 3u);
+  EXPECT_EQ(dag.layer(0).vnfs[0], 5u);
+  EXPECT_EQ(dag.layer(1).vnfs[0], 3u);
+  EXPECT_EQ(dag.layer(2).vnfs[0], 1u);
+}
+
+}  // namespace
+}  // namespace dagsfc::sfc

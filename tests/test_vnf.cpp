@@ -1,0 +1,69 @@
+#include "net/vnf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dagsfc::net {
+namespace {
+
+TEST(VnfCatalog, NumberingMatchesPaper) {
+  const VnfCatalog c(4);  // f(0)=dummy, f(1..4), f(5)=merger
+  EXPECT_EQ(c.num_regular(), 4u);
+  EXPECT_EQ(c.num_types(), 6u);
+  EXPECT_EQ(VnfCatalog::dummy(), 0u);
+  EXPECT_EQ(c.merger(), 5u);
+  EXPECT_EQ(c.regular(1), 1u);
+  EXPECT_EQ(c.regular(4), 4u);
+}
+
+TEST(VnfCatalog, Classification) {
+  const VnfCatalog c(3);
+  EXPECT_TRUE(c.is_dummy(0));
+  EXPECT_FALSE(c.is_regular(0));
+  for (VnfTypeId t = 1; t <= 3; ++t) {
+    EXPECT_TRUE(c.is_regular(t)) << t;
+    EXPECT_FALSE(c.is_merger(t)) << t;
+    EXPECT_FALSE(c.is_dummy(t)) << t;
+  }
+  EXPECT_TRUE(c.is_merger(4));
+  EXPECT_FALSE(c.is_regular(4));
+}
+
+TEST(VnfCatalog, ValidityBounds) {
+  const VnfCatalog c(2);
+  EXPECT_TRUE(c.valid(0));
+  EXPECT_TRUE(c.valid(3));
+  EXPECT_FALSE(c.valid(4));
+}
+
+TEST(VnfCatalog, DefaultNames) {
+  const VnfCatalog c(2);
+  EXPECT_EQ(c.name(0), "dummy");
+  EXPECT_EQ(c.name(1), "f1");
+  EXPECT_EQ(c.name(2), "f2");
+  EXPECT_EQ(c.name(3), "merger");
+}
+
+TEST(VnfCatalog, CustomNames) {
+  const VnfCatalog c({"firewall", "ids"});
+  EXPECT_EQ(c.num_regular(), 2u);
+  EXPECT_EQ(c.name(1), "firewall");
+  EXPECT_EQ(c.name(2), "ids");
+  EXPECT_EQ(c.name(c.merger()), "merger");
+}
+
+TEST(VnfCatalog, RegularIds) {
+  const VnfCatalog c(3);
+  EXPECT_EQ(c.regular_ids(), (std::vector<VnfTypeId>{1, 2, 3}));
+}
+
+TEST(VnfCatalog, RejectsEmptyAndOutOfRange) {
+  EXPECT_THROW(VnfCatalog(0), ContractViolation);
+  EXPECT_THROW(VnfCatalog(std::vector<std::string>{}), ContractViolation);
+  const VnfCatalog c(2);
+  EXPECT_THROW((void)c.regular(0), ContractViolation);
+  EXPECT_THROW((void)c.regular(3), ContractViolation);
+  EXPECT_THROW((void)c.name(9), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dagsfc::net
