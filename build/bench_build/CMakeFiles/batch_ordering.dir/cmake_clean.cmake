@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/batch_ordering"
+  "../bench/batch_ordering.pdb"
+  "CMakeFiles/batch_ordering.dir/batch_ordering.cpp.o"
+  "CMakeFiles/batch_ordering.dir/batch_ordering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

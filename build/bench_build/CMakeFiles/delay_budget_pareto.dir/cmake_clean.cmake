@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/delay_budget_pareto"
+  "../bench/delay_budget_pareto.pdb"
+  "CMakeFiles/delay_budget_pareto.dir/delay_budget_pareto.cpp.o"
+  "CMakeFiles/delay_budget_pareto.dir/delay_budget_pareto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_budget_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for delay_budget_pareto.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/delay_hybrid_vs_sequential"
+  "../bench/delay_hybrid_vs_sequential.pdb"
+  "CMakeFiles/delay_hybrid_vs_sequential.dir/delay_hybrid_vs_sequential.cpp.o"
+  "CMakeFiles/delay_hybrid_vs_sequential.dir/delay_hybrid_vs_sequential.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_hybrid_vs_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for delay_hybrid_vs_sequential.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dynamic_admission"
+  "../bench/dynamic_admission.pdb"
+  "CMakeFiles/dynamic_admission.dir/dynamic_admission.cpp.o"
+  "CMakeFiles/dynamic_admission.dir/dynamic_admission.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/failover_recovery"
+  "../bench/failover_recovery.pdb"
+  "CMakeFiles/failover_recovery.dir/failover_recovery.cpp.o"
+  "CMakeFiles/failover_recovery.dir/failover_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

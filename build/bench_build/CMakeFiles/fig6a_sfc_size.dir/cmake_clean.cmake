@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_sfc_size"
+  "../bench/fig6a_sfc_size.pdb"
+  "CMakeFiles/fig6a_sfc_size.dir/fig6a_sfc_size.cpp.o"
+  "CMakeFiles/fig6a_sfc_size.dir/fig6a_sfc_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_sfc_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

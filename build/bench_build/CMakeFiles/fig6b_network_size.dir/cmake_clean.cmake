@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_network_size"
+  "../bench/fig6b_network_size.pdb"
+  "CMakeFiles/fig6b_network_size.dir/fig6b_network_size.cpp.o"
+  "CMakeFiles/fig6b_network_size.dir/fig6b_network_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_network_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6c_connectivity"
+  "../bench/fig6c_connectivity.pdb"
+  "CMakeFiles/fig6c_connectivity.dir/fig6c_connectivity.cpp.o"
+  "CMakeFiles/fig6c_connectivity.dir/fig6c_connectivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6d_deploy_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6e_price_ratio"
+  "../bench/fig6e_price_ratio.pdb"
+  "CMakeFiles/fig6e_price_ratio.dir/fig6e_price_ratio.cpp.o"
+  "CMakeFiles/fig6e_price_ratio.dir/fig6e_price_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6e_price_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

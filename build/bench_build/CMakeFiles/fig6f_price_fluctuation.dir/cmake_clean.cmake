@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6f_price_fluctuation"
+  "../bench/fig6f_price_fluctuation.pdb"
+  "CMakeFiles/fig6f_price_fluctuation.dir/fig6f_price_fluctuation.cpp.o"
+  "CMakeFiles/fig6f_price_fluctuation.dir/fig6f_price_fluctuation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6f_price_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

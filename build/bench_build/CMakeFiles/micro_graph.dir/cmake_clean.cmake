@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_graph"
+  "../bench/micro_graph.pdb"
+  "CMakeFiles/micro_graph.dir/micro_graph.cpp.o"
+  "CMakeFiles/micro_graph.dir/micro_graph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

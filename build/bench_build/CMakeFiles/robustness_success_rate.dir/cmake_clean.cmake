@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/robustness_success_rate"
+  "../bench/robustness_success_rate.pdb"
+  "CMakeFiles/robustness_success_rate.dir/robustness_success_rate.cpp.o"
+  "CMakeFiles/robustness_success_rate.dir/robustness_success_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_success_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/runtime_complexity"
+  "../bench/runtime_complexity.pdb"
+  "CMakeFiles/runtime_complexity.dir/runtime_complexity.cpp.o"
+  "CMakeFiles/runtime_complexity.dir/runtime_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

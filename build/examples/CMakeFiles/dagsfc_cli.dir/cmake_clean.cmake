@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagsfc_cli.dir/dagsfc_cli.cpp.o"
+  "CMakeFiles/dagsfc_cli.dir/dagsfc_cli.cpp.o.d"
+  "dagsfc_cli"
+  "dagsfc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagsfc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backtracking.cpp" "src/core/CMakeFiles/dagsfc_core.dir/backtracking.cpp.o" "gcc" "src/core/CMakeFiles/dagsfc_core.dir/backtracking.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/dagsfc_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/dagsfc_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/batch.cpp" "src/core/CMakeFiles/dagsfc_core.dir/batch.cpp.o" "gcc" "src/core/CMakeFiles/dagsfc_core.dir/batch.cpp.o.d"
+  "/root/repo/src/core/delay.cpp" "src/core/CMakeFiles/dagsfc_core.dir/delay.cpp.o" "gcc" "src/core/CMakeFiles/dagsfc_core.dir/delay.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/core/CMakeFiles/dagsfc_core.dir/exact.cpp.o" "gcc" "src/core/CMakeFiles/dagsfc_core.dir/exact.cpp.o.d"
+  "/root/repo/src/core/ilp.cpp" "src/core/CMakeFiles/dagsfc_core.dir/ilp.cpp.o" "gcc" "src/core/CMakeFiles/dagsfc_core.dir/ilp.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/dagsfc_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/dagsfc_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/dagsfc_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/dagsfc_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/search_tree.cpp" "src/core/CMakeFiles/dagsfc_core.dir/search_tree.cpp.o" "gcc" "src/core/CMakeFiles/dagsfc_core.dir/search_tree.cpp.o.d"
+  "/root/repo/src/core/solution.cpp" "src/core/CMakeFiles/dagsfc_core.dir/solution.cpp.o" "gcc" "src/core/CMakeFiles/dagsfc_core.dir/solution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfc/CMakeFiles/dagsfc_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dagsfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dagsfc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dagsfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagsfc_core.dir/backtracking.cpp.o"
+  "CMakeFiles/dagsfc_core.dir/backtracking.cpp.o.d"
+  "CMakeFiles/dagsfc_core.dir/baselines.cpp.o"
+  "CMakeFiles/dagsfc_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/dagsfc_core.dir/batch.cpp.o"
+  "CMakeFiles/dagsfc_core.dir/batch.cpp.o.d"
+  "CMakeFiles/dagsfc_core.dir/delay.cpp.o"
+  "CMakeFiles/dagsfc_core.dir/delay.cpp.o.d"
+  "CMakeFiles/dagsfc_core.dir/exact.cpp.o"
+  "CMakeFiles/dagsfc_core.dir/exact.cpp.o.d"
+  "CMakeFiles/dagsfc_core.dir/ilp.cpp.o"
+  "CMakeFiles/dagsfc_core.dir/ilp.cpp.o.d"
+  "CMakeFiles/dagsfc_core.dir/model.cpp.o"
+  "CMakeFiles/dagsfc_core.dir/model.cpp.o.d"
+  "CMakeFiles/dagsfc_core.dir/report.cpp.o"
+  "CMakeFiles/dagsfc_core.dir/report.cpp.o.d"
+  "CMakeFiles/dagsfc_core.dir/search_tree.cpp.o"
+  "CMakeFiles/dagsfc_core.dir/search_tree.cpp.o.d"
+  "CMakeFiles/dagsfc_core.dir/solution.cpp.o"
+  "CMakeFiles/dagsfc_core.dir/solution.cpp.o.d"
+  "libdagsfc_core.a"
+  "libdagsfc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagsfc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

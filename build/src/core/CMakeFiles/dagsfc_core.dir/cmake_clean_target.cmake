@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdagsfc_core.a"
+)

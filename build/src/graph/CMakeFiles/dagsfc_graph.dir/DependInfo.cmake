@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cpp" "src/graph/CMakeFiles/dagsfc_graph.dir/bfs.cpp.o" "gcc" "src/graph/CMakeFiles/dagsfc_graph.dir/bfs.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/graph/CMakeFiles/dagsfc_graph.dir/dijkstra.cpp.o" "gcc" "src/graph/CMakeFiles/dagsfc_graph.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/dagsfc_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/dagsfc_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/generator.cpp" "src/graph/CMakeFiles/dagsfc_graph.dir/generator.cpp.o" "gcc" "src/graph/CMakeFiles/dagsfc_graph.dir/generator.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/dagsfc_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/dagsfc_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/steiner.cpp" "src/graph/CMakeFiles/dagsfc_graph.dir/steiner.cpp.o" "gcc" "src/graph/CMakeFiles/dagsfc_graph.dir/steiner.cpp.o.d"
+  "/root/repo/src/graph/topologies.cpp" "src/graph/CMakeFiles/dagsfc_graph.dir/topologies.cpp.o" "gcc" "src/graph/CMakeFiles/dagsfc_graph.dir/topologies.cpp.o.d"
+  "/root/repo/src/graph/yen.cpp" "src/graph/CMakeFiles/dagsfc_graph.dir/yen.cpp.o" "gcc" "src/graph/CMakeFiles/dagsfc_graph.dir/yen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dagsfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagsfc_graph.dir/bfs.cpp.o"
+  "CMakeFiles/dagsfc_graph.dir/bfs.cpp.o.d"
+  "CMakeFiles/dagsfc_graph.dir/dijkstra.cpp.o"
+  "CMakeFiles/dagsfc_graph.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/dagsfc_graph.dir/dot.cpp.o"
+  "CMakeFiles/dagsfc_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/dagsfc_graph.dir/generator.cpp.o"
+  "CMakeFiles/dagsfc_graph.dir/generator.cpp.o.d"
+  "CMakeFiles/dagsfc_graph.dir/graph.cpp.o"
+  "CMakeFiles/dagsfc_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dagsfc_graph.dir/steiner.cpp.o"
+  "CMakeFiles/dagsfc_graph.dir/steiner.cpp.o.d"
+  "CMakeFiles/dagsfc_graph.dir/topologies.cpp.o"
+  "CMakeFiles/dagsfc_graph.dir/topologies.cpp.o.d"
+  "CMakeFiles/dagsfc_graph.dir/yen.cpp.o"
+  "CMakeFiles/dagsfc_graph.dir/yen.cpp.o.d"
+  "libdagsfc_graph.a"
+  "libdagsfc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagsfc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

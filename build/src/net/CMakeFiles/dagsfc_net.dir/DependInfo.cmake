@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/io.cpp" "src/net/CMakeFiles/dagsfc_net.dir/io.cpp.o" "gcc" "src/net/CMakeFiles/dagsfc_net.dir/io.cpp.o.d"
+  "/root/repo/src/net/ledger.cpp" "src/net/CMakeFiles/dagsfc_net.dir/ledger.cpp.o" "gcc" "src/net/CMakeFiles/dagsfc_net.dir/ledger.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/dagsfc_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/dagsfc_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/vnf.cpp" "src/net/CMakeFiles/dagsfc_net.dir/vnf.cpp.o" "gcc" "src/net/CMakeFiles/dagsfc_net.dir/vnf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dagsfc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dagsfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagsfc_net.dir/io.cpp.o"
+  "CMakeFiles/dagsfc_net.dir/io.cpp.o.d"
+  "CMakeFiles/dagsfc_net.dir/ledger.cpp.o"
+  "CMakeFiles/dagsfc_net.dir/ledger.cpp.o.d"
+  "CMakeFiles/dagsfc_net.dir/network.cpp.o"
+  "CMakeFiles/dagsfc_net.dir/network.cpp.o.d"
+  "CMakeFiles/dagsfc_net.dir/vnf.cpp.o"
+  "CMakeFiles/dagsfc_net.dir/vnf.cpp.o.d"
+  "libdagsfc_net.a"
+  "libdagsfc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagsfc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

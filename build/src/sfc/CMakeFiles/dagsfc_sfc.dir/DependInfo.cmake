@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfc/dag_sfc.cpp" "src/sfc/CMakeFiles/dagsfc_sfc.dir/dag_sfc.cpp.o" "gcc" "src/sfc/CMakeFiles/dagsfc_sfc.dir/dag_sfc.cpp.o.d"
+  "/root/repo/src/sfc/generator.cpp" "src/sfc/CMakeFiles/dagsfc_sfc.dir/generator.cpp.o" "gcc" "src/sfc/CMakeFiles/dagsfc_sfc.dir/generator.cpp.o.d"
+  "/root/repo/src/sfc/io.cpp" "src/sfc/CMakeFiles/dagsfc_sfc.dir/io.cpp.o" "gcc" "src/sfc/CMakeFiles/dagsfc_sfc.dir/io.cpp.o.d"
+  "/root/repo/src/sfc/parallelism.cpp" "src/sfc/CMakeFiles/dagsfc_sfc.dir/parallelism.cpp.o" "gcc" "src/sfc/CMakeFiles/dagsfc_sfc.dir/parallelism.cpp.o.d"
+  "/root/repo/src/sfc/transform.cpp" "src/sfc/CMakeFiles/dagsfc_sfc.dir/transform.cpp.o" "gcc" "src/sfc/CMakeFiles/dagsfc_sfc.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dagsfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dagsfc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dagsfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagsfc_sfc.dir/dag_sfc.cpp.o"
+  "CMakeFiles/dagsfc_sfc.dir/dag_sfc.cpp.o.d"
+  "CMakeFiles/dagsfc_sfc.dir/generator.cpp.o"
+  "CMakeFiles/dagsfc_sfc.dir/generator.cpp.o.d"
+  "CMakeFiles/dagsfc_sfc.dir/io.cpp.o"
+  "CMakeFiles/dagsfc_sfc.dir/io.cpp.o.d"
+  "CMakeFiles/dagsfc_sfc.dir/parallelism.cpp.o"
+  "CMakeFiles/dagsfc_sfc.dir/parallelism.cpp.o.d"
+  "CMakeFiles/dagsfc_sfc.dir/transform.cpp.o"
+  "CMakeFiles/dagsfc_sfc.dir/transform.cpp.o.d"
+  "libdagsfc_sfc.a"
+  "libdagsfc_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagsfc_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/dagsfc_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/dagsfc_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/dynamic.cpp" "src/sim/CMakeFiles/dagsfc_sim.dir/dynamic.cpp.o" "gcc" "src/sim/CMakeFiles/dagsfc_sim.dir/dynamic.cpp.o.d"
+  "/root/repo/src/sim/failover.cpp" "src/sim/CMakeFiles/dagsfc_sim.dir/failover.cpp.o" "gcc" "src/sim/CMakeFiles/dagsfc_sim.dir/failover.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/dagsfc_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/dagsfc_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/dagsfc_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/dagsfc_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/sim/CMakeFiles/dagsfc_sim.dir/sweep.cpp.o" "gcc" "src/sim/CMakeFiles/dagsfc_sim.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dagsfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/dagsfc_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dagsfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dagsfc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dagsfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

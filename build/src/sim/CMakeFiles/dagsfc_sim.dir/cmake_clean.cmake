@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagsfc_sim.dir/config.cpp.o"
+  "CMakeFiles/dagsfc_sim.dir/config.cpp.o.d"
+  "CMakeFiles/dagsfc_sim.dir/dynamic.cpp.o"
+  "CMakeFiles/dagsfc_sim.dir/dynamic.cpp.o.d"
+  "CMakeFiles/dagsfc_sim.dir/failover.cpp.o"
+  "CMakeFiles/dagsfc_sim.dir/failover.cpp.o.d"
+  "CMakeFiles/dagsfc_sim.dir/runner.cpp.o"
+  "CMakeFiles/dagsfc_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/dagsfc_sim.dir/scenario.cpp.o"
+  "CMakeFiles/dagsfc_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/dagsfc_sim.dir/sweep.cpp.o"
+  "CMakeFiles/dagsfc_sim.dir/sweep.cpp.o.d"
+  "libdagsfc_sim.a"
+  "libdagsfc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagsfc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagsfc_util.dir/flags.cpp.o"
+  "CMakeFiles/dagsfc_util.dir/flags.cpp.o.d"
+  "CMakeFiles/dagsfc_util.dir/log.cpp.o"
+  "CMakeFiles/dagsfc_util.dir/log.cpp.o.d"
+  "CMakeFiles/dagsfc_util.dir/rng.cpp.o"
+  "CMakeFiles/dagsfc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dagsfc_util.dir/stats.cpp.o"
+  "CMakeFiles/dagsfc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dagsfc_util.dir/table.cpp.o"
+  "CMakeFiles/dagsfc_util.dir/table.cpp.o.d"
+  "CMakeFiles/dagsfc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dagsfc_util.dir/thread_pool.cpp.o.d"
+  "libdagsfc_util.a"
+  "libdagsfc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagsfc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backtracking.dir/test_backtracking.cpp.o"
+  "CMakeFiles/test_backtracking.dir/test_backtracking.cpp.o.d"
+  "test_backtracking"
+  "test_backtracking.pdb"
+  "test_backtracking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backtracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_timer.dir/test_log_timer.cpp.o"
+  "CMakeFiles/test_log_timer.dir/test_log_timer.cpp.o.d"
+  "test_log_timer"
+  "test_log_timer.pdb"
+  "test_log_timer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

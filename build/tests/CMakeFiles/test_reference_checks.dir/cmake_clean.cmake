@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_checks.dir/test_reference_checks.cpp.o"
+  "CMakeFiles/test_reference_checks.dir/test_reference_checks.cpp.o.d"
+  "test_reference_checks"
+  "test_reference_checks.pdb"
+  "test_reference_checks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

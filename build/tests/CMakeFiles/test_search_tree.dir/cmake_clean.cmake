@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_tree.dir/test_search_tree.cpp.o"
+  "CMakeFiles/test_search_tree.dir/test_search_tree.cpp.o.d"
+  "test_search_tree"
+  "test_search_tree.pdb"
+  "test_search_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfc_generator.dir/test_sfc_generator.cpp.o"
+  "CMakeFiles/test_sfc_generator.dir/test_sfc_generator.cpp.o.d"
+  "test_sfc_generator"
+  "test_sfc_generator.pdb"
+  "test_sfc_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfc_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_topologies.cpp" "tests/CMakeFiles/test_topologies.dir/test_topologies.cpp.o" "gcc" "tests/CMakeFiles/test_topologies.dir/test_topologies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dagsfc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dagsfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/dagsfc_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dagsfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dagsfc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dagsfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
