@@ -3,15 +3,18 @@
 /// algorithm construction, and result printing. Every bench binary prints
 /// the series of one paper figure (mean total embedding cost per algorithm
 /// vs the swept parameter) as an ASCII table, a detail table (success rate,
-/// wall clock, search effort), and optionally CSV.
+/// wall clock, search effort, path-cache hit rate), a machine-readable JSON
+/// summary line, and optionally CSV.
 
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/backtracking.hpp"
 #include "core/baselines.hpp"
+#include "net/ledger.hpp"
 #include "sim/sweep.hpp"
 #include "util/flags.hpp"
 
@@ -49,6 +52,8 @@ inline std::unique_ptr<BenchSetup> setup(int argc, const char* const* argv,
       .define_int("xmax", 50, "MBBE forward-search node cap X_max")
       .define_int("xd", 4, "MBBE children kept per sub-solution X_d")
       .define_bool("no-bbe", false, "exclude plain BBE from the comparison")
+      .define_bool("no-path-cache", false,
+                   "disable the epoch-keyed shortest-path cache (A/B timing)")
       .define_bool("csv", false, "also print CSV after the tables");
   try {
     s->flags.parse(argc, argv);
@@ -65,6 +70,7 @@ inline std::unique_ptr<BenchSetup> setup(int argc, const char* const* argv,
   s->run_opts.threads = static_cast<std::size_t>(s->flags.get_int("threads"));
   s->csv = s->flags.get_bool("csv");
   s->with_bbe = !s->flags.get_bool("no-bbe");
+  net::CapacityLedger::set_cache_default(!s->flags.get_bool("no-path-cache"));
 
   s->ranv = std::make_unique<core::RanvEmbedder>();
   s->minv = std::make_unique<core::MinvEmbedder>();
@@ -76,6 +82,59 @@ inline std::unique_ptr<BenchSetup> setup(int argc, const char* const* argv,
   return s;
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+inline std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// One JSON object per bench run: every sweep point × algorithm with cost,
+/// timing, search effort, and the solver path-query counters (dijkstra_calls,
+/// yen_calls, cache_hits, cache_misses, evictions, cache_hit_rate). Emitted
+/// on a single line prefixed "JSON: " so scripts can grep and parse it.
+inline std::string to_json(const std::string& title,
+                           const sim::SweepResult& result) {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << json_escape(title) << "\",\"points\":[";
+  for (std::size_t p = 0; p < result.point_stats.size(); ++p) {
+    if (p) os << ",";
+    os << "{\"label\":\""
+       << json_escape(p < result.labels.size() ? result.labels[p] : "")
+       << "\",\"algorithms\":[";
+    const auto& stats = result.point_stats[p];
+    for (std::size_t a = 0; a < stats.size(); ++a) {
+      const sim::AlgorithmStats& st = stats[a];
+      const auto& c = st.path_queries;
+      if (a) os << ",";
+      os << "{\"name\":\"" << json_escape(st.name) << "\""
+         << ",\"success_rate\":" << st.success_rate()
+         << ",\"mean_cost\":" << (st.successes ? st.cost.mean() : 0.0)
+         << ",\"mean_ms\":" << st.wall_ms.mean()
+         << ",\"mean_expanded\":" << st.expanded.mean()
+         << ",\"dijkstra_calls\":" << c.dijkstra_calls
+         << ",\"yen_calls\":" << c.yen_calls
+         << ",\"cache_hits\":" << c.cache_hits
+         << ",\"cache_misses\":" << c.cache_misses
+         << ",\"evictions\":" << c.evictions
+         << ",\"cache_hit_rate\":" << c.hit_rate() << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 inline void print_result(const BenchSetup& s, const std::string& title,
                          const std::string& expectation,
                          const sim::SweepResult& result) {
@@ -85,8 +144,9 @@ inline void print_result(const BenchSetup& s, const std::string& title,
   std::cout << "mean total embedding cost (successful trials):\n"
             << result.cost_table.ascii() << "\n";
   std::cout << "detail (success rate / mean solve ms / expanded "
-               "sub-solutions):\n"
+               "sub-solutions / path-cache hit rate):\n"
             << result.detail_table.ascii();
+  std::cout << "\nJSON: " << to_json(title, result) << "\n";
   if (s.csv) {
     std::cout << "\nCSV:\n" << result.cost_table.csv();
   }

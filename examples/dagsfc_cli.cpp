@@ -135,6 +135,7 @@ int main(int argc, char** argv) {
     }
     const core::Evaluator evaluator(index);
     std::cout << core::describe(evaluator, *r.solution);
+    std::cout << core::describe_search(r) << "\n";
     if (!flags.get("emit-dot").empty()) {
       write_file(flags.get("emit-dot"),
                  core::to_dot(evaluator, *r.solution, "embedding"));

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Strict verification pass: builds the full tree with AddressSanitizer and
+# UBSan (-DDAGSFC_SANITIZE=ON) into build-asan/ and runs the test suite
+# under it. Any sanitizer report fails the run (halt_on_error, plus
+# -fno-sanitize-recover=undefined at compile time).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -G Ninja -DDAGSFC_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="print_stacktrace=1:${UBSAN_OPTIONS:-}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -5,8 +5,8 @@
 #include <optional>
 #include <set>
 
+#include "core/path_oracle.hpp"
 #include "graph/dijkstra.hpp"
-#include "graph/yen.hpp"
 
 namespace dagsfc::core {
 
@@ -229,10 +229,11 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
 
   SolveResult result;
 
+  // All shortest-path questions go through the oracle, which consults the
+  // ledger's epoch-keyed cache and tallies the observability counters.
+  PathOracle oracle(g, ledger, rate);
   // Links that cannot carry the flow are invisible to min-cost routing.
-  const graph::EdgeFilter usable = [&](graph::EdgeId e) {
-    return ledger.link_can_carry(e, rate);
-  };
+  const graph::EdgeFilter& usable = oracle.usable();
 
   // Layer 0 of the sub-solution tree: the source, at no cost (§4.4.2).
   std::vector<std::vector<SubSolution>> pools(omega + 1);
@@ -284,9 +285,9 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
 
       // Min-cost tree from the start node, shared by MBBE's inter-layer
       // instantiation across all of this parent's candidates.
-      std::optional<graph::ShortestPathTree> sp_from_start;
+      std::shared_ptr<const graph::ShortestPathTree> sp_from_start;
       if (opts_.min_cost_path_instantiation) {
-        sp_from_start = graph::dijkstra(g, start, usable);
+        sp_from_start = oracle.tree(start);
       }
 
       // Alternative real-paths in tree mode stay inside the forward-search
@@ -310,14 +311,13 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
               paths.push_back(std::move(*p));
             }
           } else {
-            paths = graph::k_shortest_paths(g, start, v,
-                                            opts_.paths_per_meta_path, usable);
+            paths = oracle.k_shortest(start, v, opts_.paths_per_meta_path);
           }
         } else {
           paths.push_back(fst.path_from_root(g, v));
           if (opts_.paths_per_meta_path > 1) {
-            for (auto& alt : graph::k_shortest_paths(
-                     g, start, v, opts_.paths_per_meta_path, fst_usable)) {
+            for (auto& alt : oracle.k_shortest_filtered(
+                     start, v, opts_.paths_per_meta_path, fst_usable)) {
               if (alt.nodes != paths.front().nodes) {
                 paths.push_back(std::move(alt));
               }
@@ -381,9 +381,9 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
             [&](NodeId v) { return fst.contains(v); }, bwd_ok);
         if (!bwd_ok) continue;
 
-        std::optional<graph::ShortestPathTree> sp_from_merger;
+        std::shared_ptr<const graph::ShortestPathTree> sp_from_merger;
         if (opts_.min_cost_path_instantiation) {
-          sp_from_merger = graph::dijkstra(g, m, usable);
+          sp_from_merger = oracle.tree(m);
         }
         const graph::EdgeFilter bst_usable = [&](graph::EdgeId e) {
           const graph::Edge& ed = g.edge(e);
@@ -403,14 +403,13 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
                 paths.push_back(std::move(*p));
               }
             } else {
-              paths = graph::k_shortest_paths(
-                  g, v, m, opts_.paths_per_meta_path, usable);
+              paths = oracle.k_shortest(v, m, opts_.paths_per_meta_path);
             }
           } else {
             paths.push_back(bst.path_to_root(g, v));
             if (opts_.paths_per_meta_path > 1) {
-              for (auto& alt : graph::k_shortest_paths(
-                       g, v, m, opts_.paths_per_meta_path, bst_usable)) {
+              for (auto& alt : oracle.k_shortest_filtered(
+                       v, m, opts_.paths_per_meta_path, bst_usable)) {
                 if (alt.nodes != paths.front().nodes) {
                   paths.push_back(std::move(alt));
                 }
@@ -501,6 +500,7 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
     if (out.empty()) {
       result.failure_reason =
           "no feasible sub-solution at layer " + std::to_string(l + 1);
+      result.path_queries = oracle.counters();
       return result;
     }
     // Memory-overflow guard the paper lacks: keep the cheapest sub-solutions
@@ -524,8 +524,7 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
     auto final_hop =
         leaf.end_node == prob.flow.destination
             ? std::optional<graph::Path>(trivial_path(leaf.end_node))
-            : graph::min_cost_path(g, leaf.end_node, prob.flow.destination,
-                                   usable);
+            : oracle.min_cost_path(leaf.end_node, prob.flow.destination);
     if (!final_hop) continue;
     ++result.candidate_solutions;
 
@@ -581,6 +580,7 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
     }
   }
 
+  result.path_queries = oracle.counters();
   if (!best) {
     result.failure_reason = "no feasible complete solution";
     return result;

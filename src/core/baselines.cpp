@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/path_oracle.hpp"
 #include "graph/dijkstra.hpp"
 
 namespace dagsfc::core {
@@ -49,20 +50,20 @@ SolveResult assign_then_route(
   }
 
   // Meta-paths by minimum-cost path over links that can carry the flow.
-  const graph::EdgeFilter usable = [&](graph::EdgeId e) {
-    return ledger.link_can_carry(e, rate);
-  };
+  PathOracle oracle(g, ledger, rate);
+  auto record_counters = [&]() { result.path_queries = oracle.counters(); };
   Evaluator evaluator(index);
   auto instantiate = [&](const MetaPathDesc& d) -> std::optional<graph::Path> {
     const NodeId a = evaluator.resolve(d.from, sol);
     const NodeId b = evaluator.resolve(d.to, sol);
     if (a == b) return trivial_path(a);
-    return graph::min_cost_path(g, a, b, usable);
+    return oracle.min_cost_path(a, b);
   };
   for (const MetaPathDesc& d : index.inter_paths()) {
     auto p = instantiate(d);
     if (!p) {
       result.failure_reason = "no usable route for an inter-layer meta-path";
+      record_counters();
       return result;
     }
     sol.inter_paths.push_back(std::move(*p));
@@ -71,10 +72,12 @@ SolveResult assign_then_route(
     auto p = instantiate(d);
     if (!p) {
       result.failure_reason = "no usable route for an inner-layer meta-path";
+      record_counters();
       return result;
     }
     sol.inner_paths.push_back(std::move(*p));
   }
+  record_counters();
 
   DAGSFC_ASSERT(evaluator.validate(sol).empty());
   const ResourceUsage u = evaluator.usage(sol);

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/solution.hpp"
+#include "graph/path_cache.hpp"
 #include "util/rng.hpp"
 
 namespace dagsfc::core {
@@ -23,6 +24,9 @@ struct SolveResult {
   /// Search effort diagnostics for the complexity benches.
   std::size_t expanded_sub_solutions = 0;
   std::size_t candidate_solutions = 0;
+  /// Shortest-path query counters (Dijkstra/Yen computations and path-cache
+  /// hits/misses/evictions) accumulated by this solve's PathOracle.
+  graph::PathQueryCounters path_queries;
 
   [[nodiscard]] bool ok() const noexcept { return solution.has_value(); }
 };

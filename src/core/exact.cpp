@@ -4,6 +4,7 @@
 #include <map>
 #include <queue>
 
+#include "core/path_oracle.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/steiner.hpp"
 
@@ -117,9 +118,9 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
 
   SolveResult result;
 
-  const graph::EdgeFilter usable = [&](graph::EdgeId e) {
-    return ledger.link_can_carry(e, rate);
-  };
+  PathOracle oracle(g, ledger, rate);
+  auto record_counters = [&]() { result.path_queries = oracle.counters(); };
+  const graph::EdgeFilter& usable = oracle.usable();
 
   // Hosting candidates per layer slot type, capacity-screened.
   auto hosts = [&](VnfTypeId t) {
@@ -148,6 +149,7 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
     prev_ends = std::max<std::size_t>(1, ends);
     if (work > static_cast<double>(opts_.max_work)) {
       result.failure_reason = "instance too large for the exact solver";
+      record_counters();
       return result;
     }
   }
@@ -169,10 +171,10 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
       if (cell.cost == graph::kInfCost) continue;
       if (!layer.has_merger()) {
         const VnfTypeId t = layer.vnfs[0];
-        const auto sp = graph::dijkstra(g, p, usable);
+        const auto sp = oracle.tree(p);
         for (NodeId v : hosts(t)) {
-          if (sp.dist[v] == graph::kInfCost) continue;
-          const double c = cell.cost + price_of(v, t) + sp.dist[v];
+          if (sp->dist[v] == graph::kInfCost) continue;
+          const double c = cell.cost + price_of(v, t) + sp->dist[v];
           auto& slot = next[v];
           if (c < slot.cost) {
             slot.cost = c;
@@ -187,10 +189,12 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
       choices.reserve(layer.vnfs.size());
       for (VnfTypeId t : layer.vnfs) choices.push_back(hosts(t));
 
-      // Distances from each merger candidate, shared across assignments.
-      std::map<NodeId, graph::ShortestPathTree> from_merger;
+      // Distances from each merger candidate, shared across assignments
+      // (and across DP cells and layers, via the path cache).
+      std::map<NodeId, std::shared_ptr<const graph::ShortestPathTree>>
+          from_merger;
       for (NodeId m : hosts(catalog.merger())) {
-        from_merger.emplace(m, graph::dijkstra(g, m, usable));
+        from_merger.emplace(m, oracle.tree(m));
       }
       if (from_merger.empty()) continue;
 
@@ -208,11 +212,11 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
           double inner = 0.0;
           bool ok = true;
           for (NodeId v : assign) {
-            if (sp.dist[v] == graph::kInfCost) {
+            if (sp->dist[v] == graph::kInfCost) {
               ok = false;
               break;
             }
-            inner += sp.dist[v];
+            inner += sp->dist[v];
           }
           if (!ok) continue;
           const double c = base + price_of(m, catalog.merger()) + inner;
@@ -229,6 +233,7 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
     if (next.empty()) {
       result.failure_reason =
           "no placement reachable at layer " + std::to_string(l + 1);
+      record_counters();
       return result;
     }
     trail.push_back(next);
@@ -236,12 +241,12 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
   }
 
   // Final hop to the destination.
-  const auto sp_t = graph::dijkstra(g, prob.flow.destination, usable);
+  const auto sp_t = oracle.tree(prob.flow.destination);
   NodeId best_end = graph::kInvalidNode;
   double best_raw = graph::kInfCost;
   for (const auto& [v, cell] : dp) {
-    if (sp_t.dist[v] == graph::kInfCost) continue;
-    const double c = cell.cost + sp_t.dist[v];
+    if (sp_t->dist[v] == graph::kInfCost) continue;
+    const double c = cell.cost + sp_t->dist[v];
     if (c < best_raw) {
       best_raw = c;
       best_end = v;
@@ -249,6 +254,7 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
   }
   if (best_end == graph::kInvalidNode) {
     result.failure_reason = "destination unreachable from every end node";
+    record_counters();
     return result;
   }
 
@@ -271,8 +277,7 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
       DAGSFC_ASSERT(ilast - ifirst == 1);
       auto p = back.prev_end == back.assignment[0]
                    ? std::optional<graph::Path>(trivial_path(back.prev_end))
-                   : graph::min_cost_path(g, back.prev_end, back.assignment[0],
-                                          usable);
+                   : oracle.min_cost_path(back.prev_end, back.assignment[0]);
       DAGSFC_CHECK(p.has_value());
       sol.inter_paths[ifirst] = std::move(*p);
     } else {
@@ -286,7 +291,7 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
         const NodeId v = back.assignment[i - nfirst];
         auto p = v == end
                      ? std::optional<graph::Path>(trivial_path(v))
-                     : graph::min_cost_path(g, v, end, usable);
+                     : oracle.min_cost_path(v, end);
         DAGSFC_CHECK(p.has_value());
         sol.inner_paths[i] = std::move(*p);
       }
@@ -298,8 +303,7 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
     DAGSFC_ASSERT(dlast - dfirst == 1);
     auto p = best_end == prob.flow.destination
                  ? std::optional<graph::Path>(trivial_path(best_end))
-                 : graph::min_cost_path(g, best_end, prob.flow.destination,
-                                        usable);
+                 : oracle.min_cost_path(best_end, prob.flow.destination);
     DAGSFC_CHECK(p.has_value());
     sol.inter_paths[dfirst] = std::move(*p);
   }
@@ -307,6 +311,7 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
   Evaluator evaluator(index);
   DAGSFC_ASSERT(evaluator.validate(sol).empty());
   const ResourceUsage u = evaluator.usage(sol);
+  record_counters();
   if (!evaluator.feasible(u, ledger)) {
     result.failure_reason =
         "optimal uncapacitated solution violates a capacity constraint; "

@@ -1,0 +1,109 @@
+#pragma once
+/// \file path_oracle.hpp
+/// The one gateway through which embedders ask shortest-path questions.
+///
+/// A PathOracle binds the topology, the residual ledger and the flow rate,
+/// exposes the residual-capacity edge filter every solver uses, and routes
+/// each query through the ledger's graph::PathCache when one is enabled —
+/// falling back to direct computation otherwise. Either way it tallies
+/// graph::PathQueryCounters, which the embedders surface on SolveResult.
+///
+/// Cached and uncached answers are bit-identical by construction: a cached
+/// point-to-point path is read out of the full Dijkstra tree, whose parent
+/// chain for any target equals the early-exit run's (targets are finalized
+/// when popped; later relaxations cannot improve them), and cached Yen
+/// results are the same deterministic k_shortest_paths() output.
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/path_cache.hpp"
+#include "graph/yen.hpp"
+#include "net/ledger.hpp"
+
+namespace dagsfc::core {
+
+using graph::NodeId;
+
+class PathOracle {
+ public:
+  PathOracle(const graph::Graph& g, const net::CapacityLedger& ledger,
+             double rate)
+      : g_(&g),
+        ledger_(&ledger),
+        rate_(rate),
+        usable_([this](graph::EdgeId e) {
+          return ledger_->link_can_carry(e, rate_);
+        }) {}
+
+  PathOracle(const PathOracle&) = delete;
+  PathOracle& operator=(const PathOracle&) = delete;
+
+  /// Links that can carry the flow rate on the residual network — the
+  /// filter formerly rebuilt by every solver.
+  [[nodiscard]] const graph::EdgeFilter& usable() const noexcept {
+    return usable_;
+  }
+
+  /// Min-cost tree from \p source over usable links.
+  [[nodiscard]] std::shared_ptr<const graph::ShortestPathTree> tree(
+      NodeId source) {
+    if (auto* cache = ledger_->path_cache()) {
+      return cache->tree(*g_, source, ledger_->epoch(), context(), usable_,
+                         counters_);
+    }
+    ++counters_.dijkstra_calls;
+    return std::make_shared<const graph::ShortestPathTree>(
+        graph::dijkstra(*g_, source, usable_));
+  }
+
+  /// Min-cost path a → b over usable links; nullopt when unreachable.
+  [[nodiscard]] std::optional<graph::Path> min_cost_path(NodeId a, NodeId b) {
+    if (ledger_->path_cache()) return tree(a)->path_to(b);
+    ++counters_.dijkstra_calls;
+    return graph::min_cost_path(*g_, a, b, usable_);
+  }
+
+  /// Yen's k cheapest paths a → b over usable links.
+  [[nodiscard]] std::vector<graph::Path> k_shortest(NodeId a, NodeId b,
+                                                    std::size_t k) {
+    if (auto* cache = ledger_->path_cache()) {
+      return *cache->k_paths(*g_, a, b, k, ledger_->epoch(), context(),
+                             usable_, counters_);
+    }
+    ++counters_.yen_calls;
+    return graph::k_shortest_paths(*g_, a, b, k, usable_);
+  }
+
+  /// Yen under a caller-supplied filter (e.g. restricted to a search-tree
+  /// node set). Never cached — the filter's identity is not keyable — but
+  /// still counted.
+  [[nodiscard]] std::vector<graph::Path> k_shortest_filtered(
+      NodeId a, NodeId b, std::size_t k, const graph::EdgeFilter& filter) {
+    ++counters_.yen_calls;
+    return graph::k_shortest_paths(*g_, a, b, k, filter);
+  }
+
+  [[nodiscard]] const graph::PathQueryCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  /// Everything usable() depends on besides the ledger epoch, folded into
+  /// the cache key so e.g. flows of different rates never share entries.
+  [[nodiscard]] std::uint64_t context() const noexcept {
+    return std::bit_cast<std::uint64_t>(rate_);
+  }
+
+  const graph::Graph* g_;
+  const net::CapacityLedger* ledger_;
+  double rate_;
+  graph::EdgeFilter usable_;
+  graph::PathQueryCounters counters_;
+};
+
+}  // namespace dagsfc::core

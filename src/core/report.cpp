@@ -57,6 +57,22 @@ std::string describe(const Evaluator& evaluator,
   return os.str();
 }
 
+std::string describe_search(const SolveResult& result) {
+  const graph::PathQueryCounters& c = result.path_queries;
+  std::ostringstream os;
+  os << "search: expanded " << result.expanded_sub_solutions
+     << " sub-solutions, " << result.candidate_solutions << " candidates; "
+     << "dijkstra " << c.dijkstra_calls << ", yen " << c.yen_calls
+     << ", path-cache " << c.cache_hits << "/" << c.cache_hits + c.cache_misses
+     << " hits";
+  if (c.cache_hits + c.cache_misses > 0) {
+    os << " (" << std::fixed << std::setprecision(1) << c.hit_rate() * 100.0
+       << "%)";
+  }
+  if (c.evictions > 0) os << ", " << c.evictions << " evicted";
+  return os.str();
+}
+
 std::string to_dot(const Evaluator& evaluator, const EmbeddingSolution& sol,
                    const std::string& name) {
   const ModelIndex& index = evaluator.index();

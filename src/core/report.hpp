@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "core/embedder.hpp"
 #include "core/solution.hpp"
 
 namespace dagsfc::core {
@@ -13,6 +14,11 @@ namespace dagsfc::core {
 /// real-path, and the cost breakdown.
 [[nodiscard]] std::string describe(const Evaluator& evaluator,
                                    const EmbeddingSolution& solution);
+
+/// One-line search-effort summary of a solve: expanded sub-solutions,
+/// candidate solutions, Dijkstra/Yen computations and path-cache hit rate
+/// (see graph::PathQueryCounters).
+[[nodiscard]] std::string describe_search(const SolveResult& result);
 
 /// Graphviz overlay of the embedding on the network topology: hosting
 /// nodes are boxed and labeled with the VNFs they run, links carrying the

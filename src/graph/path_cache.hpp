@@ -1,0 +1,117 @@
+#pragma once
+/// \file path_cache.hpp
+/// Version-keyed memoization of shortest-path computations.
+///
+/// The embedders spend most of their time re-running Dijkstra and Yen
+/// between the same endpoints while the residual network has not changed:
+/// BBE/MBBE re-derive the min-cost tree of a sub-solution's end node once
+/// per parent, the exact solver re-runs per-merger Dijkstra for every DP
+/// cell, and the baselines route every meta-path from scratch. A PathCache
+/// memoizes those results keyed by (version, context, endpoints, k), where
+///
+///   * version  — a monotonic counter the owner bumps whenever the set of
+///     usable edges may have changed (net::CapacityLedger::epoch()); stale
+///     entries are never returned and are evicted lazily,
+///   * context  — an opaque discriminator for anything else the edge filter
+///     depends on (the flow rate, bit-cast), so flows with different rates
+///     never share entries.
+///
+/// Entries are shared_ptr-owned so callers can hold results across later
+/// cache calls without being invalidated by eviction. The cache is NOT
+/// thread-safe; it is owned per-CapacityLedger, and ledgers are not shared
+/// across threads.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+
+namespace dagsfc::graph {
+
+/// Observability counters for the solver path queries. `dijkstra_calls` and
+/// `yen_calls` count actual computations (cache misses included, hits
+/// excluded); hits/misses/evictions count cache events only.
+struct PathQueryCounters {
+  std::size_t dijkstra_calls = 0;
+  std::size_t yen_calls = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t evictions = 0;
+
+  PathQueryCounters& operator+=(const PathQueryCounters& o) {
+    dijkstra_calls += o.dijkstra_calls;
+    yen_calls += o.yen_calls;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    evictions += o.evictions;
+    return *this;
+  }
+
+  /// hits / (hits + misses); 0 when the cache was never consulted.
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::size_t n = cache_hits + cache_misses;
+    return n ? static_cast<double>(cache_hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+class PathCache {
+ public:
+  /// \p max_entries bounds trees and k-path lists separately; when an
+  /// insert would exceed the bound, every entry of an older version is
+  /// evicted first, then (if all entries are current) the whole store.
+  explicit PathCache(std::size_t max_entries = 1024)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  /// Full Dijkstra tree from \p source under \p filter. Computes on miss.
+  [[nodiscard]] std::shared_ptr<const ShortestPathTree> tree(
+      const Graph& g, NodeId source, std::uint64_t version,
+      std::uint64_t context, const EdgeFilter& filter, PathQueryCounters& c);
+
+  /// Yen's k cheapest loopless paths source → target under \p filter.
+  [[nodiscard]] std::shared_ptr<const std::vector<Path>> k_paths(
+      const Graph& g, NodeId source, NodeId target, std::size_t k,
+      std::uint64_t version, std::uint64_t context, const EdgeFilter& filter,
+      PathQueryCounters& c);
+
+  [[nodiscard]] std::size_t num_trees() const noexcept {
+    return trees_.size();
+  }
+  [[nodiscard]] std::size_t num_k_paths() const noexcept {
+    return yens_.size();
+  }
+
+  void clear() {
+    trees_.clear();
+    yens_.clear();
+  }
+
+ private:
+  struct TreeKey {
+    std::uint64_t version;
+    std::uint64_t context;
+    NodeId source;
+    auto operator<=>(const TreeKey&) const = default;
+  };
+  struct YenKey {
+    std::uint64_t version;
+    std::uint64_t context;
+    NodeId source;
+    NodeId target;
+    std::size_t k;
+    auto operator<=>(const YenKey&) const = default;
+  };
+
+  /// Drops stale-version entries of \p store (then everything, if needed)
+  /// so one more insert fits under max_entries_.
+  template <typename Store>
+  void make_room(Store& store, std::uint64_t version, PathQueryCounters& c);
+
+  std::size_t max_entries_;
+  std::map<TreeKey, std::shared_ptr<const ShortestPathTree>> trees_;
+  std::map<YenKey, std::shared_ptr<const std::vector<Path>>> yens_;
+};
+
+}  // namespace dagsfc::graph

@@ -2,6 +2,16 @@
 
 namespace dagsfc::net {
 
+namespace {
+bool g_cache_default = true;
+}  // namespace
+
+void CapacityLedger::set_cache_default(bool enabled) noexcept {
+  g_cache_default = enabled;
+}
+
+bool CapacityLedger::cache_default() noexcept { return g_cache_default; }
+
 CapacityLedger::CapacityLedger(const Network& network) : net_(&network) {
   link_residual_.reserve(network.num_links());
   for (EdgeId e = 0; e < network.num_links(); ++e) {
@@ -11,6 +21,36 @@ CapacityLedger::CapacityLedger(const Network& network) : net_(&network) {
   for (InstanceId id = 0; id < network.num_instances(); ++id) {
     instance_residual_.push_back(network.instance(id).capacity);
   }
+}
+
+CapacityLedger::CapacityLedger(const CapacityLedger& other)
+    : net_(other.net_),
+      link_residual_(other.link_residual_),
+      instance_residual_(other.instance_residual_),
+      epoch_(other.epoch_),
+      cache_enabled_(other.cache_enabled_) {}
+
+CapacityLedger& CapacityLedger::operator=(const CapacityLedger& other) {
+  if (this != &other) {
+    net_ = other.net_;
+    link_residual_ = other.link_residual_;
+    instance_residual_ = other.instance_residual_;
+    epoch_ = other.epoch_;
+    cache_enabled_ = other.cache_enabled_;
+    cache_.reset();  // caches are per-instance, never shared
+  }
+  return *this;
+}
+
+graph::PathCache* CapacityLedger::path_cache() const {
+  if (!cache_enabled_) return nullptr;
+  if (!cache_) cache_ = std::make_unique<graph::PathCache>();
+  return cache_.get();
+}
+
+void CapacityLedger::set_cache_enabled(bool enabled) {
+  cache_enabled_ = enabled;
+  if (!enabled) cache_.reset();
 }
 
 bool CapacityLedger::node_offers(NodeId node, VnfTypeId type,
@@ -23,18 +63,21 @@ void CapacityLedger::consume_link(EdgeId e, double rate) {
   DAGSFC_CHECK(rate >= 0.0);
   DAGSFC_CHECK_MSG(link_can_carry(e, rate), "link over-subscribed");
   link_residual_[e] -= rate;
+  ++epoch_;
 }
 
 void CapacityLedger::consume_instance(InstanceId id, double rate) {
   DAGSFC_CHECK(rate >= 0.0);
   DAGSFC_CHECK_MSG(instance_can_process(id, rate), "VNF over-subscribed");
   instance_residual_[id] -= rate;
+  ++epoch_;
 }
 
 void CapacityLedger::release_link(EdgeId e, double rate) {
   DAGSFC_CHECK(rate >= 0.0);
   DAGSFC_CHECK(e < link_residual_.size());
   link_residual_[e] += rate;
+  ++epoch_;
   DAGSFC_CHECK_MSG(
       link_residual_[e] <= net_->link_capacity(e) + kEps,
       "release exceeds nominal link capacity");
@@ -44,6 +87,7 @@ void CapacityLedger::release_instance(InstanceId id, double rate) {
   DAGSFC_CHECK(rate >= 0.0);
   DAGSFC_CHECK(id < instance_residual_.size());
   instance_residual_[id] += rate;
+  ++epoch_;
   DAGSFC_CHECK_MSG(
       instance_residual_[id] <= net_->instance(id).capacity + kEps,
       "release exceeds nominal instance capacity");

@@ -10,9 +10,20 @@
 /// (3)). Ledgers are value types — candidate exploration copies them; the
 /// sequential multi-flow examples keep one long-lived ledger across
 /// admissions.
+///
+/// Every debit or credit bumps a monotonic epoch() counter. The epoch keys
+/// the per-ledger graph::PathCache: shortest-path results memoized at one
+/// epoch are never served at another, so cached routes invalidate exactly
+/// when the usable-edge set may have changed (a commit, a release, a
+/// backtracked reservation). Copies inherit the residuals and epoch but
+/// start with a fresh, empty cache (caches are never shared — they are not
+/// thread-safe).
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "graph/path_cache.hpp"
 #include "net/network.hpp"
 
 namespace dagsfc::net {
@@ -20,6 +31,11 @@ namespace dagsfc::net {
 class CapacityLedger {
  public:
   explicit CapacityLedger(const Network& network);
+
+  CapacityLedger(const CapacityLedger& other);
+  CapacityLedger& operator=(const CapacityLedger& other);
+  CapacityLedger(CapacityLedger&&) noexcept = default;
+  CapacityLedger& operator=(CapacityLedger&&) noexcept = default;
 
   [[nodiscard]] const Network& network() const noexcept { return *net_; }
 
@@ -56,12 +72,34 @@ class CapacityLedger {
   [[nodiscard]] double total_link_consumed() const;
   [[nodiscard]] double total_instance_consumed() const;
 
+  /// Monotonic version of the residual state: bumped by every consume_* /
+  /// release_*. Two equal epochs of one ledger instance imply an identical
+  /// usable-edge set, which is what makes path-cache entries reusable.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// The ledger's shortest-path cache, lazily created; nullptr when caching
+  /// is disabled for this ledger. The cache is logically state — it never
+  /// changes observable results — hence usable through const ledgers.
+  [[nodiscard]] graph::PathCache* path_cache() const;
+
+  /// Per-ledger override of the process-wide default (set_cache_default).
+  void set_cache_enabled(bool enabled);
+  [[nodiscard]] bool cache_enabled() const noexcept { return cache_enabled_; }
+
+  /// Process-wide default for newly constructed ledgers (on out of the
+  /// box). Flip before spawning worker threads; reads are unsynchronized.
+  static void set_cache_default(bool enabled) noexcept;
+  [[nodiscard]] static bool cache_default() noexcept;
+
  private:
   static constexpr double kEps = 1e-9;
 
   const Network* net_;
   std::vector<double> link_residual_;
   std::vector<double> instance_residual_;
+  std::uint64_t epoch_ = 0;
+  bool cache_enabled_ = cache_default();
+  mutable std::unique_ptr<graph::PathCache> cache_;
 };
 
 }  // namespace dagsfc::net

@@ -1,7 +1,5 @@
 #include "sim/runner.hpp"
 
-#include <mutex>
-
 #include "util/timer.hpp"
 
 namespace dagsfc::sim {
@@ -24,7 +22,21 @@ std::vector<AlgorithmStats> run_comparison(
   std::vector<std::uint64_t> trial_seeds(cfg.trials);
   for (auto& s : trial_seeds) s = seeder.fork_seed();
 
-  std::mutex mu;
+  struct TrialRow {
+    bool ok = false;
+    double cost = 0.0;
+    double vnf = 0.0;
+    double link = 0.0;
+    double ms = 0.0;
+    double expanded = 0.0;
+    graph::PathQueryCounters path_queries;
+  };
+  // Each trial writes only its own slot; the reduction below runs in trial
+  // order, so the accumulated statistics are bit-identical for any thread
+  // count (floating-point addition is not associative).
+  std::vector<std::vector<TrialRow>> results(
+      cfg.trials, std::vector<TrialRow>(algorithms.size()));
+
   ThreadPool pool(opts.threads);
   parallel_for(pool, cfg.trials, [&](std::size_t trial) {
     Rng rng(trial_seeds[trial]);
@@ -38,16 +50,8 @@ std::vector<AlgorithmStats> run_comparison(
                               cfg.flow_rate, cfg.flow_size};
     const core::ModelIndex index(problem);
 
-    struct TrialRow {
-      bool ok = false;
-      double cost = 0.0;
-      double vnf = 0.0;
-      double link = 0.0;
-      double ms = 0.0;
-      double expanded = 0.0;
-    };
     const core::Evaluator evaluator(index);
-    std::vector<TrialRow> rows(algorithms.size());
+    std::vector<TrialRow>& rows = results[trial];
     for (std::size_t a = 0; a < algorithms.size(); ++a) {
       WallTimer timer;
       const core::SolveResult r = algorithms[a]->solve_fresh(index, rng);
@@ -55,6 +59,7 @@ std::vector<AlgorithmStats> run_comparison(
       rows[a].ok = r.ok();
       rows[a].cost = r.cost;
       rows[a].expanded = static_cast<double>(r.expanded_sub_solutions);
+      rows[a].path_queries = r.path_queries;
       if (r.ok()) {
         const auto [vnf, link] =
             evaluator.cost_breakdown(evaluator.usage(*r.solution));
@@ -62,11 +67,13 @@ std::vector<AlgorithmStats> run_comparison(
         rows[a].link = link;
       }
     }
+  });
 
-    std::lock_guard lock(mu);
+  for (const auto& rows : results) {
     for (std::size_t a = 0; a < algorithms.size(); ++a) {
       totals[a].wall_ms.add(rows[a].ms);
       totals[a].expanded.add(rows[a].expanded);
+      totals[a].path_queries += rows[a].path_queries;
       if (rows[a].ok) {
         totals[a].cost.add(rows[a].cost);
         totals[a].vnf_cost.add(rows[a].vnf);
@@ -76,7 +83,7 @@ std::vector<AlgorithmStats> run_comparison(
         ++totals[a].failures;
       }
     }
-  });
+  }
 
   return totals;
 }

@@ -28,10 +28,16 @@ struct AlgorithmStats {
   RunningStats expanded;     ///< expanded sub-solutions (search effort)
   std::size_t successes = 0;
   std::size_t failures = 0;
+  /// Shortest-path query counters summed over all trials (solver
+  /// observability: Dijkstra/Yen computations, path-cache hits/misses).
+  graph::PathQueryCounters path_queries;
 
   [[nodiscard]] double success_rate() const noexcept {
     const std::size_t n = successes + failures;
     return n ? static_cast<double>(successes) / static_cast<double>(n) : 0.0;
+  }
+  [[nodiscard]] double cache_hit_rate() const noexcept {
+    return path_queries.hit_rate();
   }
 };
 

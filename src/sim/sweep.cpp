@@ -18,11 +18,14 @@ SweepResult run_sweep(const std::string& x_name,
     detail_cols.push_back(a->name() + " ok%");
     detail_cols.push_back(a->name() + " ms");
     detail_cols.push_back(a->name() + " expanded");
+    detail_cols.push_back(a->name() + " cache%");
   }
 
-  SweepResult out{Table(cost_cols), Table(detail_cols)};
+  SweepResult out{Table(cost_cols), Table(detail_cols), {}, {}};
+  out.point_stats.reserve(points.size());
+  out.labels.reserve(points.size());
   for (const SweepPoint& point : points) {
-    const auto stats = run_comparison(point.config, algorithms, opts);
+    auto stats = run_comparison(point.config, algorithms, opts);
     out.cost_table.row().cell(point.label);
     out.detail_table.row().cell(point.label);
     for (const AlgorithmStats& s : stats) {
@@ -34,7 +37,10 @@ SweepResult run_sweep(const std::string& x_name,
       out.detail_table.cell(s.success_rate() * 100.0, 1);
       out.detail_table.cell(s.wall_ms.mean(), 3);
       out.detail_table.cell(s.expanded.mean(), 1);
+      out.detail_table.cell(s.cache_hit_rate() * 100.0, 1);
     }
+    out.point_stats.push_back(std::move(stats));
+    out.labels.push_back(point.label);
     if (progress != nullptr) {
       *progress << x_name << "=" << point.label << " done ("
                 << point.config.summary() << ")\n";

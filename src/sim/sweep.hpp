@@ -23,8 +23,14 @@ struct SweepPoint {
 struct SweepResult {
   /// label × algorithm grid of the paper's series.
   Table cost_table;
-  /// success rate / mean wall-clock / mean expanded sub-solutions.
+  /// success rate / mean wall-clock / mean expanded sub-solutions /
+  /// path-cache hit rate.
   Table detail_table;
+  /// Raw per-point statistics (outer: sweep point, inner: algorithm, same
+  /// order as the inputs) for machine-readable output (bench JSON).
+  std::vector<std::vector<AlgorithmStats>> point_stats;
+  /// Sweep point labels, parallel to point_stats.
+  std::vector<std::string> labels;
 };
 
 /// Runs all points sequentially (each point parallelizes its trials) and

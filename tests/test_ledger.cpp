@@ -79,6 +79,45 @@ TEST(Ledger, CopiesAreIndependent) {
   EXPECT_DOUBLE_EQ(b.link_residual(0), 10.0);
 }
 
+TEST(Ledger, EveryMutationBumpsTheEpoch) {
+  const Network n = small();
+  CapacityLedger l(n);
+  const auto e0 = l.epoch();
+  l.consume_link(0, 1.0);
+  EXPECT_EQ(l.epoch(), e0 + 1);
+  l.consume_instance(0, 1.0);
+  EXPECT_EQ(l.epoch(), e0 + 2);
+  l.release_link(0, 1.0);
+  EXPECT_EQ(l.epoch(), e0 + 3);
+  l.release_instance(0, 1.0);
+  EXPECT_EQ(l.epoch(), e0 + 4);
+  // Releasing back to nominal is still a new epoch: equal residuals do
+  // not mean cached paths were computed against this state.
+  EXPECT_DOUBLE_EQ(l.link_residual(0), 10.0);
+  EXPECT_NE(l.epoch(), e0);
+}
+
+TEST(Ledger, CopyCarriesEpochButNotTheCache) {
+  const Network n = small();
+  CapacityLedger a(n);
+  a.consume_link(0, 1.0);
+  ASSERT_NE(a.path_cache(), nullptr);  // lazily created on first access
+  const CapacityLedger b(a);
+  EXPECT_EQ(b.epoch(), a.epoch());
+  EXPECT_EQ(b.cache_enabled(), a.cache_enabled());
+  // The copy gets its own (empty) cache object, not a shared one.
+  EXPECT_NE(b.path_cache(), a.path_cache());
+}
+
+TEST(Ledger, DisablingTheCacheDropsIt) {
+  const Network n = small();
+  CapacityLedger l(n);
+  l.set_cache_enabled(false);
+  EXPECT_EQ(l.path_cache(), nullptr);
+  l.set_cache_enabled(true);
+  EXPECT_NE(l.path_cache(), nullptr);
+}
+
 TEST(Ledger, TotalsTrackConsumption) {
   const Network n = small();
   CapacityLedger l(n);

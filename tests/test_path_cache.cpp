@@ -1,0 +1,297 @@
+/// Tests for the epoch-keyed shortest-path cache: PathCache unit behavior,
+/// ledger epoch/caching integration, and the differential harness required
+/// by the cache's core contract — every embedder produces bit-identical
+/// solutions with the cache on and off, across the serialized corpus and
+/// 200 random seeded instances.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/backtracking.hpp"
+#include "core/baselines.hpp"
+#include "core/exact.hpp"
+#include "graph/path_cache.hpp"
+#include "net/io.hpp"
+#include "sfc/io.hpp"
+#include "sim/scenario.hpp"
+#include "test_helpers.hpp"
+
+#ifndef DAGSFC_CORPUS_DIR
+#error "DAGSFC_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace dagsfc {
+namespace {
+
+graph::Graph diamond() {
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(2, 3, 2.0);
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// PathCache unit behavior
+
+TEST(PathCache, TreeHitsOnRepeatAndMissesAcrossVersions) {
+  const graph::Graph g = diamond();
+  graph::PathCache cache;
+  graph::PathQueryCounters c;
+
+  const auto t1 = cache.tree(g, 0, /*version=*/7, /*context=*/0, {}, c);
+  EXPECT_EQ(c.cache_misses, 1u);
+  EXPECT_EQ(c.dijkstra_calls, 1u);
+  const auto t2 = cache.tree(g, 0, 7, 0, {}, c);
+  EXPECT_EQ(c.cache_hits, 1u);
+  EXPECT_EQ(c.dijkstra_calls, 1u);  // served from cache, not recomputed
+  EXPECT_EQ(t1.get(), t2.get());    // same shared entry
+
+  const auto t3 = cache.tree(g, 0, /*version=*/8, 0, {}, c);
+  EXPECT_EQ(c.cache_misses, 2u);
+  EXPECT_NE(t1.get(), t3.get());
+  EXPECT_EQ(t1->dist[3], 2.0);
+}
+
+TEST(PathCache, ContextSeparatesEntries) {
+  const graph::Graph g = diamond();
+  graph::PathCache cache;
+  graph::PathQueryCounters c;
+  (void)cache.tree(g, 0, 1, /*context=*/10, {}, c);
+  (void)cache.tree(g, 0, 1, /*context=*/20, {}, c);
+  EXPECT_EQ(c.cache_misses, 2u);  // different contexts never share
+  EXPECT_EQ(cache.num_trees(), 2u);
+}
+
+TEST(PathCache, KPathsCachedPerEndpointAndK) {
+  const graph::Graph g = diamond();
+  graph::PathCache cache;
+  graph::PathQueryCounters c;
+  const auto p1 = cache.k_paths(g, 0, 3, 2, 1, 0, {}, c);
+  ASSERT_EQ(p1->size(), 2u);
+  EXPECT_EQ(c.yen_calls, 1u);
+  (void)cache.k_paths(g, 0, 3, 2, 1, 0, {}, c);
+  EXPECT_EQ(c.cache_hits, 1u);
+  EXPECT_EQ(c.yen_calls, 1u);
+  (void)cache.k_paths(g, 0, 3, 3, 1, 0, {}, c);  // different k ⇒ miss
+  EXPECT_EQ(c.yen_calls, 2u);
+}
+
+TEST(PathCache, EvictsStaleVersionsFirstThenEverything) {
+  const graph::Graph g = diamond();
+  graph::PathCache cache(/*max_entries=*/2);
+  graph::PathQueryCounters c;
+  (void)cache.tree(g, 0, /*version=*/1, 0, {}, c);
+  (void)cache.tree(g, 1, /*version=*/1, 0, {}, c);
+  EXPECT_EQ(cache.num_trees(), 2u);
+  // Insert at a newer version: the two version-1 entries are evicted.
+  (void)cache.tree(g, 2, /*version=*/2, 0, {}, c);
+  EXPECT_EQ(c.evictions, 2u);
+  EXPECT_EQ(cache.num_trees(), 1u);
+  // Fill up at the current version; next insert wipes the (current) store.
+  (void)cache.tree(g, 3, /*version=*/2, 0, {}, c);
+  (void)cache.tree(g, 0, /*version=*/2, 0, {}, c);
+  EXPECT_EQ(c.evictions, 4u);
+  // A held entry stays valid across eviction of its cache slot.
+  const auto held = cache.tree(g, 1, /*version=*/3, 0, {}, c);
+  (void)cache.tree(g, 2, /*version=*/4, 0, {}, c);
+  (void)cache.tree(g, 3, /*version=*/4, 0, {}, c);
+  EXPECT_EQ(held->source, 1u);
+  EXPECT_EQ(held->dist[0], 1.0);
+}
+
+TEST(PathCache, CountersAggregateAndReportHitRate) {
+  graph::PathQueryCounters a{10, 2, 6, 4, 1};
+  graph::PathQueryCounters b{1, 1, 2, 0, 0};
+  a += b;
+  EXPECT_EQ(a.dijkstra_calls, 11u);
+  EXPECT_EQ(a.yen_calls, 3u);
+  EXPECT_EQ(a.cache_hits, 8u);
+  EXPECT_EQ(a.cache_misses, 4u);
+  EXPECT_EQ(a.evictions, 1u);
+  EXPECT_DOUBLE_EQ(a.hit_rate(), 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(graph::PathQueryCounters{}.hit_rate(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness: cache on vs cache off, identical results everywhere.
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("missing corpus file " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void expect_same_path(const graph::Path& a, const graph::Path& b) {
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+/// Cache-on and cache-off solves must agree bit for bit: same outcome, same
+/// cost, same placements, same real-paths, same search effort.
+void expect_identical(const core::SolveResult& on,
+                      const core::SolveResult& off) {
+  ASSERT_EQ(on.ok(), off.ok()) << on.failure_reason << " vs "
+                               << off.failure_reason;
+  EXPECT_EQ(on.failure_reason, off.failure_reason);
+  EXPECT_EQ(on.expanded_sub_solutions, off.expanded_sub_solutions);
+  EXPECT_EQ(on.candidate_solutions, off.candidate_solutions);
+  if (!on.ok()) return;
+  EXPECT_EQ(on.cost, off.cost);  // bit-identical, not approximate
+  ASSERT_TRUE(off.solution.has_value());
+  EXPECT_EQ(on.solution->placement, off.solution->placement);
+  ASSERT_EQ(on.solution->inter_paths.size(), off.solution->inter_paths.size());
+  for (std::size_t i = 0; i < on.solution->inter_paths.size(); ++i) {
+    expect_same_path(on.solution->inter_paths[i], off.solution->inter_paths[i]);
+  }
+  ASSERT_EQ(on.solution->inner_paths.size(), off.solution->inner_paths.size());
+  for (std::size_t i = 0; i < on.solution->inner_paths.size(); ++i) {
+    expect_same_path(on.solution->inner_paths[i], off.solution->inner_paths[i]);
+  }
+}
+
+core::SolveResult solve_with(const core::Embedder& algo,
+                             const core::ModelIndex& index, bool cache_on,
+                             std::uint64_t rng_seed,
+                             graph::PathQueryCounters* tally = nullptr) {
+  net::CapacityLedger ledger(index.problem().net());
+  ledger.set_cache_enabled(cache_on);
+  Rng rng(rng_seed);
+  core::SolveResult r = algo.solve(index, ledger, rng);
+  if (tally != nullptr) *tally += r.path_queries;
+  return r;
+}
+
+struct EmbedderSet {
+  core::RanvEmbedder ranv;
+  core::MinvEmbedder minv;
+  core::BbeEmbedder bbe;
+  core::MbbeEmbedder mbbe;
+  core::ExactEmbedder exact{core::ExactOptions{50'000'000}};
+
+  [[nodiscard]] std::vector<const core::Embedder*> all() const {
+    return {&ranv, &minv, &bbe, &mbbe, &exact};
+  }
+};
+
+void run_differential(const core::ModelIndex& index, std::uint64_t seed,
+                      graph::PathQueryCounters* on_tally) {
+  const EmbedderSet set;
+  for (const core::Embedder* algo : set.all()) {
+    SCOPED_TRACE(algo->name());
+    const auto on = solve_with(*algo, index, true, seed, on_tally);
+    const auto off = solve_with(*algo, index, false, seed);
+    // The cache-off arm never touches the cache.
+    EXPECT_EQ(off.path_queries.cache_hits, 0u);
+    EXPECT_EQ(off.path_queries.cache_misses, 0u);
+    expect_identical(on, off);
+  }
+}
+
+class CorpusDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorpusDifferential, CacheOnOffIdentical) {
+  const std::string dir = std::string(DAGSFC_CORPUS_DIR) + "/";
+  net::Network network =
+      net::network_from_text(slurp(dir + GetParam() + std::string(".net.txt")));
+  const sfc::SfcFile file =
+      sfc::sfc_from_text(slurp(dir + GetParam() + std::string(".sfc.txt")));
+  ASSERT_TRUE(file.flow.has_value());
+
+  core::EmbeddingProblem problem;
+  problem.network = &network;
+  problem.sfc = &file.dag;
+  problem.flow = core::Flow{file.flow->source, file.flow->destination,
+                            file.flow->rate, file.flow->size};
+  const core::ModelIndex index(problem);
+  run_differential(index, /*seed=*/1, nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, CorpusDifferential,
+                         ::testing::Values("ring12", "leafspine14", "waxman20",
+                                           "tightline5"),
+                         [](const auto& info) { return info.param; });
+
+TEST(PathCacheDifferential, TwoHundredRandomInstances) {
+  sim::ExperimentConfig cfg;
+  cfg.network_size = 14;
+  cfg.network_connectivity = 3.0;
+  cfg.catalog_size = 6;
+  cfg.sfc_size = 3;
+
+  graph::PathQueryCounters on_tally;
+  Rng seeder(0xd1ffe7e57ull);
+  for (int i = 0; i < 200; ++i) {
+    SCOPED_TRACE("instance " + std::to_string(i));
+    Rng rng(seeder.fork_seed());
+    const sim::Scenario scenario = sim::make_scenario(rng, cfg);
+    const sfc::DagSfc dag =
+        sim::make_sfc(rng, scenario.network.catalog(), cfg);
+    core::EmbeddingProblem problem;
+    problem.network = &scenario.network;
+    problem.sfc = &dag;
+    problem.flow = core::Flow{scenario.source, scenario.destination, 1.0, 1.0};
+    const core::ModelIndex index(problem);
+    run_differential(index, /*seed=*/1000 + i, &on_tally);
+    if (::testing::Test::HasFailure()) break;  // one instance is enough
+  }
+  // The equivalence above must not be vacuous: the cached arm has to have
+  // actually reused entries somewhere across the 200 instances.
+  EXPECT_GT(on_tally.cache_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Ledger integration
+
+TEST(LedgerPathCache, CacheSpansSolvesUntilTheLedgerChanges) {
+  auto fx = test::canonical_fixture();
+  net::CapacityLedger ledger(fx->network);
+  const core::MbbeEmbedder mbbe;
+  Rng rng(1);
+
+  const auto first = mbbe.solve(*fx->index, ledger, rng);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first.path_queries.cache_misses, 0u);
+
+  // Same ledger, same epoch: the second solve reuses the first's entries.
+  const auto second = mbbe.solve(*fx->index, ledger, rng);
+  EXPECT_EQ(second.path_queries.cache_misses, 0u);
+  EXPECT_GT(second.path_queries.cache_hits, 0u);
+  expect_identical(second, first);
+
+  // Any debit bumps the epoch: previously cached routes are stale now.
+  ledger.consume_link(0, 1.0);
+  const auto third = mbbe.solve(*fx->index, ledger, rng);
+  EXPECT_GT(third.path_queries.cache_misses, 0u);
+}
+
+TEST(LedgerPathCache, CachingReducesDijkstraComputations) {
+  sim::ExperimentConfig cfg;
+  cfg.network_size = 50;
+  cfg.catalog_size = 6;
+  cfg.sfc_size = 4;
+  Rng rng(99);
+  const sim::Scenario scenario = sim::make_scenario(rng, cfg);
+  const sfc::DagSfc dag = sim::make_sfc(rng, scenario.network.catalog(), cfg);
+  core::EmbeddingProblem problem;
+  problem.network = &scenario.network;
+  problem.sfc = &dag;
+  problem.flow = core::Flow{scenario.source, scenario.destination, 1.0, 1.0};
+  const core::ModelIndex index(problem);
+
+  const core::MbbeEmbedder mbbe;
+  const auto on = solve_with(mbbe, index, true, 1);
+  const auto off = solve_with(mbbe, index, false, 1);
+  expect_identical(on, off);
+  EXPECT_GT(on.path_queries.cache_hits, 0u);
+  EXPECT_LT(on.path_queries.dijkstra_calls, off.path_queries.dijkstra_calls);
+}
+
+}  // namespace
+}  // namespace dagsfc

@@ -68,6 +68,61 @@ TEST(Runner, CostBreakdownSumsToTotal) {
   }
 }
 
+// The claim in runner.hpp — per-trial RNG streams derived from the base
+// seed make results bit-identical regardless of thread count — held only by
+// inspection until now. Compare every deterministic statistic across pools
+// of 1, 2 and 8 workers (wall clock excluded, it is genuinely timing).
+TEST(Runner, ResultsBitIdenticalAcrossThreadCounts) {
+  const core::RanvEmbedder ranv;
+  const core::MinvEmbedder minv;
+  const core::BbeEmbedder bbe;
+  const core::MbbeEmbedder mbbe;
+  const std::vector<const core::Embedder*> algos{&ranv, &minv, &bbe, &mbbe};
+  const auto reference = run_comparison(tiny(), algos, RunOptions{1});
+  for (std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto got = run_comparison(tiny(), algos, RunOptions{threads});
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t a = 0; a < got.size(); ++a) {
+      SCOPED_TRACE(reference[a].name);
+      EXPECT_EQ(got[a].name, reference[a].name);
+      EXPECT_EQ(got[a].successes, reference[a].successes);
+      EXPECT_EQ(got[a].failures, reference[a].failures);
+      // Bit-identical, not approximately equal: the accumulation order of
+      // RunningStats is fixed by the trial index, not the schedule.
+      EXPECT_EQ(got[a].cost.mean(), reference[a].cost.mean());
+      EXPECT_EQ(got[a].vnf_cost.mean(), reference[a].vnf_cost.mean());
+      EXPECT_EQ(got[a].link_cost.mean(), reference[a].link_cost.mean());
+      EXPECT_EQ(got[a].expanded.mean(), reference[a].expanded.mean());
+      EXPECT_EQ(got[a].path_queries.dijkstra_calls,
+                reference[a].path_queries.dijkstra_calls);
+      EXPECT_EQ(got[a].path_queries.yen_calls,
+                reference[a].path_queries.yen_calls);
+      EXPECT_EQ(got[a].path_queries.cache_hits,
+                reference[a].path_queries.cache_hits);
+      EXPECT_EQ(got[a].path_queries.cache_misses,
+                reference[a].path_queries.cache_misses);
+      EXPECT_EQ(got[a].path_queries.evictions,
+                reference[a].path_queries.evictions);
+    }
+  }
+}
+
+TEST(Runner, PathQueryCountersAccumulateAcrossTrials) {
+  const core::MinvEmbedder minv;
+  const core::MbbeEmbedder mbbe;
+  const auto stats = run_comparison(tiny(), {&minv, &mbbe}, RunOptions{2});
+  for (const auto& s : stats) {
+    SCOPED_TRACE(s.name);
+    EXPECT_GT(s.path_queries.dijkstra_calls, 0u);
+    // solve_fresh ledgers default to caching on, so hits + misses > 0 and
+    // the hit rate is well defined.
+    EXPECT_GT(s.path_queries.cache_hits + s.path_queries.cache_misses, 0u);
+    EXPECT_GE(s.cache_hit_rate(), 0.0);
+    EXPECT_LE(s.cache_hit_rate(), 1.0);
+  }
+}
+
 TEST(Runner, SuccessRateAccessor) {
   AlgorithmStats s;
   EXPECT_DOUBLE_EQ(s.success_rate(), 0.0);
@@ -100,7 +155,7 @@ TEST(Sweep, TableShapeMatchesPointsAndAlgorithms) {
   const auto result = run_sweep("n", points, {&minv, &mbbe}, RunOptions{2});
   EXPECT_EQ(result.cost_table.row_count(), 2u);
   EXPECT_EQ(result.cost_table.column_count(), 3u);  // n + 2 algorithms
-  EXPECT_EQ(result.detail_table.column_count(), 7u);  // n + 3 per algorithm
+  EXPECT_EQ(result.detail_table.column_count(), 9u);  // n + 4 per algorithm
   // CSV must parse back to the same number of lines.
   const std::string csv = result.cost_table.csv();
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace dagsfc {
@@ -52,6 +55,81 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }  // destructor joins after draining
   EXPECT_EQ(counter.load(), 50);
+}
+
+// ---- stress ---------------------------------------------------------------
+
+TEST(ThreadPoolStress, ThousandsOfTinyTasks) {
+  ThreadPool pool(8);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  constexpr long kTasks = 5000;
+  futures.reserve(kTasks);
+  for (long i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolStress, ManyExceptionsEachReachTheirOwnFuture) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([i]() -> int {
+      if (i % 3 == 0) throw std::runtime_error("task " + std::to_string(i));
+      return i;
+    }));
+  }
+  int thrown = 0;
+  for (int i = 0; i < 500; ++i) {
+    try {
+      EXPECT_EQ(futures[i].get(), i);
+    } catch (const std::runtime_error& e) {
+      ++thrown;
+      EXPECT_EQ(std::string(e.what()), "task " + std::to_string(i));
+    }
+  }
+  EXPECT_EQ(thrown, 167);  // ⌈500/3⌉ multiples of 3 below 500
+}
+
+TEST(ThreadPoolStress, ExceptionDoesNotKillTheWorker) {
+  ThreadPool pool(1);  // a single worker must survive every throw
+  for (int round = 0; round < 50; ++round) {
+    auto bad = pool.submit([]() -> int { throw std::logic_error("boom"); });
+    EXPECT_THROW(bad.get(), std::logic_error);
+    auto good = pool.submit([round] { return round; });
+    EXPECT_EQ(good.get(), round);
+  }
+}
+
+TEST(ThreadPoolStress, DestructionWithDeepQueueRunsEverything) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    // Two slow tasks occupy both workers while 2000 more pile up behind
+    // them; the destructor must drain the backlog, not drop it.
+    for (int i = 0; i < 2; ++i) {
+      (void)pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ++done;
+      });
+    }
+    for (int i = 0; i < 2000; ++i) {
+      (void)pool.submit([&done] { ++done; });
+    }
+  }  // ~ThreadPool joins here
+  EXPECT_EQ(done.load(), 2002);
+}
+
+TEST(ThreadPoolStress, SubmitFromWithinATask) {
+  ThreadPool pool(4);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 7; });
+    return inner.get() + 1;
+  });
+  // Needs ≥ 2 workers: the outer task blocks on the inner one's future.
+  EXPECT_EQ(outer.get(), 8);
 }
 
 TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
