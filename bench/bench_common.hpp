@@ -17,6 +17,7 @@
 #include "net/ledger.hpp"
 #include "sim/sweep.hpp"
 #include "util/flags.hpp"
+#include "util/json.hpp"
 
 namespace dagsfc::bench {
 
@@ -54,6 +55,9 @@ inline std::unique_ptr<BenchSetup> setup(int argc, const char* const* argv,
       .define_bool("no-bbe", false, "exclude plain BBE from the comparison")
       .define_bool("no-path-cache", false,
                    "disable the epoch-keyed shortest-path cache (A/B timing)")
+      .define_bool("trace", false,
+                   "collect structured solve traces and report the aggregate "
+                   "counts in the JSON line")
       .define_bool("csv", false, "also print CSV after the tables");
   try {
     s->flags.parse(argc, argv);
@@ -68,6 +72,7 @@ inline std::unique_ptr<BenchSetup> setup(int argc, const char* const* argv,
   s->base.trials = static_cast<std::size_t>(s->flags.get_int("trials"));
   s->base.seed = static_cast<std::uint64_t>(s->flags.get_int("seed"));
   s->run_opts.threads = static_cast<std::size_t>(s->flags.get_int("threads"));
+  s->run_opts.collect_traces = s->flags.get_bool("trace");
   s->csv = s->flags.get_bool("csv");
   s->with_bbe = !s->flags.get_bool("no-bbe");
   net::CapacityLedger::set_cache_default(!s->flags.get_bool("no-path-cache"));
@@ -82,22 +87,7 @@ inline std::unique_ptr<BenchSetup> setup(int argc, const char* const* argv,
   return s;
 }
 
-/// Escapes a string for embedding in a JSON string literal.
-inline std::string json_escape(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  for (char c : in) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
+using util::json_escape;
 
 /// One JSON object per bench run: every sweep point × algorithm with cost,
 /// timing, search effort, and the solver path-query counters (dijkstra_calls,
@@ -127,7 +117,24 @@ inline std::string to_json(const std::string& title,
          << ",\"cache_hits\":" << c.cache_hits
          << ",\"cache_misses\":" << c.cache_misses
          << ",\"evictions\":" << c.evictions
-         << ",\"cache_hit_rate\":" << c.hit_rate() << "}";
+         << ",\"cache_hit_rate\":" << c.hit_rate();
+      const core::TraceCounts& tc = st.trace;
+      if (tc.decision_events > 0 || tc.vnf_terms > 0) {
+        os << ",\"trace\":{"
+           << "\"decision_events\":" << tc.decision_events
+           << ",\"forward_searches\":" << tc.forward_searches
+           << ",\"backward_searches\":" << tc.backward_searches
+           << ",\"uncapped_retries\":" << tc.uncapped_retries
+           << ",\"candidate_children\":" << tc.candidate_children
+           << ",\"children_dropped\":" << tc.children_dropped
+           << ",\"pool_dropped\":" << tc.pool_dropped
+           << ",\"final_candidates\":" << tc.final_candidates
+           << ",\"vnf_terms\":" << tc.vnf_terms
+           << ",\"link_terms\":" << tc.link_terms
+           << ",\"multicast_shared_uses\":" << tc.multicast_shared_uses
+           << "}";
+      }
+      os << "}";
     }
     os << "]}";
   }

@@ -82,7 +82,11 @@ int main(int argc, char** argv) {
               "path for an external MIP solver")
       .define("emit-dot", "",
               "write a Graphviz overlay of the solution on the topology to "
-              "this path");
+              "this path")
+      .define("trace", "",
+              "record the structured solve trace and write it to this path "
+              "as Chrome trace_event JSON (load in Perfetto / "
+              "chrome://tracing); also prints a trace summary");
   try {
     flags.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -128,10 +132,22 @@ int main(int argc, char** argv) {
     Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
     std::cout << "DAG-SFC: " << file.dag.to_string(network.catalog())
               << "\nalgorithm: " << algo->name() << "\n\n";
-    const core::SolveResult r = algo->solve_fresh(index, rng);
+    const std::string trace_path = flags.get("trace");
+    core::EmbeddingTrace trace;
+    core::TraceSink* sink = trace_path.empty() ? nullptr : &trace;
+    const core::SolveResult r = algo->solve_fresh(index, rng, sink);
+    if (sink != nullptr) {
+      write_file(trace_path, trace.to_chrome_json());
+      std::cout << trace.summary() << "trace written to " << trace_path
+                << " (" << trace.events().size() << " events)\n\n";
+    }
     if (!r.ok()) {
       std::cerr << "embedding failed: " << r.failure_reason << "\n";
       return 2;
+    }
+    if (sink != nullptr && trace.reconstructed_cost() != r.cost) {
+      std::cerr << "warning: trace cost terms do not reproduce the reported "
+                   "objective\n";
     }
     const core::Evaluator evaluator(index);
     std::cout << core::describe(evaluator, *r.solution);

@@ -2,16 +2,24 @@
 # Strict verification pass: builds the full tree with AddressSanitizer and
 # UBSan (-DDAGSFC_SANITIZE=ON) into build-asan/ and runs the test suite
 # under it. Any sanitizer report fails the run (halt_on_error, plus
-# -fno-sanitize-recover=undefined at compile time).
+# -fno-sanitize-recover=undefined at compile time). A second pass repeats
+# the build with the ambient trace macros compiled in (-DDAGSFC_TRACE=ON)
+# so the zero-overhead-when-disabled instrumentation path is itself
+# sanitizer-clean.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build-asan}
-
-cmake -B "$BUILD_DIR" -G Ninja -DDAGSFC_SANITIZE=ON \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j
-
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="print_stacktrace=1:${UBSAN_OPTIONS:-}"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+run_pass() {
+  local dir=$1
+  shift
+  cmake -B "$dir" -G Ninja -DDAGSFC_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  cmake --build "$dir" -j
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+run_pass "${BUILD_DIR:-build-asan}"
+run_pass "${TRACE_BUILD_DIR:-build-asan-trace}" -DDAGSFC_TRACE=ON

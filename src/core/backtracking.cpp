@@ -217,7 +217,9 @@ class Odometer {
 }  // namespace
 
 SolveResult BacktrackingEngine::run(const ModelIndex& index,
-                                    const net::CapacityLedger& ledger) const {
+                                    const net::CapacityLedger& ledger,
+                                    TraceSink* trace) const {
+  const Tracer tr(trace);
   const EmbeddingProblem& prob = index.problem();
   const net::Network& net = prob.net();
   const graph::Graph& g = net.topology();
@@ -248,16 +250,33 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
     const auto slots = index.layer_slots(l);
     std::vector<SubSolution>& out = pools[l + 1];
 
+    if (tr) {
+      SolveEvent e;
+      e.kind = TraceEventKind::LayerEnter;
+      e.i0 = static_cast<std::int64_t>(l);
+      e.i1 = static_cast<std::int64_t>(pools[l].size());
+      tr(e);
+    }
+
     // MBBE strategy (3): the sub-solution tree is an X_d-tree — only the
     // cheapest X_d children of each parent are inserted.
-    auto prune_and_merge = [this](std::vector<SubSolution>& kids,
-                                  std::vector<SubSolution>& dest) {
+    auto prune_and_merge = [this, &tr, l](std::vector<SubSolution>& kids,
+                                         std::vector<SubSolution>& dest) {
+      const std::size_t generated = kids.size();
       if (opts_.x_d > 0 && kids.size() > opts_.x_d) {
         std::partial_sort(kids.begin(), kids.begin() + opts_.x_d, kids.end(),
                           [](const SubSolution& a, const SubSolution& b) {
                             return a.cumulative_cost < b.cumulative_cost;
                           });
         kids.resize(opts_.x_d);
+      }
+      if (tr && generated > 0) {
+        SolveEvent e;
+        e.kind = TraceEventKind::ChildrenPruned;
+        e.i0 = static_cast<std::int64_t>(l);
+        e.i1 = static_cast<std::int64_t>(generated);
+        e.i2 = static_cast<std::int64_t>(kids.size());
+        tr(e);
       }
       dest.insert(dest.end(), std::make_move_iterator(kids.begin()),
                   std::make_move_iterator(kids.end()));
@@ -270,6 +289,12 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
     // (the paper observes that "MBBE always results in a solution").
     for (int pass = 0; pass < 2; ++pass) {
     const std::size_t x_max_pass = pass == 0 ? opts_.x_max : 0;
+    if (tr && pass == 1) {
+      SolveEvent e;
+      e.kind = TraceEventKind::UncappedRetry;
+      e.i0 = static_cast<std::int64_t>(l);
+      tr(e);
+    }
 
     for (std::size_t parent = 0; parent < pools[l].size(); ++parent) {
       const SubSolution& ss = pools[l][parent];
@@ -281,6 +306,16 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
       bool fwd_ok = false;
       const SearchTree fst = ring_search(
           g, start, Coverage(ledger, required, rate), x_max_pass, {}, fwd_ok);
+      if (tr) {
+        SolveEvent e;
+        e.kind = TraceEventKind::ForwardSearch;
+        e.i0 = static_cast<std::int64_t>(l);
+        e.i1 = static_cast<std::int64_t>(start);
+        e.i2 = static_cast<std::int64_t>(fst.network_nodes().size());
+        e.v0 = fwd_ok ? 1.0 : 0.0;
+        e.v1 = x_max_pass > 0 ? 1.0 : 0.0;
+        tr(e);
+      }
       if (!fwd_ok) continue;
 
       // Min-cost tree from the start node, shared by MBBE's inter-layer
@@ -357,6 +392,15 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
                 child.cumulative_delay > *opts_.delay_budget_ms) {
               continue;
             }
+            if (tr) {
+              SolveEvent e;
+              e.kind = TraceEventKind::CandidateChild;
+              e.i0 = static_cast<std::int64_t>(l);
+              e.i1 = static_cast<std::int64_t>(child.end_node);
+              e.i2 = static_cast<std::int64_t>(parent);
+              e.v0 = child.cumulative_cost;
+              tr(e);
+            }
             children.push_back(std::move(child));
             ++result.expanded_sub_solutions;
           }
@@ -379,6 +423,15 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
         const SearchTree bst = ring_search(
             g, m, Coverage(ledger, layer.vnfs, rate), 0,
             [&](NodeId v) { return fst.contains(v); }, bwd_ok);
+        if (tr) {
+          SolveEvent e;
+          e.kind = TraceEventKind::BackwardSearch;
+          e.i0 = static_cast<std::int64_t>(l);
+          e.i1 = static_cast<std::int64_t>(m);
+          e.i2 = static_cast<std::int64_t>(bst.network_nodes().size());
+          e.v0 = bwd_ok ? 1.0 : 0.0;
+          tr(e);
+        }
         if (!bwd_ok) continue;
 
         std::shared_ptr<const graph::ShortestPathTree> sp_from_merger;
@@ -485,6 +538,15 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
                 child.cumulative_delay > *opts_.delay_budget_ms) {
               continue;
             }
+            if (tr) {
+              SolveEvent e;
+              e.kind = TraceEventKind::CandidateChild;
+              e.i0 = static_cast<std::int64_t>(l);
+              e.i1 = static_cast<std::int64_t>(child.end_node);
+              e.i2 = static_cast<std::int64_t>(parent);
+              e.v0 = child.cumulative_cost;
+              tr(e);
+            }
             children.push_back(std::move(child));
             ++result.expanded_sub_solutions;
           }
@@ -506,11 +568,26 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
     // Memory-overflow guard the paper lacks: keep the cheapest sub-solutions
     // when the pool exceeds the cap.
     if (opts_.max_pool > 0 && out.size() > opts_.max_pool) {
+      if (tr) {
+        SolveEvent e;
+        e.kind = TraceEventKind::PoolPruned;
+        e.i0 = static_cast<std::int64_t>(l);
+        e.i1 = static_cast<std::int64_t>(out.size());
+        e.i2 = static_cast<std::int64_t>(opts_.max_pool);
+        tr(e);
+      }
       std::nth_element(out.begin(), out.begin() + opts_.max_pool, out.end(),
                        [](const SubSolution& a, const SubSolution& b) {
                          return a.cumulative_cost < b.cumulative_cost;
                        });
       out.resize(opts_.max_pool);
+    }
+    if (tr) {
+      SolveEvent e;
+      e.kind = TraceEventKind::LayerDone;
+      e.i0 = static_cast<std::int64_t>(l);
+      e.i1 = static_cast<std::int64_t>(out.size());
+      tr(e);
     }
   }
 
@@ -574,6 +651,14 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
     const ResourceUsage u = evaluator.usage(sol);
     if (!evaluator.feasible(u, ledger)) continue;
     const double c = evaluator.cost(u);
+    if (tr) {
+      SolveEvent e;
+      e.kind = TraceEventKind::FinalCandidate;
+      e.i0 = static_cast<std::int64_t>(leaf.end_node);
+      e.v0 = c;
+      e.v1 = c < best_cost ? 1.0 : 0.0;
+      tr(e);
+    }
     if (c < best_cost) {
       best_cost = c;
       best = std::move(sol);
@@ -590,10 +675,10 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
   return result;
 }
 
-SolveResult BbeEmbedder::solve(const ModelIndex& index,
-                               const net::CapacityLedger& ledger,
-                               Rng& /*rng*/) const {
-  return engine_.run(index, ledger);
+SolveResult BbeEmbedder::do_solve(const ModelIndex& index,
+                                  const net::CapacityLedger& ledger,
+                                  Rng& /*rng*/, TraceSink* trace) const {
+  return engine_.run(index, ledger, trace);
 }
 
 namespace {
@@ -614,10 +699,10 @@ MbbeEmbedder::MbbeEmbedder(const MbbeOptions& opts)
   DAGSFC_CHECK_MSG(opts.x_d >= 1, "X_d must be at least 1");
 }
 
-SolveResult MbbeEmbedder::solve(const ModelIndex& index,
-                                const net::CapacityLedger& ledger,
-                                Rng& /*rng*/) const {
-  return engine_.run(index, ledger);
+SolveResult MbbeEmbedder::do_solve(const ModelIndex& index,
+                                   const net::CapacityLedger& ledger,
+                                   Rng& /*rng*/, TraceSink* trace) const {
+  return engine_.run(index, ledger, trace);
 }
 
 }  // namespace dagsfc::core

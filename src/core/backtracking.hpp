@@ -76,8 +76,11 @@ class BacktrackingEngine {
     return opts_;
   }
 
+  /// \p trace, when non-null, receives the layer-by-layer Decision events
+  /// (ring searches, X_max caps, X_d/max_pool pruning, final candidates).
   [[nodiscard]] SolveResult run(const ModelIndex& index,
-                                const net::CapacityLedger& ledger) const;
+                                const net::CapacityLedger& ledger,
+                                TraceSink* trace = nullptr) const;
 
  private:
   BacktrackingOptions opts_;
@@ -90,9 +93,12 @@ class BbeEmbedder final : public Embedder {
   explicit BbeEmbedder(const BacktrackingOptions& opts) : engine_(opts) {}
 
   [[nodiscard]] std::string name() const override { return "BBE"; }
-  [[nodiscard]] SolveResult solve(const ModelIndex& index,
-                                  const net::CapacityLedger& ledger,
-                                  Rng& rng) const override;
+
+ protected:
+  [[nodiscard]] SolveResult do_solve(const ModelIndex& index,
+                                     const net::CapacityLedger& ledger,
+                                     Rng& rng,
+                                     TraceSink* trace) const override;
 
  private:
   BacktrackingEngine engine_;
@@ -113,9 +119,12 @@ class MbbeEmbedder final : public Embedder {
   explicit MbbeEmbedder(const MbbeOptions& opts = {});
 
   [[nodiscard]] std::string name() const override { return "MBBE"; }
-  [[nodiscard]] SolveResult solve(const ModelIndex& index,
-                                  const net::CapacityLedger& ledger,
-                                  Rng& rng) const override;
+
+ protected:
+  [[nodiscard]] SolveResult do_solve(const ModelIndex& index,
+                                     const net::CapacityLedger& ledger,
+                                     Rng& rng,
+                                     TraceSink* trace) const override;
 
  private:
   BacktrackingEngine engine_;

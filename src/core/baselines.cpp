@@ -19,8 +19,10 @@ graph::Path trivial_path(NodeId v) {
 /// meta-path instantiation and a final feasibility check.
 SolveResult assign_then_route(
     const ModelIndex& index, const net::CapacityLedger& ledger,
+    TraceSink* trace,
     const std::function<NodeId(VnfTypeId, const std::vector<NodeId>&)>&
         choose) {
+  const Tracer tr(trace);
   const EmbeddingProblem& prob = index.problem();
   const net::Network& net = prob.net();
   const graph::Graph& g = net.topology();
@@ -45,6 +47,15 @@ SolveResult assign_then_route(
       return result;
     }
     const NodeId v = choose(t, candidates);
+    if (tr) {
+      SolveEvent e;
+      e.kind = TraceEventKind::SlotChoice;
+      e.i0 = static_cast<std::int64_t>(s);
+      e.i1 = static_cast<std::int64_t>(v);
+      e.i2 = static_cast<std::int64_t>(candidates.size());
+      e.v0 = net.instance(*net.find_instance(v, t)).price;
+      tr(e);
+    }
     sol.placement[s] = v;
     working.consume_instance(*net.find_instance(v, t), rate);
   }
@@ -59,22 +70,34 @@ SolveResult assign_then_route(
     if (a == b) return trivial_path(a);
     return oracle.min_cost_path(a, b);
   };
-  for (const MetaPathDesc& d : index.inter_paths()) {
-    auto p = instantiate(d);
+  auto routed_event = [&](bool inner, std::size_t i, const graph::Path& p) {
+    if (!tr) return;
+    SolveEvent e;
+    e.kind = TraceEventKind::MetaPathRouted;
+    e.i0 = inner ? 1 : 0;
+    e.i1 = static_cast<std::int64_t>(i);
+    e.i2 = static_cast<std::int64_t>(p.length());
+    e.v0 = p.cost;
+    tr(e);
+  };
+  for (std::size_t i = 0; i < index.inter_paths().size(); ++i) {
+    auto p = instantiate(index.inter_paths()[i]);
     if (!p) {
       result.failure_reason = "no usable route for an inter-layer meta-path";
       record_counters();
       return result;
     }
+    routed_event(false, i, *p);
     sol.inter_paths.push_back(std::move(*p));
   }
-  for (const MetaPathDesc& d : index.inner_paths()) {
-    auto p = instantiate(d);
+  for (std::size_t i = 0; i < index.inner_paths().size(); ++i) {
+    auto p = instantiate(index.inner_paths()[i]);
     if (!p) {
       result.failure_reason = "no usable route for an inner-layer meta-path";
       record_counters();
       return result;
     }
+    routed_event(true, i, *p);
     sol.inner_paths.push_back(std::move(*p));
   }
   record_counters();
@@ -93,22 +116,22 @@ SolveResult assign_then_route(
 
 }  // namespace
 
-SolveResult RanvEmbedder::solve(const ModelIndex& index,
-                                const net::CapacityLedger& ledger,
-                                Rng& rng) const {
+SolveResult RanvEmbedder::do_solve(const ModelIndex& index,
+                                   const net::CapacityLedger& ledger,
+                                   Rng& rng, TraceSink* trace) const {
   return assign_then_route(
-      index, ledger,
+      index, ledger, trace,
       [&rng](VnfTypeId, const std::vector<NodeId>& candidates) {
         return candidates[rng.index(candidates.size())];
       });
 }
 
-SolveResult MinvEmbedder::solve(const ModelIndex& index,
-                                const net::CapacityLedger& ledger,
-                                Rng& /*rng*/) const {
+SolveResult MinvEmbedder::do_solve(const ModelIndex& index,
+                                   const net::CapacityLedger& ledger,
+                                   Rng& /*rng*/, TraceSink* trace) const {
   const net::Network& net = index.problem().net();
   return assign_then_route(
-      index, ledger,
+      index, ledger, trace,
       [&net](VnfTypeId t, const std::vector<NodeId>& candidates) {
         NodeId best = candidates.front();
         double best_price = graph::kInfCost;

@@ -18,17 +18,23 @@ namespace dagsfc::core {
 class RanvEmbedder final : public Embedder {
  public:
   [[nodiscard]] std::string name() const override { return "RANV"; }
-  [[nodiscard]] SolveResult solve(const ModelIndex& index,
-                                  const net::CapacityLedger& ledger,
-                                  Rng& rng) const override;
+
+ protected:
+  [[nodiscard]] SolveResult do_solve(const ModelIndex& index,
+                                     const net::CapacityLedger& ledger,
+                                     Rng& rng,
+                                     TraceSink* trace) const override;
 };
 
 class MinvEmbedder final : public Embedder {
  public:
   [[nodiscard]] std::string name() const override { return "MINV"; }
-  [[nodiscard]] SolveResult solve(const ModelIndex& index,
-                                  const net::CapacityLedger& ledger,
-                                  Rng& rng) const override;
+
+ protected:
+  [[nodiscard]] SolveResult do_solve(const ModelIndex& index,
+                                     const net::CapacityLedger& ledger,
+                                     Rng& rng,
+                                     TraceSink* trace) const override;
 };
 
 }  // namespace dagsfc::core

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/solution.hpp"
+#include "core/trace.hpp"
 #include "graph/path_cache.hpp"
 #include "util/rng.hpp"
 
@@ -39,16 +40,32 @@ class Embedder {
 
   /// Solves against the residual state in \p ledger. \p rng feeds the
   /// randomized algorithms; deterministic ones ignore it.
-  [[nodiscard]] virtual SolveResult solve(const ModelIndex& index,
-                                          const net::CapacityLedger& ledger,
-                                          Rng& rng) const = 0;
+  ///
+  /// When \p trace is non-null it receives the structured event stream of
+  /// this solve: SolveBegin/SolveEnd meta events, the algorithm's Decision
+  /// events, and — on success — the Cost events reproducing objective (1)
+  /// term by term plus Cache events attributing shortest-path work (see
+  /// core/trace.hpp). Tracing never changes the solve: a null-trace call
+  /// returns a bit-identical SolveResult.
+  [[nodiscard]] SolveResult solve(const ModelIndex& index,
+                                  const net::CapacityLedger& ledger, Rng& rng,
+                                  TraceSink* trace = nullptr) const;
 
   /// Convenience: solve against the network's nominal capacities.
-  [[nodiscard]] SolveResult solve_fresh(const ModelIndex& index,
-                                        Rng& rng) const {
+  [[nodiscard]] SolveResult solve_fresh(const ModelIndex& index, Rng& rng,
+                                        TraceSink* trace = nullptr) const {
     net::CapacityLedger ledger(index.problem().net());
-    return solve(index, ledger, rng);
+    return solve(index, ledger, rng, trace);
   }
+
+ protected:
+  /// Algorithm body. Implementations emit their Decision events into
+  /// \p trace (null-guarded via Tracer); the Meta/Cost/Cache envelope is
+  /// added by solve().
+  [[nodiscard]] virtual SolveResult do_solve(const ModelIndex& index,
+                                             const net::CapacityLedger& ledger,
+                                             Rng& rng,
+                                             TraceSink* trace) const = 0;
 };
 
 }  // namespace dagsfc::core

@@ -105,9 +105,10 @@ class Enumerator {
 
 }  // namespace
 
-SolveResult ExactEmbedder::solve(const ModelIndex& index,
-                                 const net::CapacityLedger& ledger,
-                                 Rng& /*rng*/) const {
+SolveResult ExactEmbedder::do_solve(const ModelIndex& index,
+                                    const net::CapacityLedger& ledger,
+                                    Rng& /*rng*/, TraceSink* trace) const {
+  const Tracer tr(trace);
   const EmbeddingProblem& prob = index.problem();
   const net::Network& net = prob.net();
   const graph::Graph& g = net.topology();
@@ -166,6 +167,7 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
   for (std::size_t l = 0; l < omega; ++l) {
     const sfc::Layer& layer = dag.layer(l);
     std::map<NodeId, Cell> next;
+    const std::size_t cells_in = dp.size();
 
     for (const auto& [p, cell] : dp) {
       if (cell.cost == graph::kInfCost) continue;
@@ -230,6 +232,14 @@ SolveResult ExactEmbedder::solve(const ModelIndex& index,
       }
     }
 
+    if (tr) {
+      SolveEvent e;
+      e.kind = TraceEventKind::DpLayer;
+      e.i0 = static_cast<std::int64_t>(l);
+      e.i1 = static_cast<std::int64_t>(cells_in);
+      e.i2 = static_cast<std::int64_t>(next.size());
+      tr(e);
+    }
     if (next.empty()) {
       result.failure_reason =
           "no placement reachable at layer " + std::to_string(l + 1);

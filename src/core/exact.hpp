@@ -39,9 +39,12 @@ class ExactEmbedder final : public Embedder {
   explicit ExactEmbedder(const ExactOptions& opts = {}) : opts_(opts) {}
 
   [[nodiscard]] std::string name() const override { return "EXACT"; }
-  [[nodiscard]] SolveResult solve(const ModelIndex& index,
-                                  const net::CapacityLedger& ledger,
-                                  Rng& rng) const override;
+
+ protected:
+  [[nodiscard]] SolveResult do_solve(const ModelIndex& index,
+                                     const net::CapacityLedger& ledger,
+                                     Rng& rng,
+                                     TraceSink* trace) const override;
 
  private:
   ExactOptions opts_;

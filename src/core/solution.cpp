@@ -156,6 +156,50 @@ std::pair<double, double> Evaluator::cost_breakdown(
   return {vnf, link};
 }
 
+std::vector<Evaluator::CostTerm> Evaluator::cost_terms(
+    const EmbeddingSolution& sol) const {
+  const net::Network& net = index_->problem().net();
+  const double z = index_->problem().flow.size;
+  const ResourceUsage u = usage(sol);
+
+  // Raw per-link incidences before the multicast discount: every edge of
+  // every real-path, inter and inner alike.
+  std::vector<std::uint32_t> raw_link(net.num_links(), 0);
+  for (const graph::Path& p : sol.inter_paths) {
+    for (graph::EdgeId e : p.edges) ++raw_link[e];
+  }
+  for (const graph::Path& p : sol.inner_paths) {
+    for (graph::EdgeId e : p.edges) ++raw_link[e];
+  }
+
+  std::vector<CostTerm> terms;
+  for (net::InstanceId id = 0; id < u.instance_uses.size(); ++id) {
+    if (u.instance_uses[id] == 0) continue;
+    CostTerm t;
+    t.vnf = true;
+    t.id = id;
+    t.uses = u.instance_uses[id];
+    t.raw_uses = t.uses;
+    t.price = net.instance(id).price;
+    // Same expression as cost_breakdown so the term is the same double.
+    t.value = static_cast<double>(u.instance_uses[id]) *
+              net.instance(id).price * z;
+    terms.push_back(t);
+  }
+  for (graph::EdgeId e = 0; e < u.link_uses.size(); ++e) {
+    if (u.link_uses[e] == 0) continue;
+    CostTerm t;
+    t.vnf = false;
+    t.id = e;
+    t.uses = u.link_uses[e];
+    t.raw_uses = raw_link[e];
+    t.price = net.link_price(e);
+    t.value = static_cast<double>(u.link_uses[e]) * net.link_price(e) * z;
+    terms.push_back(t);
+  }
+  return terms;
+}
+
 bool Evaluator::feasible(const ResourceUsage& u,
                          const net::CapacityLedger& ledger) const {
   const double rate = index_->problem().flow.rate;

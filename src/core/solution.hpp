@@ -68,6 +68,26 @@ class Evaluator {
   [[nodiscard]] std::pair<double, double> cost_breakdown(
       const ResourceUsage& usage) const;
 
+  /// One priced term of objective (1). For VNF terms `uses` is α_{v,i} and
+  /// `raw_uses == uses`; for link terms `uses` is α_e after the formula (9)
+  /// multicast discount and `raw_uses` counts every real-path incidence
+  /// (inter + inner), so `raw_uses − uses` is the sharing saved on that link.
+  struct CostTerm {
+    bool vnf = false;            ///< true: instance rental, false: link
+    std::uint32_t id = 0;        ///< InstanceId or EdgeId
+    std::uint32_t uses = 0;      ///< charged α
+    std::uint32_t raw_uses = 0;  ///< pre-discount path incidences
+    double price = 0.0;          ///< unit price c_{v,f(i)} or c_e
+    double value = 0.0;          ///< uses · price · z
+  };
+
+  /// Per-term expansion of objective (1): VNF terms in instance-id order,
+  /// then link terms in edge-id order — the exact terms, arithmetic, and
+  /// ordering of cost_breakdown(), so summing the VNF values then the link
+  /// values and adding the two sums is bitwise-equal to cost().
+  [[nodiscard]] std::vector<CostTerm> cost_terms(
+      const EmbeddingSolution& sol) const;
+
   /// Capacity check of constraints (2)–(3) against residual state.
   [[nodiscard]] bool feasible(const ResourceUsage& usage,
                               const net::CapacityLedger& ledger) const;

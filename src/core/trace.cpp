@@ -1,0 +1,222 @@
+#include "core/trace.hpp"
+
+#include <sstream>
+
+#include "util/trace.hpp"
+
+namespace dagsfc::core {
+
+TraceCategory category(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::SolveBegin:
+    case TraceEventKind::SolveEnd:
+      return TraceCategory::Meta;
+    case TraceEventKind::LayerEnter:
+    case TraceEventKind::ForwardSearch:
+    case TraceEventKind::BackwardSearch:
+    case TraceEventKind::UncappedRetry:
+    case TraceEventKind::CandidateChild:
+    case TraceEventKind::ChildrenPruned:
+    case TraceEventKind::PoolPruned:
+    case TraceEventKind::LayerDone:
+    case TraceEventKind::FinalCandidate:
+    case TraceEventKind::SlotChoice:
+    case TraceEventKind::MetaPathRouted:
+    case TraceEventKind::DpLayer:
+      return TraceCategory::Decision;
+    case TraceEventKind::VnfTerm:
+    case TraceEventKind::LinkTerm:
+      return TraceCategory::Cost;
+    case TraceEventKind::PathQueries:
+    case TraceEventKind::CacheStats:
+      return TraceCategory::Cache;
+  }
+  return TraceCategory::Meta;  // unreachable
+}
+
+const char* kind_name(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::SolveBegin:     return "solve_begin";
+    case TraceEventKind::SolveEnd:       return "solve_end";
+    case TraceEventKind::LayerEnter:     return "layer_enter";
+    case TraceEventKind::ForwardSearch:  return "forward_search";
+    case TraceEventKind::BackwardSearch: return "backward_search";
+    case TraceEventKind::UncappedRetry:  return "uncapped_retry";
+    case TraceEventKind::CandidateChild: return "candidate_child";
+    case TraceEventKind::ChildrenPruned: return "children_pruned";
+    case TraceEventKind::PoolPruned:     return "pool_pruned";
+    case TraceEventKind::LayerDone:      return "layer_done";
+    case TraceEventKind::FinalCandidate: return "final_candidate";
+    case TraceEventKind::SlotChoice:     return "slot_choice";
+    case TraceEventKind::MetaPathRouted: return "meta_path_routed";
+    case TraceEventKind::DpLayer:        return "dp_layer";
+    case TraceEventKind::VnfTerm:        return "vnf_term";
+    case TraceEventKind::LinkTerm:       return "link_term";
+    case TraceEventKind::PathQueries:    return "path_queries";
+    case TraceEventKind::CacheStats:     return "cache_stats";
+  }
+  return "unknown";  // unreachable
+}
+
+namespace {
+
+const char* category_name(TraceCategory c) noexcept {
+  switch (c) {
+    case TraceCategory::Meta:     return "meta";
+    case TraceCategory::Decision: return "decision";
+    case TraceCategory::Cost:     return "cost";
+    case TraceCategory::Cache:    return "cache";
+  }
+  return "meta";  // unreachable
+}
+
+}  // namespace
+
+TraceCounts& TraceCounts::operator+=(const TraceCounts& o) noexcept {
+  decision_events += o.decision_events;
+  forward_searches += o.forward_searches;
+  backward_searches += o.backward_searches;
+  uncapped_retries += o.uncapped_retries;
+  candidate_children += o.candidate_children;
+  children_dropped += o.children_dropped;
+  pool_dropped += o.pool_dropped;
+  final_candidates += o.final_candidates;
+  vnf_terms += o.vnf_terms;
+  link_terms += o.link_terms;
+  multicast_shared_uses += o.multicast_shared_uses;
+  return *this;
+}
+
+void EmbeddingTrace::on_event(const SolveEvent& e) { events_.push_back(e); }
+
+TraceCounts EmbeddingTrace::counts() const {
+  TraceCounts c;
+  for (const SolveEvent& e : events_) {
+    if (category(e.kind) == TraceCategory::Decision) ++c.decision_events;
+    switch (e.kind) {
+      case TraceEventKind::ForwardSearch:
+        ++c.forward_searches;
+        break;
+      case TraceEventKind::BackwardSearch:
+        ++c.backward_searches;
+        break;
+      case TraceEventKind::UncappedRetry:
+        ++c.uncapped_retries;
+        break;
+      case TraceEventKind::CandidateChild:
+        ++c.candidate_children;
+        break;
+      case TraceEventKind::ChildrenPruned:
+        c.children_dropped += static_cast<std::uint64_t>(e.i1 - e.i2);
+        break;
+      case TraceEventKind::PoolPruned:
+        c.pool_dropped += static_cast<std::uint64_t>(e.i1 - e.i2);
+        break;
+      case TraceEventKind::FinalCandidate:
+        ++c.final_candidates;
+        break;
+      case TraceEventKind::VnfTerm:
+        ++c.vnf_terms;
+        break;
+      case TraceEventKind::LinkTerm:
+        ++c.link_terms;
+        c.multicast_shared_uses += static_cast<std::uint64_t>(e.i2 - e.i1);
+        break;
+      default:
+        break;
+    }
+  }
+  return c;
+}
+
+double EmbeddingTrace::reconstructed_cost() const {
+  // Mirror Evaluator::cost_breakdown: sum VNF terms and link terms in their
+  // own accumulators (events are emitted in the evaluator's id order), then
+  // add the two partial sums. Same values, same order => same bits.
+  double vnf = 0.0;
+  double link = 0.0;
+  for (const SolveEvent& e : events_) {
+    if (e.kind == TraceEventKind::VnfTerm) vnf += e.v0;
+    if (e.kind == TraceEventKind::LinkTerm) link += e.v0;
+  }
+  return vnf + link;
+}
+
+std::uint64_t EmbeddingTrace::multicast_sharing() const {
+  std::uint64_t shared = 0;
+  for (const SolveEvent& e : events_) {
+    if (e.kind == TraceEventKind::LinkTerm) {
+      shared += static_cast<std::uint64_t>(e.i2 - e.i1);
+    }
+  }
+  return shared;
+}
+
+std::string EmbeddingTrace::to_chrome_json() const {
+  std::vector<util::TraceEvent> out;
+  out.reserve(events_.size() + 2);
+  std::uint64_t ts = 0;
+  for (const SolveEvent& e : events_) {
+    util::TraceEvent te;
+    te.name = kind_name(e.kind);
+    te.cat = category_name(category(e.kind));
+    te.ts = ++ts;  // logical clock: 1-based emission index
+    te.tid = 0;    // solves are single-threaded; pin for byte stability
+    switch (e.kind) {
+      case TraceEventKind::SolveBegin:
+      case TraceEventKind::LayerEnter:
+        te.phase = 'B';
+        break;
+      case TraceEventKind::SolveEnd:
+      case TraceEventKind::LayerDone:
+        te.phase = 'E';
+        break;
+      default:
+        te.phase = 'i';
+        break;
+    }
+    te.num_args.emplace_back("i0", static_cast<double>(e.i0));
+    te.num_args.emplace_back("i1", static_cast<double>(e.i1));
+    te.num_args.emplace_back("i2", static_cast<double>(e.i2));
+    te.num_args.emplace_back("v0", e.v0);
+    te.num_args.emplace_back("v1", e.v1);
+    if (!e.s0.empty()) te.str_args.emplace_back("s0", e.s0);
+    out.push_back(std::move(te));
+  }
+  return util::to_chrome_trace(out, /*pid=*/0);
+}
+
+std::string EmbeddingTrace::summary() const {
+  const TraceCounts c = counts();
+  std::string algorithm = "?";
+  bool ok = false;
+  double cost = 0.0;
+  std::string failure;
+  for (const SolveEvent& e : events_) {
+    if (e.kind == TraceEventKind::SolveBegin) algorithm = e.s0;
+    if (e.kind == TraceEventKind::SolveEnd) {
+      ok = e.i0 != 0;
+      cost = e.v0;
+      failure = e.s0;
+    }
+  }
+  std::ostringstream os;
+  os << "solve " << algorithm << ": "
+     << (ok ? "ok" : ("FAILED (" + failure + ")")) << "\n";
+  if (ok) {
+    os << "  cost " << cost << " (reconstructed " << reconstructed_cost()
+       << ")\n";
+  }
+  os << "  events " << events_.size() << " (decision " << c.decision_events
+     << ", vnf terms " << c.vnf_terms << ", link terms " << c.link_terms
+     << ")\n";
+  os << "  search: forward " << c.forward_searches << ", backward "
+     << c.backward_searches << ", uncapped retries " << c.uncapped_retries
+     << ", children " << c.candidate_children << " (dropped "
+     << c.children_dropped << " by X_d, " << c.pool_dropped
+     << " by max_pool), final candidates " << c.final_candidates << "\n";
+  os << "  multicast link-charges saved: " << c.multicast_shared_uses << "\n";
+  return os.str();
+}
+
+}  // namespace dagsfc::core

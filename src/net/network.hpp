@@ -80,6 +80,13 @@ class Network {
     return instances_[id];
   }
 
+  /// Reprices a deployed instance (scenario knobs; metamorphic tests scale
+  /// every price by a constant).
+  void set_instance_price(InstanceId id, double price) {
+    DAGSFC_CHECK(id < instances_.size());
+    instances_[id].price = price;
+  }
+
   /// Instance of \p type on \p node, if deployed.
   [[nodiscard]] std::optional<InstanceId> find_instance(NodeId node,
                                                         VnfTypeId type) const;

@@ -30,6 +30,7 @@ std::vector<AlgorithmStats> run_comparison(
     double ms = 0.0;
     double expanded = 0.0;
     graph::PathQueryCounters path_queries;
+    core::TraceCounts trace;
   };
   // Each trial writes only its own slot; the reduction below runs in trial
   // order, so the accumulated statistics are bit-identical for any thread
@@ -53,9 +54,12 @@ std::vector<AlgorithmStats> run_comparison(
     const core::Evaluator evaluator(index);
     std::vector<TrialRow>& rows = results[trial];
     for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      core::EmbeddingTrace trace;
+      core::TraceSink* sink = opts.collect_traces ? &trace : nullptr;
       WallTimer timer;
-      const core::SolveResult r = algorithms[a]->solve_fresh(index, rng);
+      const core::SolveResult r = algorithms[a]->solve_fresh(index, rng, sink);
       rows[a].ms = timer.elapsed_ms();
+      if (sink != nullptr) rows[a].trace = trace.counts();
       rows[a].ok = r.ok();
       rows[a].cost = r.cost;
       rows[a].expanded = static_cast<double>(r.expanded_sub_solutions);
@@ -74,6 +78,7 @@ std::vector<AlgorithmStats> run_comparison(
       totals[a].wall_ms.add(rows[a].ms);
       totals[a].expanded.add(rows[a].expanded);
       totals[a].path_queries += rows[a].path_queries;
+      totals[a].trace += rows[a].trace;
       if (rows[a].ok) {
         totals[a].cost.add(rows[a].cost);
         totals[a].vnf_cost.add(rows[a].vnf);

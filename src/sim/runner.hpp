@@ -31,6 +31,10 @@ struct AlgorithmStats {
   /// Shortest-path query counters summed over all trials (solver
   /// observability: Dijkstra/Yen computations, path-cache hits/misses).
   graph::PathQueryCounters path_queries;
+  /// Structured-trace roll-up summed over all trials (ring searches,
+  /// pruning, multicast sharing — see core/trace.hpp). All zeros unless
+  /// RunOptions::collect_traces was set.
+  core::TraceCounts trace;
 
   [[nodiscard]] double success_rate() const noexcept {
     const std::size_t n = successes + failures;
@@ -43,6 +47,10 @@ struct AlgorithmStats {
 
 struct RunOptions {
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Attach an EmbeddingTrace to every solve and aggregate the per-trial
+  /// TraceCounts into AlgorithmStats::trace. Tracing never changes solve
+  /// results; the only cost is event recording.
+  bool collect_traces = false;
 };
 
 /// Runs the comparison for one configuration. Algorithm order in the result

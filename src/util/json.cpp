@@ -1,0 +1,62 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace dagsfc::util {
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (unsigned char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  // 2^53 bounds the integers a double represents exactly.
+  constexpr double kMaxExactInt = 9007199254740992.0;
+  if (v == std::floor(v) && std::fabs(v) < kMaxExactInt) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace dagsfc::util

@@ -1,0 +1,24 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON emission helpers shared by the bench JSON lines and the
+/// Chrome-trace exporter. This is not a JSON library — the emitters build
+/// their documents by hand — but every string that lands inside a JSON
+/// string literal must go through json_escape, and every number through
+/// json_number so the output is deterministic byte for byte.
+
+#include <string>
+
+namespace dagsfc::util {
+
+/// Escapes \p in for embedding inside a JSON string literal: quote,
+/// backslash, the short escapes (\b \f \n \r \t) and \u00XX for every other
+/// control character. Bytes ≥ 0x20 (including UTF-8 multibyte sequences)
+/// pass through unchanged.
+[[nodiscard]] std::string json_escape(const std::string& in);
+
+/// Deterministic JSON rendering of a double: integral values in range print
+/// without a fraction ("3"), everything else via %.17g (round-trip exact).
+/// NaN/Inf are not valid JSON and render as null.
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace dagsfc::util

@@ -4,13 +4,22 @@
 
 namespace dagsfc {
 
+namespace {
+thread_local std::uint32_t t_worker_id = 0;  // 0 = not a pool worker
+}  // namespace
+
+std::uint32_t ThreadPool::current_worker_id() noexcept { return t_worker_id; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      t_worker_id = static_cast<std::uint32_t>(i + 1);
+      worker_loop();
+    });
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -30,6 +31,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Stable lane id of the calling thread: workers of any pool report
+  /// 1..size() (assigned at spawn); threads outside a pool — including the
+  /// main thread — report 0. Trace events use this instead of OS thread
+  /// ids so traces are comparable across runs.
+  [[nodiscard]] static std::uint32_t current_worker_id() noexcept;
 
   /// Enqueues a task; the returned future propagates exceptions.
   template <typename F>

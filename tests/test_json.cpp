@@ -1,0 +1,71 @@
+/// Tests for util/json.hpp: full JSON string escaping (the bench JSON line
+/// previously shipped a partial escaper that corrupted control characters)
+/// and deterministic number rendering.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace dagsfc::util {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, EscapesNamedControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscape, EscapesOtherControlCharactersAsUnicode) {
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+  // NUL embedded in a std::string must not truncate the output.
+  EXPECT_EQ(json_escape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonEscape, PassesUtf8BytesThrough) {
+  const std::string snowman = "\xe2\x98\x83";
+  EXPECT_EQ(json_escape("x" + snowman + "y"), "x" + snowman + "y");
+}
+
+TEST(JsonNumber, IntegralValuesPrintWithoutFraction) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-7.0), "-7");
+}
+
+TEST(JsonNumber, FractionalValuesRoundTrip) {
+  for (double v : {0.1, 1.0 / 3.0, 123.456, -2.718281828459045}) {
+    const std::string s = json_number(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(JsonNumber, NonFiniteValuesBecomeNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonNumber, HugeIntegralValuesUseScientificPath) {
+  // Beyond 2^53 the integer fast path is skipped; output still parses back.
+  const double v = 1e300;
+  EXPECT_EQ(std::stod(json_number(v)), v);
+}
+
+}  // namespace
+}  // namespace dagsfc::util
