@@ -30,27 +30,49 @@ int main(int argc, char** argv) {
   for (const auto* a : algos) {
     cols.push_back(a->name() + " accept%");
     cols.push_back(a->name() + " cost");
+    cols.push_back(a->name() + " cost p95");
     cols.push_back(a->name() + " concurrency");
   }
   Table t(cols);
+  std::ostringstream json;
+  json << "{\"bench\":\"dynamic_admission\",\"points\":[";
+  bool first = true;
 
   for (double rate : {0.5, 1.0, 2.0, 4.0, 8.0}) {
     sim::DynamicConfig cfg = base;
     cfg.arrival_rate = rate;
     t.row().cell(cfg.offered_load(), 1);
+    json << (first ? "" : ",") << "{\"offered_load\":"
+         << util::json_number(cfg.offered_load()) << ",\"algorithms\":[";
+    first = false;
+    bool first_algo = true;
     for (const auto* algo : algos) {
       const sim::DynamicResult r =
           sim::run_dynamic(cfg, *algo, s->base.seed);
       t.cell(r.acceptance_ratio() * 100.0, 1);
       t.cell(r.accepted ? r.cost.mean() : 0.0, 1);
+      t.cell(r.cost_hist.p95(), 1);
       t.cell(r.concurrency.mean(), 1);
+      json << (first_algo ? "" : ",") << "{\"name\":\""
+           << util::json_escape(algo->name()) << "\",\"acceptance_ratio\":"
+           << util::json_number(r.acceptance_ratio())
+           << ",\"mean_cost\":"
+           << util::json_number(r.accepted ? r.cost.mean() : 0.0)
+           << ",\"cost_p50\":" << util::json_number(r.cost_hist.p50())
+           << ",\"cost_p95\":" << util::json_number(r.cost_hist.p95())
+           << ",\"cost_p99\":" << util::json_number(r.cost_hist.p99())
+           << ",\"mean_concurrency\":"
+           << util::json_number(r.concurrency.mean()) << "}";
+      first_algo = false;
     }
+    json << "]}";
     std::cerr << "offered_load=" << cfg.offered_load() << " done\n";
   }
+  json << "]}";
   std::cout << "== Extension: dynamic admission (Erlang loss) ==\n"
             << "expectation: MBBE sustains the highest acceptance and the "
                "lowest per-flow cost as load grows\n\n"
-            << t.ascii();
+            << t.ascii() << "\nJSON: " << json.str() << "\n";
   if (s->csv) std::cout << "\nCSV:\n" << t.csv();
   return 0;
 }

@@ -5,21 +5,32 @@
 # -fno-sanitize-recover=undefined at compile time). A second pass repeats
 # the build with the ambient trace macros compiled in (-DDAGSFC_TRACE=ON)
 # so the zero-overhead-when-disabled instrumentation path is itself
-# sanitizer-clean.
+# sanitizer-clean. A third pass builds with ThreadSanitizer
+# (-DDAGSFC_TSAN=ON) and runs the concurrency-heavy suites (the serve
+# layer, the thread pool, and the trial runner) to catch data races in the
+# snapshot/commit machinery.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="print_stacktrace=1:${UBSAN_OPTIONS:-}"
+export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
 
 run_pass() {
   local dir=$1
-  shift
-  cmake -B "$dir" -G Ninja -DDAGSFC_SANITIZE=ON \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  local filter=$2
+  shift 2
+  cmake -B "$dir" -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
   cmake --build "$dir" -j
-  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+  if [[ -n "$filter" ]]; then
+    ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" -R "$filter"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+  fi
 }
 
-run_pass "${BUILD_DIR:-build-asan}"
-run_pass "${TRACE_BUILD_DIR:-build-asan-trace}" -DDAGSFC_TRACE=ON
+run_pass "${BUILD_DIR:-build-asan}" "" -DDAGSFC_SANITIZE=ON
+run_pass "${TRACE_BUILD_DIR:-build-asan-trace}" "" -DDAGSFC_SANITIZE=ON \
+  -DDAGSFC_TRACE=ON
+run_pass "${TSAN_BUILD_DIR:-build-tsan}" 'test_serve|test_thread_pool|test_runner' \
+  -DDAGSFC_TSAN=ON

@@ -202,54 +202,18 @@ std::vector<Evaluator::CostTerm> Evaluator::cost_terms(
 
 bool Evaluator::feasible(const ResourceUsage& u,
                          const net::CapacityLedger& ledger) const {
-  const double rate = index_->problem().flow.rate;
-  for (net::InstanceId id = 0; id < u.instance_uses.size(); ++id) {
-    if (u.instance_uses[id] == 0) continue;
-    if (!ledger.instance_can_process(
-            id, static_cast<double>(u.instance_uses[id]) * rate)) {
-      return false;
-    }
-  }
-  for (graph::EdgeId e = 0; e < u.link_uses.size(); ++e) {
-    if (u.link_uses[e] == 0) continue;
-    if (!ledger.link_can_carry(e,
-                               static_cast<double>(u.link_uses[e]) * rate)) {
-      return false;
-    }
-  }
-  return true;
+  return ledger.can_apply(u.link_uses, u.instance_uses,
+                          index_->problem().flow.rate);
 }
 
 void Evaluator::commit(const ResourceUsage& u,
                        net::CapacityLedger& ledger) const {
-  const double rate = index_->problem().flow.rate;
-  for (net::InstanceId id = 0; id < u.instance_uses.size(); ++id) {
-    if (u.instance_uses[id] > 0) {
-      ledger.consume_instance(id,
-                              static_cast<double>(u.instance_uses[id]) * rate);
-    }
-  }
-  for (graph::EdgeId e = 0; e < u.link_uses.size(); ++e) {
-    if (u.link_uses[e] > 0) {
-      ledger.consume_link(e, static_cast<double>(u.link_uses[e]) * rate);
-    }
-  }
+  ledger.apply(u.link_uses, u.instance_uses, index_->problem().flow.rate);
 }
 
 void Evaluator::release(const ResourceUsage& u,
                         net::CapacityLedger& ledger) const {
-  const double rate = index_->problem().flow.rate;
-  for (net::InstanceId id = 0; id < u.instance_uses.size(); ++id) {
-    if (u.instance_uses[id] > 0) {
-      ledger.release_instance(id,
-                              static_cast<double>(u.instance_uses[id]) * rate);
-    }
-  }
-  for (graph::EdgeId e = 0; e < u.link_uses.size(); ++e) {
-    if (u.link_uses[e] > 0) {
-      ledger.release_link(e, static_cast<double>(u.link_uses[e]) * rate);
-    }
-  }
+  ledger.unapply(u.link_uses, u.instance_uses, index_->problem().flow.rate);
 }
 
 }  // namespace dagsfc::core

@@ -93,6 +93,57 @@ void CapacityLedger::release_instance(InstanceId id, double rate) {
       "release exceeds nominal instance capacity");
 }
 
+bool CapacityLedger::can_apply(std::span<const std::uint32_t> link_uses,
+                               std::span<const std::uint32_t> instance_uses,
+                               double rate) const {
+  DAGSFC_CHECK(link_uses.size() <= link_residual_.size());
+  DAGSFC_CHECK(instance_uses.size() <= instance_residual_.size());
+  for (InstanceId id = 0; id < instance_uses.size(); ++id) {
+    if (instance_uses[id] == 0) continue;
+    if (!instance_can_process(id,
+                              static_cast<double>(instance_uses[id]) * rate)) {
+      return false;
+    }
+  }
+  for (EdgeId e = 0; e < link_uses.size(); ++e) {
+    if (link_uses[e] == 0) continue;
+    if (!link_can_carry(e, static_cast<double>(link_uses[e]) * rate)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CapacityLedger::apply(std::span<const std::uint32_t> link_uses,
+                           std::span<const std::uint32_t> instance_uses,
+                           double rate) {
+  for (InstanceId id = 0; id < instance_uses.size(); ++id) {
+    if (instance_uses[id] > 0) {
+      consume_instance(id, static_cast<double>(instance_uses[id]) * rate);
+    }
+  }
+  for (EdgeId e = 0; e < link_uses.size(); ++e) {
+    if (link_uses[e] > 0) {
+      consume_link(e, static_cast<double>(link_uses[e]) * rate);
+    }
+  }
+}
+
+void CapacityLedger::unapply(std::span<const std::uint32_t> link_uses,
+                             std::span<const std::uint32_t> instance_uses,
+                             double rate) {
+  for (InstanceId id = 0; id < instance_uses.size(); ++id) {
+    if (instance_uses[id] > 0) {
+      release_instance(id, static_cast<double>(instance_uses[id]) * rate);
+    }
+  }
+  for (EdgeId e = 0; e < link_uses.size(); ++e) {
+    if (link_uses[e] > 0) {
+      release_link(e, static_cast<double>(link_uses[e]) * rate);
+    }
+  }
+}
+
 double CapacityLedger::total_link_consumed() const {
   double total = 0.0;
   for (EdgeId e = 0; e < link_residual_.size(); ++e) {

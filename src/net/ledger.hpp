@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/path_cache.hpp"
@@ -67,6 +68,23 @@ class CapacityLedger {
   /// Credits (used when a tentative reservation is rolled back).
   void release_link(EdgeId e, double rate);
   void release_instance(InstanceId id, double rate);
+
+  /// Bulk counterparts over a whole embedding's reuse counts (the α vectors
+  /// of core::ResourceUsage, indexed by EdgeId / InstanceId; entries beyond
+  /// the vectors' lengths are implicitly zero). Each counted use costs
+  /// \p rate; these are the one shared implementation behind
+  /// Evaluator::feasible/commit/release, the dynamic sim's departures, and
+  /// the serve layer's epoch-validated commits.
+  [[nodiscard]] bool can_apply(std::span<const std::uint32_t> link_uses,
+                               std::span<const std::uint32_t> instance_uses,
+                               double rate) const;
+  /// Debits every counted use. Contract-checked; call can_apply() first
+  /// when admission may fail.
+  void apply(std::span<const std::uint32_t> link_uses,
+             std::span<const std::uint32_t> instance_uses, double rate);
+  /// Credits every counted use — the exact inverse of apply().
+  void unapply(std::span<const std::uint32_t> link_uses,
+               std::span<const std::uint32_t> instance_uses, double rate);
 
   /// Sum of capacity already consumed (diagnostics).
   [[nodiscard]] double total_link_consumed() const;

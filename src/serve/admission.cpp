@@ -1,0 +1,21 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dagsfc::serve {
+
+void AdmissionPolicy::validate() const {
+  DAGSFC_CHECK(queue_capacity >= 1);
+  DAGSFC_CHECK(retry_backoff.count() >= 0);
+}
+
+std::chrono::nanoseconds AdmissionPolicy::backoff_before(
+    std::uint32_t retry) const {
+  DAGSFC_CHECK(retry >= 1);
+  const std::uint32_t shift = std::min(retry - 1, 10u);
+  return retry_backoff * (std::int64_t{1} << shift);
+}
+
+}  // namespace dagsfc::serve

@@ -1,0 +1,47 @@
+#pragma once
+/// \file admission.hpp
+/// Admission policy of the embedding service: how much backlog to hold, how
+/// long to keep retrying optimistic commits that lose validation, and
+/// whether to shed deadline-expired work before spending solver time on it.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/request.hpp"
+
+namespace dagsfc::serve {
+
+struct AdmissionPolicy {
+  /// Bounded request queue: submits beyond this are rejected immediately
+  /// (reject-on-full, no unbounded backlog).
+  std::size_t queue_capacity = 1024;
+
+  /// Re-solves granted after a commit loses epoch validation. The first
+  /// solve is not a retry: a request is solved at most 1 + max_retries
+  /// times before it is counted as lost.
+  std::uint32_t max_retries = 3;
+
+  /// Sleep before the k-th retry is retry_backoff << (k-1), capping the
+  /// shift at 10 doublings. Zero disables backoff (tests, benches hunting
+  /// for contention).
+  std::chrono::nanoseconds retry_backoff{100'000};  // 100us
+
+  /// Drop requests whose deadline already passed when a worker dequeues
+  /// them, without solving.
+  bool shed_expired = true;
+
+  void validate() const;
+
+  /// True when \p req should be shed at dequeue time \p now.
+  [[nodiscard]] bool should_shed(const Request& req,
+                                 Clock::time_point now) const {
+    return shed_expired && req.deadline.has_value() && now > *req.deadline;
+  }
+
+  /// Backoff before retry number \p retry (1-based).
+  [[nodiscard]] std::chrono::nanoseconds backoff_before(
+      std::uint32_t retry) const;
+};
+
+}  // namespace dagsfc::serve

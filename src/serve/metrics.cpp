@@ -1,0 +1,85 @@
+#include "serve/metrics.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace dagsfc::serve {
+
+void ServiceMetrics::on_submitted() {
+  std::lock_guard lock(mu_);
+  ++data_.submitted;
+}
+
+void ServiceMetrics::on_release() {
+  std::lock_guard lock(mu_);
+  ++data_.releases;
+}
+
+void ServiceMetrics::on_response(const Response& r) {
+  std::lock_guard lock(mu_);
+  switch (r.outcome) {
+    case Outcome::Accepted:
+      ++data_.accepted;
+      data_.cost.add(r.cost);
+      if (r.epoch_validated) {
+        ++data_.validated_commits;
+      } else {
+        ++data_.fast_commits;
+      }
+      break;
+    case Outcome::RejectedInfeasible:
+      ++data_.rejected_infeasible;
+      break;
+    case Outcome::RejectedQueueFull:
+      ++data_.rejected_queue_full;
+      break;
+    case Outcome::SheddedDeadline:
+      ++data_.shed_deadline;
+      break;
+    case Outcome::LostConflict:
+      ++data_.lost_conflict;
+      break;
+  }
+  data_.commit_conflicts += r.conflicts;
+  if (r.solves > 1) data_.retries += r.solves - 1;
+  data_.latency_ms.add(r.queue_ms + r.solve_ms);
+  data_.solve_ms.add(r.solve_ms);
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  std::lock_guard lock(mu_);
+  return data_;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"submitted\":" << submitted << ",\"accepted\":" << accepted
+     << ",\"rejected_infeasible\":" << rejected_infeasible
+     << ",\"rejected_queue_full\":" << rejected_queue_full
+     << ",\"shed_deadline\":" << shed_deadline
+     << ",\"lost_conflict\":" << lost_conflict
+     << ",\"acceptance_ratio\":" << util::json_number(acceptance_ratio())
+     << ",\"commit_conflicts\":" << commit_conflicts
+     << ",\"retries\":" << retries << ",\"fast_commits\":" << fast_commits
+     << ",\"validated_commits\":" << validated_commits
+     << ",\"releases\":" << releases
+     << ",\"conflict_rate\":" << util::json_number(conflict_rate())
+     << ",\"latency_ms\":{\"p50\":" << util::json_number(latency_ms.p50())
+     << ",\"p95\":" << util::json_number(latency_ms.p95())
+     << ",\"p99\":" << util::json_number(latency_ms.p99())
+     << ",\"mean\":" << util::json_number(latency_ms.mean())
+     << ",\"max\":" << util::json_number(latency_ms.max()) << "}"
+     << ",\"solve_ms\":{\"p50\":" << util::json_number(solve_ms.p50())
+     << ",\"p95\":" << util::json_number(solve_ms.p95())
+     << ",\"p99\":" << util::json_number(solve_ms.p99()) << "}"
+     << ",\"cost\":{\"count\":" << cost.count()
+     << ",\"mean\":" << util::json_number(cost.mean())
+     << ",\"p50\":" << util::json_number(cost.p50())
+     << ",\"p95\":" << util::json_number(cost.p95())
+     << ",\"p99\":" << util::json_number(cost.p99()) << "}}";
+  return os.str();
+}
+
+}  // namespace dagsfc::serve

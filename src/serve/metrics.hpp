@@ -1,0 +1,78 @@
+#pragma once
+/// \file metrics.hpp
+/// Thread-safe service metrics: outcome counters, the optimistic-commit
+/// accounting (fast vs validated commits, conflicts, retries), and
+/// log-bucket latency/cost histograms with p50/p95/p99 queries.
+///
+/// Everything deterministic about a run — the counters and the histogram
+/// bucket counts — depends only on the multiset of recorded responses, not
+/// on recording order, which is what lets the closed-loop driver assert
+/// bit-identical metrics across worker counts. (Histogram sums are float
+/// additions and therefore order-sensitive; the closed-loop driver keeps at
+/// most one request in flight, fixing the order.)
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "serve/request.hpp"
+#include "util/stats.hpp"
+
+namespace dagsfc::serve {
+
+/// Immutable copy of the metrics at one instant.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_infeasible = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t lost_conflict = 0;
+
+  std::uint64_t commit_conflicts = 0;  ///< commits failing epoch validation
+  std::uint64_t retries = 0;           ///< re-solves caused by conflicts
+  std::uint64_t fast_commits = 0;      ///< epoch unchanged since snapshot
+  std::uint64_t validated_commits = 0; ///< epoch moved, residuals re-checked
+  std::uint64_t releases = 0;          ///< departures applied to the ledger
+
+  Histogram latency_ms{1e-3, 1e6};  ///< submit → terminal outcome
+  Histogram solve_ms{1e-3, 1e6};    ///< dequeue → terminal outcome
+  Histogram cost{1e-1, 1e9};        ///< accepted flows' objective (1)
+
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return accepted + rejected_infeasible + rejected_queue_full +
+           shed_deadline + lost_conflict;
+  }
+  [[nodiscard]] double acceptance_ratio() const noexcept {
+    const std::uint64_t n = completed();
+    return n ? static_cast<double>(accepted) / static_cast<double>(n) : 0.0;
+  }
+  /// Conflicted commits per completed request.
+  [[nodiscard]] double conflict_rate() const noexcept {
+    const std::uint64_t n = completed();
+    return n ? static_cast<double>(commit_conflicts) / static_cast<double>(n)
+             : 0.0;
+  }
+
+  /// Single-line JSON object (no trailing newline) with every counter and
+  /// the latency/cost percentiles — the payload of the `JSON:` lines the
+  /// serve CLI and bench print.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class ServiceMetrics {
+ public:
+  void on_submitted();
+  /// Records a terminal response — the single sink for every outcome,
+  /// including queue-full rejects (their latency is the ~0 submit path).
+  void on_response(const Response& r);
+  void on_release();
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  MetricsSnapshot data_;
+};
+
+}  // namespace dagsfc::serve

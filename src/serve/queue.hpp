@@ -1,0 +1,84 @@
+#pragma once
+/// \file queue.hpp
+/// Bounded multi-producer/multi-consumer queue feeding the solver workers.
+///
+/// Deliberately a mutex+condvar queue, not a lock-free ring: the payload is
+/// a whole embedding request (a DAG-SFC plus a promise) and each item buys
+/// milliseconds of solver work, so queue overhead is noise. What matters is
+/// the *bounded* part — try_push never blocks, so admission control can
+/// reject-on-full instead of building unbounded backlog — and clean
+/// shutdown semantics (close() wakes all consumers; pop() drains remaining
+/// items first, then returns nullopt).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace dagsfc::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    DAGSFC_CHECK(capacity >= 1);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  /// Enqueues unless the queue is full or closed. Never blocks, and moves
+  /// from \p item only on success — a rejected item is untouched and the
+  /// caller may still use it.
+  [[nodiscard]] bool try_push(T&& item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and* empty.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes every blocked consumer. Items already
+  /// queued are still drained by pop().
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dagsfc::serve

@@ -1,0 +1,74 @@
+#pragma once
+/// \file request.hpp
+/// The unit of work of the online embedding service: one flow request
+/// carrying its own DAG-SFC, endpoints, and an optional wall-clock deadline,
+/// and the structured response the service delivers for it.
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/model.hpp"
+#include "sfc/dag_sfc.hpp"
+
+namespace dagsfc::serve {
+
+using RequestId = std::uint64_t;
+using Clock = std::chrono::steady_clock;
+
+/// One embedding request. Unlike the offline harness, requests own their
+/// SFC — the submitting thread hands the whole problem over and the service
+/// may outlive the submitter's stack frame.
+struct Request {
+  RequestId id = 0;
+  sfc::DagSfc sfc;
+  core::Flow flow;  ///< endpoints into the service's network, rate R, size z
+  /// Latest wall-clock instant at which starting to solve is still useful;
+  /// requests found expired at dequeue are shed without solving.
+  std::optional<Clock::time_point> deadline;
+};
+
+/// Terminal classification of a request.
+enum class Outcome : std::uint8_t {
+  Accepted,          ///< committed to the ledger; release(id) undoes it
+  RejectedInfeasible,  ///< solver found no feasible embedding
+  RejectedQueueFull,   ///< admission: bounded queue was full at submit
+  SheddedDeadline,     ///< admission: deadline expired before solving
+  LostConflict,        ///< feasible solves kept losing commit validation
+};
+
+[[nodiscard]] constexpr const char* to_string(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Accepted: return "accepted";
+    case Outcome::RejectedInfeasible: return "rejected_infeasible";
+    case Outcome::RejectedQueueFull: return "rejected_queue_full";
+    case Outcome::SheddedDeadline: return "shed_deadline";
+    case Outcome::LostConflict: return "lost_conflict";
+  }
+  return "unknown";
+}
+
+struct Response {
+  RequestId id = 0;
+  Outcome outcome = Outcome::RejectedInfeasible;
+  double cost = 0.0;           ///< objective (1); meaningful iff Accepted
+  std::uint32_t solves = 0;    ///< solver invocations (1 + retries)
+  std::uint32_t conflicts = 0; ///< commits rejected by epoch validation
+  /// Epoch the winning solve snapshotted at and the ledger epoch right
+  /// after its commit (only meaningful when Accepted).
+  std::uint64_t snapshot_epoch = 0;
+  std::uint64_t commit_epoch = 0;
+  /// True when the ledger epoch had moved past snapshot_epoch at commit
+  /// time, so the commit had to be re-validated against live residuals;
+  /// false for fast-path commits (epoch unchanged).
+  bool epoch_validated = false;
+  double queue_ms = 0.0;  ///< submit → dequeue
+  double solve_ms = 0.0;  ///< dequeue → terminal outcome
+
+  [[nodiscard]] bool accepted() const noexcept {
+    return outcome == Outcome::Accepted;
+  }
+};
+
+}  // namespace dagsfc::serve

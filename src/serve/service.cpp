@@ -1,0 +1,206 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace dagsfc::serve {
+
+namespace {
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Solver RNG stream for (service seed, request, retry): splitmix64 over
+/// the mixed words gives independent streams, so outcomes are a pure
+/// function of the request identity — never of worker scheduling.
+std::uint64_t solve_seed(std::uint64_t base, RequestId id,
+                         std::uint32_t attempt) {
+  std::uint64_t state = base ^ (id * 0x9e3779b97f4a7c15ULL) ^
+                        (std::uint64_t{attempt} << 32);
+  return splitmix64(state);
+}
+
+}  // namespace
+
+EmbeddingService::EmbeddingService(const net::Network& network,
+                                   const core::Embedder& embedder,
+                                   Options options)
+    : net_(&network),
+      embedder_(&embedder),
+      opts_(options),
+      ledger_(network),
+      queue_(options.admission.queue_capacity) {
+  opts_.admission.validate();
+  DAGSFC_CHECK(opts_.workers >= 1);
+  workers_.reserve(opts_.workers);
+  for (std::size_t w = 0; w < opts_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+EmbeddingService::~EmbeddingService() { shutdown(); }
+
+std::future<Response> EmbeddingService::submit(Request req) {
+  metrics_.on_submitted();
+  {
+    std::lock_guard lock(drain_mu_);
+    ++outstanding_;
+  }
+  Job job;
+  job.req = std::move(req);
+  job.submitted = Clock::now();
+  std::future<Response> fut = job.promise.get_future();
+  if (!queue_.try_push(std::move(job))) {
+    // try_push moves from its argument only on success, so the job — and
+    // the promise backing `fut` — is intact on the reject path.
+    Response resp;
+    resp.id = job.req.id;
+    resp.outcome = Outcome::RejectedQueueFull;
+    finish(std::move(job), std::move(resp));
+  }
+  return fut;
+}
+
+void EmbeddingService::finish(Job&& job, Response&& resp) {
+  metrics_.on_response(resp);
+  job.promise.set_value(std::move(resp));
+  {
+    std::lock_guard lock(drain_mu_);
+    DAGSFC_CHECK(outstanding_ > 0);
+    --outstanding_;
+  }
+  drain_cv_.notify_all();
+}
+
+void EmbeddingService::worker_loop() {
+  while (auto job = queue_.pop()) {
+    Response resp = process(*job);
+    finish(std::move(*job), std::move(resp));
+  }
+}
+
+Response EmbeddingService::process(Job& job) {
+  const Clock::time_point dequeued = Clock::now();
+  Response resp;
+  resp.id = job.req.id;
+  resp.queue_ms = ms_between(job.submitted, dequeued);
+
+  if (opts_.admission.should_shed(job.req, dequeued)) {
+    resp.outcome = Outcome::SheddedDeadline;
+    resp.solve_ms = ms_between(dequeued, Clock::now());
+    return resp;
+  }
+
+  core::EmbeddingProblem problem;
+  problem.network = net_;
+  problem.sfc = &job.req.sfc;
+  problem.flow = job.req.flow;
+  const core::ModelIndex index(problem);
+  const core::Evaluator evaluator(index);
+  const double rate = job.req.flow.rate;
+
+  const std::uint32_t max_attempts = 1 + opts_.admission.max_retries;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const auto backoff = opts_.admission.backoff_before(attempt);
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    }
+
+    // Snapshot: private copy of the shared residual state plus the epoch
+    // it was taken at, consistent because both happen under the mutex.
+    std::uint64_t snapshot_epoch = 0;
+    std::unique_ptr<net::CapacityLedger> snap;
+    {
+      std::lock_guard lock(commit_mu_);
+      snapshot_epoch = ledger_.epoch();
+      snap = std::make_unique<net::CapacityLedger>(ledger_);
+    }
+
+    // Solve outside the lock — the expensive, parallel part.
+    Rng rng(solve_seed(opts_.seed, job.req.id, attempt));
+    const core::SolveResult r = embedder_->solve(index, *snap, rng);
+    ++resp.solves;
+    if (!r.ok()) {
+      // Infeasible against a consistent snapshot: a genuine reject, not a
+      // race — retrying against an even fuller ledger cannot help.
+      resp.outcome = Outcome::RejectedInfeasible;
+      resp.solve_ms = ms_between(dequeued, Clock::now());
+      return resp;
+    }
+
+    core::ResourceUsage usage = evaluator.usage(*r.solution);
+
+    // Commit under the mutex with epoch validation.
+    {
+      std::lock_guard lock(commit_mu_);
+      const bool moved = ledger_.epoch() != snapshot_epoch;
+      if (!moved || ledger_.can_apply(usage.link_uses, usage.instance_uses,
+                                      rate)) {
+        ledger_.apply(usage.link_uses, usage.instance_uses, rate);
+        committed_.emplace(job.req.id,
+                           CommittedFlow{std::move(usage), rate});
+        resp.outcome = Outcome::Accepted;
+        resp.cost = r.cost;
+        resp.snapshot_epoch = snapshot_epoch;
+        resp.commit_epoch = ledger_.epoch();
+        resp.epoch_validated = moved;
+        resp.solve_ms = ms_between(dequeued, Clock::now());
+        return resp;
+      }
+    }
+    // The world changed under us and the solution no longer fits: commit
+    // conflict. Loop back for a fresh snapshot.
+    ++resp.conflicts;
+  }
+
+  resp.outcome = Outcome::LostConflict;
+  resp.solve_ms = ms_between(dequeued, Clock::now());
+  return resp;
+}
+
+bool EmbeddingService::release(RequestId id) {
+  CommittedFlow flow;
+  {
+    std::lock_guard lock(commit_mu_);
+    auto it = committed_.find(id);
+    if (it == committed_.end()) return false;
+    flow = std::move(it->second);
+    committed_.erase(it);
+    ledger_.unapply(flow.usage.link_uses, flow.usage.instance_uses,
+                    flow.rate);
+  }
+  metrics_.on_release();
+  return true;
+}
+
+std::size_t EmbeddingService::in_service() const {
+  std::lock_guard lock(commit_mu_);
+  return committed_.size();
+}
+
+void EmbeddingService::drain() {
+  std::unique_lock lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void EmbeddingService::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+net::CapacityLedger EmbeddingService::ledger_snapshot() const {
+  std::lock_guard lock(commit_mu_);
+  return ledger_;
+}
+
+std::uint64_t EmbeddingService::epoch() const {
+  std::lock_guard lock(commit_mu_);
+  return ledger_.epoch();
+}
+
+}  // namespace dagsfc::serve

@@ -1,0 +1,138 @@
+#pragma once
+/// \file service.hpp
+/// The concurrent online embedding service.
+///
+/// Lifecycle of a request (snapshot → solve → validate → commit):
+///
+///   1. submit() stamps the request, tries the bounded MPMC queue, and
+///      returns a future; a full queue resolves it immediately as
+///      RejectedQueueFull.
+///   2. A worker dequeues, sheds the request if its deadline already
+///      passed, then *snapshots* the shared CapacityLedger — a copy taken
+///      under the commit mutex together with the ledger's epoch().
+///   3. The embedder solves against the private snapshot, completely
+///      outside the lock — this is where the milliseconds go, and why
+///      workers scale.
+///   4. Commit, under the mutex, with epoch validation:
+///        - epoch unchanged → the residuals the solver saw are the live
+///          residuals; apply directly (fast commit).
+///        - epoch moved     → another request committed or departed in the
+///          meantime; re-check the solution against the live residuals
+///          (CapacityLedger::can_apply). Still fits → apply (validated
+///          commit). Doesn't fit → commit conflict: drop the solution,
+///          back off, and re-solve from a fresh snapshot, up to
+///          AdmissionPolicy::max_retries times before the request counts
+///          as LostConflict.
+///   5. Accepted flows land in the committed-flow table; release(id)
+///      (a departure) credits their exact usage back to the ledger.
+///
+/// The service never locks the ledger around a solve, so solutions are
+/// optimistic by construction; epoch validation is what keeps the ledger's
+/// no-oversubscription invariant exact under concurrency.
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/embedder.hpp"
+#include "net/ledger.hpp"
+#include "serve/admission.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace dagsfc::serve {
+
+class EmbeddingService {
+ public:
+  struct Options {
+    std::size_t workers = 1;
+    AdmissionPolicy admission;
+    /// Base seed of the per-request solver RNG streams: request id and
+    /// retry number are mixed in, so results depend on (seed, id, retry)
+    /// and never on which worker picked the job up.
+    std::uint64_t seed = 0x5eedbeefULL;
+  };
+
+  /// The network and embedder must outlive the service. The embedder must
+  /// be safe for concurrent solve() calls (all library embedders are —
+  /// they are stateless; the Monte-Carlo runner already shares them across
+  /// threads).
+  EmbeddingService(const net::Network& network, const core::Embedder& embedder,
+                   Options options);
+  ~EmbeddingService();
+
+  EmbeddingService(const EmbeddingService&) = delete;
+  EmbeddingService& operator=(const EmbeddingService&) = delete;
+
+  /// Hands the request to the worker pool. Always returns a valid future;
+  /// queue-full rejections resolve it immediately.
+  [[nodiscard]] std::future<Response> submit(Request req);
+
+  /// Departure: credits the committed flow's exact resource usage back to
+  /// the ledger (bumping the epoch). Returns false for ids that are not in
+  /// service (never accepted, or already released).
+  bool release(RequestId id);
+
+  /// Flows currently holding resources.
+  [[nodiscard]] std::size_t in_service() const;
+
+  /// Blocks until every submitted request has a response. New submits
+  /// during a drain are allowed and also waited for.
+  void drain();
+
+  /// Closes the queue and joins the workers; queued requests are still
+  /// served. Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+
+  /// Consistent copy of the shared ledger (taken under the commit mutex).
+  [[nodiscard]] net::CapacityLedger ledger_snapshot() const;
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  [[nodiscard]] const net::Network& network() const noexcept { return *net_; }
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+ private:
+  struct Job {
+    Request req;
+    std::promise<Response> promise;
+    Clock::time_point submitted{};
+  };
+
+  struct CommittedFlow {
+    core::ResourceUsage usage;
+    double rate = 0.0;
+  };
+
+  void worker_loop();
+  [[nodiscard]] Response process(Job& job);
+  void finish(Job&& job, Response&& resp);
+
+  const net::Network* net_;
+  const core::Embedder* embedder_;
+  Options opts_;
+
+  /// Guards ledger_ and committed_ (commits, releases, snapshots).
+  mutable std::mutex commit_mu_;
+  net::CapacityLedger ledger_;
+  std::unordered_map<RequestId, CommittedFlow> committed_;
+
+  BoundedQueue<Job> queue_;
+  ServiceMetrics metrics_;
+
+  /// drain(): submitted-but-unanswered requests.
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::size_t outstanding_ = 0;
+
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;
+};
+
+}  // namespace dagsfc::serve

@@ -48,18 +48,7 @@ DynamicResult run_dynamic(const DynamicConfig& cfg,
   auto release_up_to = [&](double t) {
     while (!in_service.empty() && in_service.top().departs <= t) {
       const InService& f = in_service.top();
-      for (net::InstanceId id = 0; id < f.usage.instance_uses.size(); ++id) {
-        if (f.usage.instance_uses[id] > 0) {
-          ledger.release_instance(
-              id, static_cast<double>(f.usage.instance_uses[id]) * f.rate);
-        }
-      }
-      for (graph::EdgeId e = 0; e < f.usage.link_uses.size(); ++e) {
-        if (f.usage.link_uses[e] > 0) {
-          ledger.release_link(
-              e, static_cast<double>(f.usage.link_uses[e]) * f.rate);
-        }
-      }
+      ledger.unapply(f.usage.link_uses, f.usage.instance_uses, f.rate);
       in_service.pop();
     }
   };
@@ -102,6 +91,7 @@ DynamicResult run_dynamic(const DynamicConfig& cfg,
         InService{now + holding, std::move(usage), problem.flow.rate});
     ++result.accepted;
     result.cost.add(r.cost);
+    result.cost_hist.add(r.cost);
   }
   result.simulated_time = now;
   return result;

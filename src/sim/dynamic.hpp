@@ -36,6 +36,9 @@ struct DynamicResult {
   std::size_t accepted = 0;
   std::size_t rejected = 0;
   RunningStats cost;         ///< per accepted flow
+  /// Per-accepted-flow cost distribution (log-spaced buckets) for tail
+  /// reporting: cost_hist.p50()/p95()/p99().
+  Histogram cost_hist;
   RunningStats concurrency;  ///< flows in service, sampled at arrivals
   double simulated_time = 0.0;
 

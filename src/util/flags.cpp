@@ -1,9 +1,50 @@
 #include "util/flags.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace dagsfc {
+
+std::chrono::nanoseconds parse_duration(const std::string& text) {
+  if (text.empty()) {
+    throw std::invalid_argument("empty duration");
+  }
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("malformed duration: " + text);
+  }
+  if (pos == 0 || pos >= text.size()) {
+    throw std::invalid_argument("duration needs a unit suffix (ns/us/ms/s/m/h): " +
+                                text);
+  }
+  if (value < 0.0 || !std::isfinite(value)) {
+    throw std::invalid_argument("duration must be non-negative: " + text);
+  }
+  const std::string unit = text.substr(pos);
+  double ns = 0.0;
+  if (unit == "ns") {
+    ns = value;
+  } else if (unit == "us") {
+    ns = value * 1e3;
+  } else if (unit == "ms") {
+    ns = value * 1e6;
+  } else if (unit == "s") {
+    ns = value * 1e9;
+  } else if (unit == "m") {
+    ns = value * 60e9;
+  } else if (unit == "h") {
+    ns = value * 3600e9;
+  } else {
+    throw std::invalid_argument("unknown duration unit '" + unit +
+                                "' in: " + text);
+  }
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(std::llround(ns)));
+}
 
 Flags& Flags::define(const std::string& name, const std::string& default_value,
                      const std::string& help) {
@@ -31,6 +72,18 @@ Flags& Flags::define_double(const std::string& name, double default_value,
 Flags& Flags::define_bool(const std::string& name, bool default_value,
                           const std::string& help) {
   return define(name, default_value ? "true" : "false", help);
+}
+
+Flags& Flags::define_duration(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& help) {
+  (void)parse_duration(default_value);  // defaults must themselves parse
+  return define(name, default_value, help);
+}
+
+Flags& Flags::define_workers(std::int64_t default_value) {
+  return define_int("workers", default_value,
+                    "solver worker threads (0 = hardware concurrency)");
 }
 
 void Flags::parse(int argc, const char* const* argv) {
@@ -123,6 +176,24 @@ bool Flags::get_bool(const std::string& name) const {
   if (v == "true" || v == "1") return true;
   if (v == "false" || v == "0") return false;
   throw std::invalid_argument("flag --" + name + " is not a boolean: " + v);
+}
+
+std::chrono::nanoseconds Flags::get_duration(const std::string& name) const {
+  try {
+    return parse_duration(entry(name).value);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("flag --" + name + ": " + e.what());
+  }
+}
+
+std::size_t Flags::get_workers() const {
+  const std::int64_t n = get_int("workers");
+  if (n < 0) {
+    throw std::invalid_argument("flag --workers must be >= 0");
+  }
+  if (n > 0) return static_cast<std::size_t>(n);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
 }
 
 }  // namespace dagsfc

@@ -1,14 +1,23 @@
 #pragma once
 /// \file flags.hpp
 /// Minimal command-line flag parsing for the bench and example binaries.
-/// Supports --name=value and --name value forms, plus bare --flag for bools.
+/// Supports --name=value and --name value forms, plus bare --flag for bools,
+/// and typed accessors including durations ("250ms", "10s") and a shared
+/// --workers helper that resolves 0 to the hardware concurrency.
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace dagsfc {
+
+/// Parses a human-readable duration: a non-negative decimal number followed
+/// by a unit suffix — ns, us, ms, s, m (minutes), or h. The unit is
+/// mandatory ("250ms", "1.5s", "10m"); a bare number, unknown suffix,
+/// negative value, or trailing garbage throws std::invalid_argument.
+[[nodiscard]] std::chrono::nanoseconds parse_duration(const std::string& text);
 
 class Flags {
  public:
@@ -22,6 +31,13 @@ class Flags {
                        const std::string& help);
   Flags& define_bool(const std::string& name, bool default_value,
                      const std::string& help);
+  /// Duration-valued flag; the default is given in flag syntax ("250ms").
+  Flags& define_duration(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help);
+  /// Registers the standard `--workers` flag (0 = hardware concurrency),
+  /// shared by dagsfc_serve and bench_serve_throughput.
+  Flags& define_workers(std::int64_t default_value = 0);
 
   /// Parses argv. Throws std::invalid_argument on unknown flags or malformed
   /// values. Recognizes --help by setting help_requested().
@@ -34,6 +50,11 @@ class Flags {
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] std::chrono::nanoseconds get_duration(
+      const std::string& name) const;
+  /// Resolved worker count: the --workers value, with 0 mapped to
+  /// std::thread::hardware_concurrency() (at least 1). Negative throws.
+  [[nodiscard]] std::size_t get_workers() const;
 
  private:
   struct Entry {

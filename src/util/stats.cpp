@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -73,6 +74,113 @@ Summary summarize(std::vector<double> samples) {
   s.p50 = percentile_sorted(samples, 0.50);
   s.p95 = percentile_sorted(samples, 0.95);
   return s;
+}
+
+Histogram::Histogram(double min_bound, double max_bound,
+                     std::size_t buckets_per_decade)
+    : min_bound_(min_bound), max_bound_(max_bound) {
+  DAGSFC_CHECK(min_bound > 0.0);
+  DAGSFC_CHECK(max_bound > min_bound);
+  DAGSFC_CHECK(buckets_per_decade >= 1);
+  log_min_ = std::log10(min_bound);
+  inv_log_step_ = static_cast<double>(buckets_per_decade);
+  const double decades = std::log10(max_bound) - log_min_;
+  spanned_ = static_cast<std::size_t>(std::ceil(decades * inv_log_step_));
+  DAGSFC_CHECK(spanned_ >= 1);
+  counts_.assign(spanned_ + 2, 0);  // + underflow + overflow
+}
+
+std::size_t Histogram::bucket_of(double x) const noexcept {
+  if (!(x >= min_bound_)) return 0;  // underflow; catches NaN too
+  if (x >= max_bound_) return counts_.size() - 1;
+  const double pos = (std::log10(x) - log_min_) * inv_log_step_;
+  auto b = static_cast<std::size_t>(pos);
+  if (b >= spanned_) b = spanned_ - 1;  // guard rounding at the top edge
+  return b + 1;
+}
+
+void Histogram::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  ++counts_[bucket_of(x)];
+}
+
+bool Histogram::same_layout(const Histogram& other) const noexcept {
+  return min_bound_ == other.min_bound_ && max_bound_ == other.max_bound_ &&
+         counts_.size() == other.counts_.size();
+}
+
+void Histogram::merge(const Histogram& other) {
+  DAGSFC_CHECK_MSG(same_layout(other), "histogram layout mismatch");
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  n_ += other.n_;
+  sum_ += other.sum_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t b) const {
+  DAGSFC_CHECK(b < counts_.size());
+  return counts_[b];
+}
+
+std::pair<double, double> Histogram::bucket_bounds(std::size_t b) const {
+  DAGSFC_CHECK(b < counts_.size());
+  if (b == 0) {
+    return {-std::numeric_limits<double>::infinity(), min_bound_};
+  }
+  if (b == counts_.size() - 1) {
+    return {max_bound_, std::numeric_limits<double>::infinity()};
+  }
+  const double lo =
+      std::pow(10.0, log_min_ + static_cast<double>(b - 1) / inv_log_step_);
+  const double hi =
+      std::pow(10.0, log_min_ + static_cast<double>(b) / inv_log_step_);
+  return {lo, std::min(hi, max_bound_)};
+}
+
+double Histogram::quantile(double q) const {
+  DAGSFC_CHECK(q >= 0.0 && q <= 1.0);
+  if (n_ == 0) return 0.0;
+  // Endpoints are exact (percentile_sorted convention: q=0 is the observed
+  // minimum, q=1 the observed maximum).
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  // Rank of the requested quantile among the n_ ordered samples (0-based,
+  // linear-interpolation convention matching percentile_sorted).
+  const double rank = q * static_cast<double>(n_ - 1);
+  std::uint64_t below = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const auto in_bucket = static_cast<double>(counts_[b]);
+    if (rank < static_cast<double>(below) + in_bucket) {
+      auto [lo, hi] = bucket_bounds(b);
+      // Clamp open-ended bins to the observed extremes; interpolate the
+      // rank's fractional position across the bucket's value range.
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi <= lo) return lo;
+      const double frac =
+          (rank - static_cast<double>(below) + 0.5) / in_bucket;
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    below += counts_[b];
+  }
+  return max_;  // unreachable in practice: rank < n_
 }
 
 }  // namespace dagsfc

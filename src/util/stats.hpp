@@ -1,8 +1,11 @@
 #pragma once
 /// \file stats.hpp
-/// Streaming and batch summary statistics for the Monte-Carlo harness.
+/// Streaming and batch summary statistics for the Monte-Carlo harness and
+/// the online serving layer.
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace dagsfc {
@@ -49,5 +52,69 @@ struct Summary {
 /// Linear-interpolation percentile of a *sorted* sample vector, q in [0,1].
 [[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
                                        double q);
+
+/// Fixed-layout log-spaced histogram for quantile queries over streams that
+/// are too long to keep (per-request latencies, per-flow costs). The value
+/// range [min_bound, max_bound) is covered by `buckets_per_decade` buckets
+/// per power of ten with geometric boundaries; values below min_bound
+/// (including zero and negatives) land in an underflow bucket, values at or
+/// above max_bound in an overflow bucket. Two histograms with the same
+/// layout merge by adding counts, so per-thread partials combine exactly.
+///
+/// Quantiles interpolate linearly inside the winning bucket and clamp to the
+/// observed min/max, so they are deterministic functions of the counts —
+/// equal counts give bitwise-equal quantiles. Resolution is bounded by the
+/// bucket width: ≤ 10^(1/buckets_per_decade) relative error inside range.
+class Histogram {
+ public:
+  explicit Histogram(double min_bound = 1e-3, double max_bound = 1e9,
+                     std::size_t buckets_per_decade = 16);
+
+  void add(double x) noexcept;
+  /// Adds \p other's counts; throws ContractViolation on layout mismatch.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Interpolated quantile, q in [0,1]; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  [[nodiscard]] bool same_layout(const Histogram& other) const noexcept;
+  /// Bitwise equality of layout, counts, and moments — what the serve
+  /// determinism tests compare across worker counts.
+  [[nodiscard]] friend bool operator==(const Histogram&,
+                                       const Histogram&) = default;
+  /// Bucket count including the underflow (front) and overflow (back) bins.
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const;
+  /// [lower, upper) value range of bucket \p b. The underflow bucket spans
+  /// (-inf, min_bound), the overflow bucket [max_bound, +inf).
+  [[nodiscard]] std::pair<double, double> bucket_bounds(std::size_t b) const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double x) const noexcept;
+
+  double min_bound_ = 0.0;
+  double max_bound_ = 0.0;
+  double log_min_ = 0.0;
+  double inv_log_step_ = 0.0;  ///< buckets per log10 unit
+  std::size_t spanned_ = 0;    ///< in-range buckets (excl. under/overflow)
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
 
 }  // namespace dagsfc

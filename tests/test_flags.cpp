@@ -109,5 +109,80 @@ TEST(Flags, UndefinedReadRejected) {
   EXPECT_THROW((void)f.get("missing"), std::invalid_argument);
 }
 
+TEST(ParseDuration, AllUnits) {
+  using std::chrono::nanoseconds;
+  EXPECT_EQ(parse_duration("100ns"), nanoseconds(100));
+  EXPECT_EQ(parse_duration("750us"), nanoseconds(750'000));
+  EXPECT_EQ(parse_duration("250ms"), nanoseconds(250'000'000));
+  EXPECT_EQ(parse_duration("1.5s"), nanoseconds(1'500'000'000));
+  EXPECT_EQ(parse_duration("10m"), std::chrono::minutes(10));
+  EXPECT_EQ(parse_duration("2h"), std::chrono::hours(2));
+  EXPECT_EQ(parse_duration("0s"), nanoseconds(0));
+  EXPECT_EQ(parse_duration("1e3ms"), std::chrono::seconds(1));
+}
+
+TEST(ParseDuration, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_duration(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_duration("100"), std::invalid_argument);  // no unit
+  EXPECT_THROW((void)parse_duration("5x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_duration("-1s"), std::invalid_argument);
+  EXPECT_THROW((void)parse_duration("1.5.2s"), std::invalid_argument);
+  EXPECT_THROW((void)parse_duration("ms"), std::invalid_argument);
+}
+
+TEST(Flags, DurationFlagRoundTrips) {
+  Flags f;
+  f.define_duration("deadline", "250ms", "per-request deadline");
+  const auto argv = argv_of({"--deadline=1.5s"});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_duration("deadline"),
+            std::chrono::nanoseconds(1'500'000'000));
+}
+
+TEST(Flags, DurationDefaultAppliesAndErrorsNameTheFlag) {
+  Flags f;
+  f.define_duration("backoff", "50us", "retry backoff");
+  const auto argv = argv_of({});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_duration("backoff"), std::chrono::nanoseconds(50'000));
+
+  Flags g;
+  g.define_duration("backoff", "50us", "retry backoff");
+  const auto bad = argv_of({"--backoff=oops"});
+  g.parse(static_cast<int>(bad.size()), bad.data());
+  try {
+    (void)g.get_duration("backoff");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--backoff"), std::string::npos);
+  }
+}
+
+TEST(Flags, DurationDefaultMustItselfParse) {
+  Flags f;
+  EXPECT_THROW(f.define_duration("deadline", "banana", ""),
+               std::invalid_argument);
+}
+
+TEST(Flags, WorkersResolvesZeroToHardwareConcurrency) {
+  Flags f;
+  f.define_workers();
+  const auto argv = argv_of({});
+  f.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_GE(f.get_workers(), 1u);
+
+  Flags g;
+  g.define_workers(4);
+  const auto four = argv_of({});
+  g.parse(static_cast<int>(four.size()), four.data());
+  EXPECT_EQ(g.get_workers(), 4u);
+
+  Flags h;
+  h.define_workers();
+  const auto neg = argv_of({"--workers=-2"});
+  h.parse(static_cast<int>(neg.size()), neg.data());
+  EXPECT_THROW((void)h.get_workers(), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dagsfc

@@ -123,5 +123,105 @@ TEST(Summarize, StddevMatchesFormula) {
   EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
 }
 
+TEST(Histogram, EmptyIsZeroed) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, SingleValueQuantilesAreExact) {
+  Histogram h;
+  h.add(5.0);
+  // Clamping to the observed min/max makes one-sample quantiles exact.
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, QuantilesWithinBucketResolution) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  // Relative error is bounded by the bucket width, 10^(1/16) ≈ 1.155.
+  const double width = std::pow(10.0, 1.0 / 16.0);
+  EXPECT_GT(h.p50(), 500.0 / width);
+  EXPECT_LT(h.p50(), 500.5 * width);
+  EXPECT_GT(h.p95(), 950.0 / width);
+  EXPECT_LT(h.p95(), 950.5 * width);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);   // clamps to observed min
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);  // and max
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+}
+
+TEST(Histogram, MergeMatchesSequentialBitwise) {
+  // Integer-valued samples sum exactly in any order, so the merged
+  // histogram must be bitwise-equal to the sequentially filled one.
+  Histogram all;
+  Histogram a;
+  Histogram b;
+  for (int i = 1; i <= 500; ++i) {
+    const double x = static_cast<double>(i);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_TRUE(a == all);
+  Histogram empty;
+  a.merge(empty);  // merging an empty partial is a no-op
+  EXPECT_TRUE(a == all);
+}
+
+TEST(Histogram, UnderflowAndOverflowAreCaptured) {
+  Histogram h;  // default range [1e-3, 1e9)
+  h.add(1e-9);
+  h.add(0.0);
+  h.add(1e12);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 2u);                   // underflow bin
+  EXPECT_EQ(h.bucket_count(h.num_buckets() - 1), 1u);  // overflow bin
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  // Quantiles still clamp to the observed extremes.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e12);
+}
+
+TEST(Histogram, BucketBoundsTileTheRange) {
+  const Histogram h(1.0, 100.0, 4);
+  const auto under = h.bucket_bounds(0);
+  const auto over = h.bucket_bounds(h.num_buckets() - 1);
+  EXPECT_DOUBLE_EQ(under.second, 1.0);
+  EXPECT_DOUBLE_EQ(over.first, 100.0);
+  double prev_upper = under.second;
+  for (std::size_t b = 1; b + 1 < h.num_buckets(); ++b) {
+    const auto [lo, hi] = h.bucket_bounds(b);
+    EXPECT_DOUBLE_EQ(lo, prev_upper);
+    EXPECT_GT(hi, lo);
+    prev_upper = hi;
+  }
+  EXPECT_NEAR(prev_upper, 100.0, 1e-9);
+}
+
+TEST(Histogram, MergeRejectsLayoutMismatch) {
+  Histogram a(1e-3, 1e9, 16);
+  Histogram b(1e-3, 1e9, 8);
+  EXPECT_FALSE(a.same_layout(b));
+  EXPECT_THROW(a.merge(b), ContractViolation);
+  const Histogram c(1e-3, 1e9, 16);
+  EXPECT_TRUE(a.same_layout(c));
+}
+
+TEST(Histogram, EqualityDetectsDivergence) {
+  Histogram a;
+  Histogram b;
+  a.add(2.0);
+  b.add(2.0);
+  EXPECT_TRUE(a == b);
+  b.add(3.0);
+  EXPECT_FALSE(a == b);
+}
+
 }  // namespace
 }  // namespace dagsfc
