@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_micro_graph.json: builds the bench tree in Release and
+# runs the before/after micro-kernel suite for the flat path-search tier
+# (seed implementations vs CSR + workspace + edge-mask). The binary aborts
+# if any kernel's two arms disagree bitwise, so a recorded JSON also
+# certifies bit-identity on the machine that produced it.
+#
+# Usage: scripts/bench_graph.sh [extra bench_micro_graph flags...]
+# The build directory defaults to build-bench/ (override with BUILD_DIR).
+# Pass -DDAGSFC_NATIVE=ON through CMAKE_ARGS to tune for the local machine;
+# the checked-in numbers use the portable baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+
+cmake -B "$BUILD_DIR" -G Ninja -DCMAKE_BUILD_TYPE=Release \
+  -DDAGSFC_BUILD_TESTS=OFF -DDAGSFC_BUILD_EXAMPLES=OFF \
+  ${CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR" -j --target micro_graph
+
+out="$("$BUILD_DIR/bench/bench_micro_graph" "$@")"
+echo "$out"
+echo "$out" | grep '^JSON: ' | sed 's/^JSON: //' > BENCH_micro_graph.json
+echo
+echo "wrote BENCH_micro_graph.json"

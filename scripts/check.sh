@@ -8,7 +8,10 @@
 # sanitizer-clean. A third pass builds with ThreadSanitizer
 # (-DDAGSFC_TSAN=ON) and runs the concurrency-heavy suites (the serve
 # layer, the thread pool, and the trial runner) to catch data races in the
-# snapshot/commit machinery.
+# snapshot/commit machinery and the lazy CSR build. Every full pass also
+# runs the flat-vs-reference search differential suite (test_search_flat),
+# so the bit-identity contract of the CSR/workspace tier is checked under
+# ASan/UBSan as well as in the plain build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,8 +32,21 @@ run_pass() {
   fi
 }
 
+require_test() {
+  # Guards against silently dropping a suite from the build: the named
+  # ctest pattern must match at least one test in the given build dir.
+  local dir=$1
+  local pattern=$2
+  if ! ctest --test-dir "$dir" -N -R "$pattern" | grep -q 'Total Tests: [1-9]'; then
+    echo "check.sh: expected tests matching '$pattern' in $dir" >&2
+    exit 1
+  fi
+}
+
 run_pass "${BUILD_DIR:-build-asan}" "" -DDAGSFC_SANITIZE=ON
+require_test "${BUILD_DIR:-build-asan}" 'test_search_flat'
 run_pass "${TRACE_BUILD_DIR:-build-asan-trace}" "" -DDAGSFC_SANITIZE=ON \
   -DDAGSFC_TRACE=ON
-run_pass "${TSAN_BUILD_DIR:-build-tsan}" 'test_serve|test_thread_pool|test_runner' \
+run_pass "${TSAN_BUILD_DIR:-build-tsan}" \
+  'test_serve|test_thread_pool|test_runner|test_search_flat.Csr' \
   -DDAGSFC_TSAN=ON

@@ -69,8 +69,9 @@ class Coverage {
 /// coverage was achieved.
 SearchTree ring_search(const graph::Graph& g, NodeId start, Coverage coverage,
                        std::size_t node_budget,
-                       const graph::NodeFilter& filter, bool& success) {
-  graph::RingExpander expander(g, start, filter);
+                       const graph::NodeFilter& filter, bool& success,
+                       graph::SearchWorkspace& ws) {
+  graph::RingExpander expander(g, start, filter, &ws);
   coverage.observe(start);
   while (!coverage.complete()) {
     if (node_budget > 0 && expander.visited().size() >= node_budget) break;
@@ -218,7 +219,8 @@ class Odometer {
 
 SolveResult BacktrackingEngine::run(const ModelIndex& index,
                                     const net::CapacityLedger& ledger,
-                                    TraceSink* trace) const {
+                                    TraceSink* trace,
+                                    graph::SearchWorkspace* workspace) const {
   const Tracer tr(trace);
   const EmbeddingProblem& prob = index.problem();
   const net::Network& net = prob.net();
@@ -232,10 +234,11 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
   SolveResult result;
 
   // All shortest-path questions go through the oracle, which consults the
-  // ledger's epoch-keyed cache and tallies the observability counters.
-  PathOracle oracle(g, ledger, rate);
-  // Links that cannot carry the flow are invisible to min-cost routing.
-  const graph::EdgeFilter& usable = oracle.usable();
+  // ledger's epoch-keyed cache and tallies the observability counters. The
+  // ring searches borrow its workspace too, so one buffer set serves the
+  // whole solve.
+  PathOracle oracle(g, ledger, rate, workspace);
+  graph::SearchWorkspace& ws = oracle.workspace();
 
   // Layer 0 of the sub-solution tree: the source, at no cost (§4.4.2).
   std::vector<std::vector<SubSolution>> pools(omega + 1);
@@ -304,8 +307,9 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
       std::vector<VnfTypeId> required(layer.vnfs);
       if (layer.has_merger()) required.push_back(catalog.merger());
       bool fwd_ok = false;
-      const SearchTree fst = ring_search(
-          g, start, Coverage(ledger, required, rate), x_max_pass, {}, fwd_ok);
+      const SearchTree fst =
+          ring_search(g, start, Coverage(ledger, required, rate), x_max_pass,
+                      {}, fwd_ok, ws);
       if (tr) {
         SolveEvent e;
         e.kind = TraceEventKind::ForwardSearch;
@@ -422,7 +426,7 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
         bool bwd_ok = false;
         const SearchTree bst = ring_search(
             g, m, Coverage(ledger, layer.vnfs, rate), 0,
-            [&](NodeId v) { return fst.contains(v); }, bwd_ok);
+            [&](NodeId v) { return fst.contains(v); }, bwd_ok, ws);
         if (tr) {
           SolveEvent e;
           e.kind = TraceEventKind::BackwardSearch;
@@ -677,8 +681,9 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
 
 SolveResult BbeEmbedder::do_solve(const ModelIndex& index,
                                   const net::CapacityLedger& ledger,
-                                  Rng& /*rng*/, TraceSink* trace) const {
-  return engine_.run(index, ledger, trace);
+                                  Rng& /*rng*/, TraceSink* trace,
+                                  graph::SearchWorkspace* workspace) const {
+  return engine_.run(index, ledger, trace, workspace);
 }
 
 namespace {
@@ -701,8 +706,9 @@ MbbeEmbedder::MbbeEmbedder(const MbbeOptions& opts)
 
 SolveResult MbbeEmbedder::do_solve(const ModelIndex& index,
                                    const net::CapacityLedger& ledger,
-                                   Rng& /*rng*/, TraceSink* trace) const {
-  return engine_.run(index, ledger, trace);
+                                   Rng& /*rng*/, TraceSink* trace,
+                                   graph::SearchWorkspace* workspace) const {
+  return engine_.run(index, ledger, trace, workspace);
 }
 
 }  // namespace dagsfc::core

@@ -78,9 +78,13 @@ class BacktrackingEngine {
 
   /// \p trace, when non-null, receives the layer-by-layer Decision events
   /// (ring searches, X_max caps, X_d/max_pool pruning, final candidates).
+  /// \p workspace is an optional caller-owned search-buffer loan (see
+  /// Embedder::solve).
   [[nodiscard]] SolveResult run(const ModelIndex& index,
                                 const net::CapacityLedger& ledger,
-                                TraceSink* trace = nullptr) const;
+                                TraceSink* trace = nullptr,
+                                graph::SearchWorkspace* workspace =
+                                    nullptr) const;
 
  private:
   BacktrackingOptions opts_;
@@ -97,8 +101,9 @@ class BbeEmbedder final : public Embedder {
  protected:
   [[nodiscard]] SolveResult do_solve(const ModelIndex& index,
                                      const net::CapacityLedger& ledger,
-                                     Rng& rng,
-                                     TraceSink* trace) const override;
+                                     Rng& rng, TraceSink* trace,
+                                     graph::SearchWorkspace* workspace)
+      const override;
 
  private:
   BacktrackingEngine engine_;
@@ -123,8 +128,9 @@ class MbbeEmbedder final : public Embedder {
  protected:
   [[nodiscard]] SolveResult do_solve(const ModelIndex& index,
                                      const net::CapacityLedger& ledger,
-                                     Rng& rng,
-                                     TraceSink* trace) const override;
+                                     Rng& rng, TraceSink* trace,
+                                     graph::SearchWorkspace* workspace)
+      const override;
 
  private:
   BacktrackingEngine engine_;

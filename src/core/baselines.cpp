@@ -19,7 +19,7 @@ graph::Path trivial_path(NodeId v) {
 /// meta-path instantiation and a final feasibility check.
 SolveResult assign_then_route(
     const ModelIndex& index, const net::CapacityLedger& ledger,
-    TraceSink* trace,
+    TraceSink* trace, graph::SearchWorkspace* workspace,
     const std::function<NodeId(VnfTypeId, const std::vector<NodeId>&)>&
         choose) {
   const Tracer tr(trace);
@@ -61,7 +61,7 @@ SolveResult assign_then_route(
   }
 
   // Meta-paths by minimum-cost path over links that can carry the flow.
-  PathOracle oracle(g, ledger, rate);
+  PathOracle oracle(g, ledger, rate, workspace);
   auto record_counters = [&]() { result.path_queries = oracle.counters(); };
   Evaluator evaluator(index);
   auto instantiate = [&](const MetaPathDesc& d) -> std::optional<graph::Path> {
@@ -118,9 +118,10 @@ SolveResult assign_then_route(
 
 SolveResult RanvEmbedder::do_solve(const ModelIndex& index,
                                    const net::CapacityLedger& ledger,
-                                   Rng& rng, TraceSink* trace) const {
+                                   Rng& rng, TraceSink* trace,
+                                   graph::SearchWorkspace* workspace) const {
   return assign_then_route(
-      index, ledger, trace,
+      index, ledger, trace, workspace,
       [&rng](VnfTypeId, const std::vector<NodeId>& candidates) {
         return candidates[rng.index(candidates.size())];
       });
@@ -128,10 +129,11 @@ SolveResult RanvEmbedder::do_solve(const ModelIndex& index,
 
 SolveResult MinvEmbedder::do_solve(const ModelIndex& index,
                                    const net::CapacityLedger& ledger,
-                                   Rng& /*rng*/, TraceSink* trace) const {
+                                   Rng& /*rng*/, TraceSink* trace,
+                                   graph::SearchWorkspace* workspace) const {
   const net::Network& net = index.problem().net();
   return assign_then_route(
-      index, ledger, trace,
+      index, ledger, trace, workspace,
       [&net](VnfTypeId t, const std::vector<NodeId>& candidates) {
         NodeId best = candidates.front();
         double best_price = graph::kInfCost;

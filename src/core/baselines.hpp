@@ -22,8 +22,9 @@ class RanvEmbedder final : public Embedder {
  protected:
   [[nodiscard]] SolveResult do_solve(const ModelIndex& index,
                                      const net::CapacityLedger& ledger,
-                                     Rng& rng,
-                                     TraceSink* trace) const override;
+                                     Rng& rng, TraceSink* trace,
+                                     graph::SearchWorkspace* workspace)
+      const override;
 };
 
 class MinvEmbedder final : public Embedder {
@@ -33,8 +34,9 @@ class MinvEmbedder final : public Embedder {
  protected:
   [[nodiscard]] SolveResult do_solve(const ModelIndex& index,
                                      const net::CapacityLedger& ledger,
-                                     Rng& rng,
-                                     TraceSink* trace) const override;
+                                     Rng& rng, TraceSink* trace,
+                                     graph::SearchWorkspace* workspace)
+      const override;
 };
 
 }  // namespace dagsfc::core

@@ -34,13 +34,14 @@ std::vector<std::size_t> commit_order(const net::Network& network,
       // Probe phase: solve each request alone on the nominal network. An
       // unsolvable probe sorts last (it will fail again, cheaply).
       std::vector<double> probe(requests.size(), graph::kInfCost);
+      graph::SearchWorkspace ws;  // warm buffers across the probe solves
       for (std::size_t i = 0; i < requests.size(); ++i) {
         EmbeddingProblem problem;
         problem.network = &network;
         problem.sfc = requests[i].sfc;
         problem.flow = requests[i].flow;
         const ModelIndex index(problem);
-        const SolveResult r = embedder.solve_fresh(index, rng);
+        const SolveResult r = embedder.solve_fresh(index, rng, nullptr, &ws);
         if (r.ok()) probe[i] = r.cost;
       }
       std::stable_sort(idx.begin(), idx.end(),
@@ -64,13 +65,14 @@ BatchResult embed_batch(const net::Network& network,
   }
   BatchResult out;
   net::CapacityLedger ledger(network);
+  graph::SearchWorkspace ws;  // warm buffers across the batch
   for (std::size_t i : commit_order(network, requests, embedder, order, rng)) {
     EmbeddingProblem problem;
     problem.network = &network;
     problem.sfc = requests[i].sfc;
     problem.flow = requests[i].flow;
     const ModelIndex index(problem);
-    SolveResult r = embedder.solve(index, ledger, rng);
+    SolveResult r = embedder.solve(index, ledger, rng, nullptr, &ws);
     if (r.ok()) {
       const Evaluator evaluator(index);
       evaluator.commit(evaluator.usage(*r.solution), ledger);

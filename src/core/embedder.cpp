@@ -4,7 +4,8 @@ namespace dagsfc::core {
 
 SolveResult Embedder::solve(const ModelIndex& index,
                             const net::CapacityLedger& ledger, Rng& rng,
-                            TraceSink* trace) const {
+                            TraceSink* trace,
+                            graph::SearchWorkspace* workspace) const {
   const Tracer t(trace);
   if (t) {
     SolveEvent begin;
@@ -13,7 +14,7 @@ SolveResult Embedder::solve(const ModelIndex& index,
     t(begin);
   }
 
-  SolveResult r = do_solve(index, ledger, rng, trace);
+  SolveResult r = do_solve(index, ledger, rng, trace, workspace);
 
   if (t) {
     if (r.ok()) {

@@ -47,25 +47,36 @@ class Embedder {
   /// term by term plus Cache events attributing shortest-path work (see
   /// core/trace.hpp). Tracing never changes the solve: a null-trace call
   /// returns a bit-identical SolveResult.
+  ///
+  /// \p workspace, when non-null, lends this solve's PathOracle a
+  /// caller-owned graph::SearchWorkspace, so repeated solves on the same
+  /// worker thread reuse one set of search buffers (allocation-free warm
+  /// Dijkstras). Null means the oracle uses its own; results are identical
+  /// either way. The workspace must not be shared by concurrent solves.
   [[nodiscard]] SolveResult solve(const ModelIndex& index,
                                   const net::CapacityLedger& ledger, Rng& rng,
-                                  TraceSink* trace = nullptr) const;
+                                  TraceSink* trace = nullptr,
+                                  graph::SearchWorkspace* workspace =
+                                      nullptr) const;
 
   /// Convenience: solve against the network's nominal capacities.
-  [[nodiscard]] SolveResult solve_fresh(const ModelIndex& index, Rng& rng,
-                                        TraceSink* trace = nullptr) const {
+  [[nodiscard]] SolveResult solve_fresh(
+      const ModelIndex& index, Rng& rng, TraceSink* trace = nullptr,
+      graph::SearchWorkspace* workspace = nullptr) const {
     net::CapacityLedger ledger(index.problem().net());
-    return solve(index, ledger, rng, trace);
+    return solve(index, ledger, rng, trace, workspace);
   }
 
  protected:
   /// Algorithm body. Implementations emit their Decision events into
   /// \p trace (null-guarded via Tracer); the Meta/Cost/Cache envelope is
-  /// added by solve().
+  /// added by solve(). \p workspace is the (possibly null) caller loan to
+  /// hand to the PathOracle.
   [[nodiscard]] virtual SolveResult do_solve(const ModelIndex& index,
                                              const net::CapacityLedger& ledger,
-                                             Rng& rng,
-                                             TraceSink* trace) const = 0;
+                                             Rng& rng, TraceSink* trace,
+                                             graph::SearchWorkspace* workspace)
+      const = 0;
 };
 
 }  // namespace dagsfc::core

@@ -107,7 +107,8 @@ class Enumerator {
 
 SolveResult ExactEmbedder::do_solve(const ModelIndex& index,
                                     const net::CapacityLedger& ledger,
-                                    Rng& /*rng*/, TraceSink* trace) const {
+                                    Rng& /*rng*/, TraceSink* trace,
+                                    graph::SearchWorkspace* workspace) const {
   const Tracer tr(trace);
   const EmbeddingProblem& prob = index.problem();
   const net::Network& net = prob.net();
@@ -119,9 +120,8 @@ SolveResult ExactEmbedder::do_solve(const ModelIndex& index,
 
   SolveResult result;
 
-  PathOracle oracle(g, ledger, rate);
+  PathOracle oracle(g, ledger, rate, workspace);
   auto record_counters = [&]() { result.path_queries = oracle.counters(); };
-  const graph::EdgeFilter& usable = oracle.usable();
 
   // Hosting candidates per layer slot type, capacity-screened.
   auto hosts = [&](VnfTypeId t) {
@@ -204,7 +204,7 @@ SolveResult ExactEmbedder::do_solve(const ModelIndex& index,
         const std::vector<NodeId> assign = en.current();
         std::vector<NodeId> terminals{p};
         terminals.insert(terminals.end(), assign.begin(), assign.end());
-        const auto tree = graph::steiner_tree(g, terminals, usable);
+        const auto tree = oracle.steiner(terminals);
         if (!tree) continue;
         double base = cell.cost + tree->cost;
         for (std::size_t i = 0; i < assign.size(); ++i) {

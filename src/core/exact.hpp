@@ -43,8 +43,9 @@ class ExactEmbedder final : public Embedder {
  protected:
   [[nodiscard]] SolveResult do_solve(const ModelIndex& index,
                                      const net::CapacityLedger& ledger,
-                                     Rng& rng,
-                                     TraceSink* trace) const override;
+                                     Rng& rng, TraceSink* trace,
+                                     graph::SearchWorkspace* workspace)
+      const override;
 
  private:
   ExactOptions opts_;

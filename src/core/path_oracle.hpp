@@ -8,11 +8,22 @@
 /// falling back to direct computation otherwise. Either way it tallies
 /// graph::PathQueryCounters, which the embedders surface on SolveResult.
 ///
+/// Under the flat search layer (the default) the oracle also owns the
+/// per-solve machinery the kernels want: a SearchWorkspace (caller-supplied
+/// so a worker thread can reuse one across solves, or embedded as a
+/// fallback) and an epoch-keyed usable-edge mask — link_can_carry is
+/// re-evaluated per edge only when the ledger epoch moves, not per probe.
+/// set_flat_search_default(false) routes every query through the preserved
+/// seed implementations instead (sampled at construction, like the ledger's
+/// cache default).
+///
 /// Cached and uncached answers are bit-identical by construction: a cached
 /// point-to-point path is read out of the full Dijkstra tree, whose parent
 /// chain for any target equals the early-exit run's (targets are finalized
 /// when popped; later relaxations cannot improve them), and cached Yen
-/// results are the same deterministic k_shortest_paths() output.
+/// results are the same deterministic k_shortest_paths() output. Flat and
+/// reference answers are bit-identical too — tests/test_search_flat.cpp
+/// holds every embedder to that.
 
 #include <bit>
 #include <cstdint>
@@ -22,6 +33,8 @@
 
 #include "graph/dijkstra.hpp"
 #include "graph/path_cache.hpp"
+#include "graph/steiner.hpp"
+#include "graph/workspace.hpp"
 #include "graph/yen.hpp"
 #include "net/ledger.hpp"
 
@@ -31,14 +44,19 @@ using graph::NodeId;
 
 class PathOracle {
  public:
-  PathOracle(const graph::Graph& g, const net::CapacityLedger& ledger,
-             double rate)
+  /// \p ws lets the caller lend a long-lived workspace (per worker thread);
+  /// when null the oracle uses an embedded one, so warm reuse then spans one
+  /// solve instead of many.
+  explicit PathOracle(const graph::Graph& g, const net::CapacityLedger& ledger,
+                      double rate, graph::SearchWorkspace* ws = nullptr)
       : g_(&g),
         ledger_(&ledger),
         rate_(rate),
         usable_([this](graph::EdgeId e) {
           return ledger_->link_can_carry(e, rate_);
-        }) {}
+        }),
+        ws_(ws != nullptr ? ws : &own_ws_),
+        flat_(graph::flat_search_default()) {}
 
   PathOracle(const PathOracle&) = delete;
   PathOracle& operator=(const PathOracle&) = delete;
@@ -49,44 +67,31 @@ class PathOracle {
     return usable_;
   }
 
+  /// The workspace queries run through — for callers (ring searches) that
+  /// share the oracle's buffers.
+  [[nodiscard]] graph::SearchWorkspace& workspace() noexcept { return *ws_; }
+
   /// Min-cost tree from \p source over usable links.
   [[nodiscard]] std::shared_ptr<const graph::ShortestPathTree> tree(
-      NodeId source) {
-    if (auto* cache = ledger_->path_cache()) {
-      return cache->tree(*g_, source, ledger_->epoch(), context(), usable_,
-                         counters_);
-    }
-    ++counters_.dijkstra_calls;
-    return std::make_shared<const graph::ShortestPathTree>(
-        graph::dijkstra(*g_, source, usable_));
-  }
+      NodeId source);
 
   /// Min-cost path a → b over usable links; nullopt when unreachable.
-  [[nodiscard]] std::optional<graph::Path> min_cost_path(NodeId a, NodeId b) {
-    if (ledger_->path_cache()) return tree(a)->path_to(b);
-    ++counters_.dijkstra_calls;
-    return graph::min_cost_path(*g_, a, b, usable_);
-  }
+  [[nodiscard]] std::optional<graph::Path> min_cost_path(NodeId a, NodeId b);
 
   /// Yen's k cheapest paths a → b over usable links.
   [[nodiscard]] std::vector<graph::Path> k_shortest(NodeId a, NodeId b,
-                                                    std::size_t k) {
-    if (auto* cache = ledger_->path_cache()) {
-      return *cache->k_paths(*g_, a, b, k, ledger_->epoch(), context(),
-                             usable_, counters_);
-    }
-    ++counters_.yen_calls;
-    return graph::k_shortest_paths(*g_, a, b, k, usable_);
-  }
+                                                    std::size_t k);
 
   /// Yen under a caller-supplied filter (e.g. restricted to a search-tree
   /// node set). Never cached — the filter's identity is not keyable — but
   /// still counted.
   [[nodiscard]] std::vector<graph::Path> k_shortest_filtered(
-      NodeId a, NodeId b, std::size_t k, const graph::EdgeFilter& filter) {
-    ++counters_.yen_calls;
-    return graph::k_shortest_paths(*g_, a, b, k, filter);
-  }
+      NodeId a, NodeId b, std::size_t k, const graph::EdgeFilter& filter);
+
+  /// Minimum Steiner tree over usable links (exact solver's multicast
+  /// pricing). Uncounted, matching the seed's direct call.
+  [[nodiscard]] std::optional<graph::SteinerTree> steiner(
+      const std::vector<NodeId>& terminals);
 
   [[nodiscard]] const graph::PathQueryCounters& counters() const noexcept {
     return counters_;
@@ -99,11 +104,25 @@ class PathOracle {
     return std::bit_cast<std::uint64_t>(rate_);
   }
 
+  /// The usable-links mask, rebuilt from link_can_carry only when the
+  /// ledger epoch has moved since the last query. Flat mode only.
+  [[nodiscard]] const graph::EdgeMask* usable_mask();
+
   const graph::Graph* g_;
   const net::CapacityLedger* ledger_;
   double rate_;
   graph::EdgeFilter usable_;
   graph::PathQueryCounters counters_;
+
+  graph::SearchWorkspace own_ws_;
+  graph::SearchWorkspace* ws_;
+  const bool flat_;
+
+  graph::EdgeMaskBuffer usable_mask_;
+  graph::EdgeMask usable_view_;
+  std::uint64_t mask_epoch_ = 0;
+  bool mask_ready_ = false;
+  graph::EdgeMaskBuffer filtered_mask_;  // k_shortest_filtered scratch
 };
 
 }  // namespace dagsfc::core

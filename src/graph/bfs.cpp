@@ -28,33 +28,35 @@ BfsRings bfs_rings(const Graph& g, NodeId start, const NodeFilter& filter) {
   return out;
 }
 
-RingExpander::RingExpander(const Graph& g, NodeId start, NodeFilter filter)
-    : g_(g),
-      filter_(std::move(filter)),
-      seen_(g.num_nodes(), 0),
-      parent_(g.num_nodes(), kInvalidNode) {
+RingExpander::RingExpander(const Graph& g, NodeId start, NodeFilter filter,
+                           SearchWorkspace* ws)
+    : g_(g), filter_(std::move(filter)), ws_(ws != nullptr ? ws : &own_ws_) {
   DAGSFC_CHECK(g.has_node(start));
-  seen_[start] = 1;
-  visited_.push_back(start);
-  current_ring_.push_back(start);
+  ws_->bfs_prepare(g);
+  ws_->bfs_mark(start, kInvalidNode);
+  ws_->bfs_visited().push_back(start);
+  ws_->bfs_ring().push_back(start);
 }
 
 const std::vector<NodeId>& RingExpander::expand() {
-  scratch_.clear();
-  for (NodeId v : current_ring_) {
-    for (const Incidence& inc : g_.neighbors(v)) {
+  const CsrView csr = g_.csr();
+  std::vector<NodeId>& ring = ws_->bfs_ring();
+  std::vector<NodeId>& scratch = ws_->bfs_scratch();
+  std::vector<NodeId>& visited = ws_->bfs_visited();
+  scratch.clear();
+  for (NodeId v : ring) {
+    for (const Incidence& inc : csr.row(v)) {
       const NodeId w = inc.neighbor;
-      if (seen_[w]) continue;
+      if (ws_->bfs_seen(w)) continue;
       if (filter_ && !filter_(w)) continue;
-      seen_[w] = 1;
-      parent_[w] = v;
-      scratch_.push_back(w);
-      visited_.push_back(w);
+      ws_->bfs_mark(w, v);
+      scratch.push_back(w);
+      visited.push_back(w);
     }
   }
-  current_ring_.swap(scratch_);
+  ring.swap(scratch);
   ++iterations_;
-  return current_ring_;
+  return ring;
 }
 
 }  // namespace dagsfc::graph

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/workspace.hpp"
 
 namespace dagsfc::graph {
 
@@ -43,39 +44,44 @@ struct BfsRings {
 /// forward search, which stops as soon as the accumulated node set hosts all
 /// VNFs of the layer. Also supports a hard cap on the visited-set size
 /// (MBBE strategy (1): |V^{F,l}| ≤ X_max).
+///
+/// All working state lives in a SearchWorkspace's BFS section (stamps
+/// instead of a per-construction O(V) seen array). Pass the solver's
+/// workspace to reuse its buffers across the thousands of ring searches a
+/// sweep performs; with no workspace the expander owns a private one. At
+/// most one expander may use a given workspace at a time — the embedders
+/// satisfy this because each ring search completes (and is copied out into a
+/// SearchTree) before the next begins.
 class RingExpander {
  public:
-  RingExpander(const Graph& g, NodeId start, NodeFilter filter = {});
+  explicit RingExpander(const Graph& g, NodeId start, NodeFilter filter = {},
+                        SearchWorkspace* ws = nullptr);
+  RingExpander(RingExpander&&) = delete;  // ws_ may point at own_ws_
 
   /// Expands one more ring. Returns the newly reached nodes; empty when the
   /// reachable (filtered) component is exhausted.
   const std::vector<NodeId>& expand();
 
   [[nodiscard]] const std::vector<NodeId>& current_ring() const noexcept {
-    return current_ring_;
+    return ws_->bfs_ring();
   }
   /// All nodes reached so far, in discovery order (start first).
   [[nodiscard]] const std::vector<NodeId>& visited() const noexcept {
-    return visited_;
+    return ws_->bfs_visited();
   }
-  [[nodiscard]] bool contains(NodeId v) const {
-    return v < seen_.size() && seen_[v];
-  }
+  [[nodiscard]] bool contains(NodeId v) const { return ws_->bfs_seen(v); }
   /// Number of completed expand() calls; ring index of current_ring().
   [[nodiscard]] std::size_t iterations() const noexcept { return iterations_; }
   [[nodiscard]] NodeId bfs_parent(NodeId v) const {
-    DAGSFC_CHECK(v < parent_.size());
-    return parent_[v];
+    DAGSFC_CHECK(g_.has_node(v));
+    return ws_->bfs_parent(v);
   }
 
  private:
   const Graph& g_;
   NodeFilter filter_;
-  std::vector<char> seen_;
-  std::vector<NodeId> parent_;
-  std::vector<NodeId> visited_;
-  std::vector<NodeId> current_ring_;
-  std::vector<NodeId> scratch_;
+  SearchWorkspace own_ws_;  // used only when the caller passes none
+  SearchWorkspace* ws_;     // mutable view even from const accessors
   std::size_t iterations_ = 0;
 };
 

@@ -1,73 +1,152 @@
 #include "graph/dijkstra.hpp"
 
-#include <algorithm>
-#include <queue>
-#include <utility>
+#include "graph/reference.hpp"
 
 namespace dagsfc::graph {
 
 std::optional<Path> ShortestPathTree::path_to(NodeId target) const {
   if (!reached(target)) return std::nullopt;
+  // One parent walk to count hops, then exact-size fills backwards — no
+  // push_back growth, no reverse.
+  std::size_t hops = 0;
+  for (NodeId v = target; v != source; v = parent[v]) ++hops;
   Path p;
   p.cost = dist[target];
+  p.nodes.resize(hops + 1);
+  p.edges.resize(hops);
   NodeId v = target;
-  while (v != source) {
-    p.nodes.push_back(v);
-    p.edges.push_back(parent_edge[v]);
+  for (std::size_t i = hops; i > 0; --i) {
+    p.nodes[i] = v;
+    p.edges[i - 1] = parent_edge[v];
     v = parent[v];
   }
-  p.nodes.push_back(source);
-  std::reverse(p.nodes.begin(), p.nodes.end());
-  std::reverse(p.edges.begin(), p.edges.end());
+  p.nodes[0] = source;
   return p;
 }
 
 namespace {
 
-ShortestPathTree run_dijkstra(const Graph& g, NodeId source,
-                              const EdgeFilter& filter,
-                              std::optional<NodeId> stop_at) {
+/// The flat relaxation loop, templated on the edge-admission test so the
+/// unfiltered instantiation carries no per-edge branch on a mask pointer.
+/// The scan streams the CSR incidence and weight arrays in lockstep — the
+/// only random access left per arc is the neighbor's fused dist/stamp slot.
+///
+/// Bit-identity with reference::run_dijkstra: the loop structure (pop →
+/// stale check → stop check → relax on strict improvement) is the same, CSR
+/// rows replay the adjacency lists in insertion order, and the workspace
+/// heap pops in the same (dist, node) lexicographic order as the seed's
+/// std::priority_queue. Since a node is only re-pushed with a strictly
+/// smaller dist, all live heap entries are distinct, so *any* correct
+/// min-heap pops the identical sequence — neither the heap's layout nor its
+/// integer key encoding can change a parent, a distance, or a tie-break.
+template <typename Allow>
+void run_flat(const Graph& g, NodeId source, SearchWorkspace& ws,
+              const Allow& allow, NodeId stop_at) {
   DAGSFC_CHECK(g.has_node(source));
-  ShortestPathTree t;
-  t.source = source;
-  t.dist.assign(g.num_nodes(), kInfCost);
-  t.parent.assign(g.num_nodes(), kInvalidNode);
-  t.parent_edge.assign(g.num_nodes(), kInvalidEdge);
-
-  using Item = std::pair<double, NodeId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  t.dist[source] = 0.0;
-  pq.emplace(0.0, source);
-  while (!pq.empty()) {
-    const auto [d, v] = pq.top();
-    pq.pop();
-    if (d > t.dist[v]) continue;  // stale entry
-    if (stop_at && v == *stop_at) break;
-    for (const Incidence& inc : g.neighbors(v)) {
-      if (filter && !filter(inc.edge)) continue;
-      const double nd = d + g.edge(inc.edge).weight;
-      if (nd < t.dist[inc.neighbor]) {
-        t.dist[inc.neighbor] = nd;
-        t.parent[inc.neighbor] = v;
-        t.parent_edge[inc.neighbor] = inc.edge;
-        pq.emplace(nd, inc.neighbor);
+  const CsrView csr = g.csr();
+  const std::uint32_t* const off = csr.offsets.data();
+  const Incidence* const inc = csr.incidence.data();
+  const double* const wt = csr.weights.data();
+  ws.prepare(g);
+  ws.start(source);
+  while (!ws.heap_empty()) {
+    const auto [d, v] = ws.heap_pop();
+    if (d > ws.dist_unchecked(v)) continue;  // stale entry
+    if (v == stop_at) break;
+    const std::uint32_t row_end = off[v + 1];
+    for (std::uint32_t s = off[v]; s != row_end; ++s) {
+      const Incidence in = inc[s];
+      if (!allow(in.edge)) continue;
+      const double nd = d + wt[s];
+      if (nd < ws.dist_if_live(in.neighbor)) {
+        ws.relax(in.neighbor, nd, v, in.edge);
+        ws.heap_push(nd, in.neighbor);
       }
     }
   }
-  return t;
 }
 
 }  // namespace
 
+void dijkstra_into(const Graph& g, NodeId source, SearchWorkspace& ws,
+                   const EdgeMask* mask, NodeId stop_at) {
+  if (mask == nullptr) {
+    run_flat(
+        g, source, ws, [](EdgeId) { return true; }, stop_at);
+  } else {
+    DAGSFC_ASSERT(mask->num_edges() >= g.num_edges());
+    const EdgeMask m = *mask;
+    run_flat(
+        g, source, ws, [m](EdgeId e) { return m.allows(e); }, stop_at);
+  }
+}
+
+ShortestPathTree export_tree(const SearchWorkspace& ws, std::size_t n) {
+  ShortestPathTree t;
+  t.source = ws.source();
+  t.dist.resize(n);
+  t.parent.resize(n);
+  t.parent_edge.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    t.dist[v] = ws.dist(v);
+    t.parent[v] = ws.parent(v);
+    t.parent_edge[v] = ws.parent_edge(v);
+  }
+  return t;
+}
+
+std::optional<Path> extract_path(const SearchWorkspace& ws, NodeId target) {
+  if (!ws.reached(target)) return std::nullopt;
+  const NodeId source = ws.source();
+  std::size_t hops = 0;
+  for (NodeId v = target; v != source; v = ws.parent(v)) ++hops;
+  Path p;
+  p.cost = ws.dist_unchecked(target);
+  p.nodes.resize(hops + 1);
+  p.edges.resize(hops);
+  NodeId v = target;
+  for (std::size_t i = hops; i > 0; --i) {
+    p.nodes[i] = v;
+    p.edges[i - 1] = ws.parent_edge(v);
+    v = ws.parent(v);
+  }
+  p.nodes[0] = source;
+  return p;
+}
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source, SearchWorkspace& ws,
+                          const EdgeMask* mask) {
+  dijkstra_into(g, source, ws, mask);
+  return export_tree(ws, g.num_nodes());
+}
+
+std::optional<Path> min_cost_path(const Graph& g, NodeId source, NodeId target,
+                                  SearchWorkspace& ws, const EdgeMask* mask) {
+  DAGSFC_CHECK(g.has_node(target));
+  dijkstra_into(g, source, ws, mask, target);
+  return extract_path(ws, target);
+}
+
 ShortestPathTree dijkstra(const Graph& g, NodeId source,
                           const EdgeFilter& filter) {
-  return run_dijkstra(g, source, filter, std::nullopt);
+  if (!flat_search_default()) return reference::dijkstra(g, source, filter);
+  SearchWorkspace& ws = thread_local_workspace();
+  if (!filter) return dijkstra(g, source, ws);
+  ws.scratch_mask().fill_from(g, filter);
+  const EdgeMask mask = ws.scratch_mask().view();
+  return dijkstra(g, source, ws, &mask);
 }
 
 std::optional<Path> min_cost_path(const Graph& g, NodeId source, NodeId target,
                                   const EdgeFilter& filter) {
-  DAGSFC_CHECK(g.has_node(target));
-  return run_dijkstra(g, source, filter, target).path_to(target);
+  if (!flat_search_default()) {
+    return reference::min_cost_path(g, source, target, filter);
+  }
+  SearchWorkspace& ws = thread_local_workspace();
+  if (!filter) return min_cost_path(g, source, target, ws);
+  ws.scratch_mask().fill_from(g, filter);
+  const EdgeMask mask = ws.scratch_mask().view();
+  return min_cost_path(g, source, target, ws, &mask);
 }
 
 }  // namespace dagsfc::graph

@@ -3,21 +3,28 @@
 /// Min-cost path queries over link prices. Used by the RANV/MINV baselines,
 /// by MBBE's strategy (2) (meta-path instantiation via minimum-cost paths on
 /// the real-time network), and as the relaxation inside Yen's algorithm.
+///
+/// Two API tiers:
+///   * Flat tier — dijkstra_into() and friends run over the graph's CSR view
+///     with a caller-owned SearchWorkspace and an optional EdgeMask. Warm
+///     calls are allocation-free; results live in the workspace until the
+///     next search and can be exported on demand. This is what PathOracle
+///     and the embedders use.
+///   * Legacy tier — the original EdgeFilter signatures, kept for callers
+///     that don't carry a workspace (ILP bound generation, one-off tests).
+///     They dispatch to the flat kernels through a per-thread workspace, or
+///     to the frozen seed code in graph::reference when
+///     set_flat_search_default(false) is in effect. Either way the results
+///     are bit-identical.
 
-#include <functional>
-#include <limits>
 #include <optional>
 #include <vector>
 
+#include "graph/edge_mask.hpp"
 #include "graph/graph.hpp"
+#include "graph/workspace.hpp"
 
 namespace dagsfc::graph {
-
-/// Predicate limiting which edges a search may traverse (e.g. links with
-/// remaining bandwidth). Absent ⇒ all edges usable.
-using EdgeFilter = std::function<bool(EdgeId)>;
-
-inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
 
 /// Single-source shortest path tree by edge weight (price).
 struct ShortestPathTree {
@@ -32,6 +39,41 @@ struct ShortestPathTree {
   /// Reconstructs the min-cost path source→target; nullopt if unreachable.
   [[nodiscard]] std::optional<Path> path_to(NodeId target) const;
 };
+
+// --- flat tier -----------------------------------------------------------
+
+/// Dijkstra from \p source into \p ws. A null \p mask means all edges are
+/// usable; \p stop_at = kInvalidNode means exhaust the graph, otherwise the
+/// search stops once \p stop_at is settled (same early exit as the seed's
+/// point-to-point query). On a warm workspace this performs no heap
+/// allocation. The mask (when given) must cover g.num_edges() bits.
+void dijkstra_into(const Graph& g, NodeId source, SearchWorkspace& ws,
+                   const EdgeMask* mask = nullptr,
+                   NodeId stop_at = kInvalidNode);
+
+/// Copies the last search out of \p ws into an owning tree over \p n nodes
+/// (pass g.num_nodes(); unreached slots get the kInfCost/kInvalid fill the
+/// seed used).
+[[nodiscard]] ShortestPathTree export_tree(const SearchWorkspace& ws,
+                                           std::size_t n);
+
+/// Reconstructs the path to \p target straight from \p ws — exactly
+/// ShortestPathTree::path_to without materializing the tree.
+[[nodiscard]] std::optional<Path> extract_path(const SearchWorkspace& ws,
+                                               NodeId target);
+
+/// Full search + export, for callers that want an owning tree.
+[[nodiscard]] ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                                        SearchWorkspace& ws,
+                                        const EdgeMask* mask = nullptr);
+
+/// Point-to-point min-cost path with early exit at \p target.
+[[nodiscard]] std::optional<Path> min_cost_path(const Graph& g, NodeId source,
+                                                NodeId target,
+                                                SearchWorkspace& ws,
+                                                const EdgeMask* mask = nullptr);
+
+// --- legacy tier ---------------------------------------------------------
 
 /// Dijkstra from \p source over the whole graph (or the filtered subgraph).
 [[nodiscard]] ShortestPathTree dijkstra(const Graph& g, NodeId source,

@@ -1,0 +1,112 @@
+#pragma once
+/// \file edge_mask.hpp
+/// Flat bitset over edge ids — the fast-path replacement for the
+/// std::function EdgeFilter in the search kernels.
+///
+/// An EdgeFilter costs a type-erased indirect call per edge probe and often
+/// captures heap state (sets of banned edges, ledger pointers). An EdgeMask
+/// answers the same question — "may this search traverse edge e?" — with one
+/// inlined word load and bit test, and a mask buffer is reusable across
+/// searches: Yen's spur loops rebuild one buffer per spur (word-copy of the
+/// base mask, then clear the banned bits) instead of constructing a fresh
+/// closure around fresh std::sets per candidate.
+///
+/// Semantics are deliberately identical to the filters they replace: a mask
+/// materialized from a pure EdgeFilter allows exactly the edges the filter
+/// accepts, so any search is bit-identical under either representation.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dagsfc::graph {
+
+/// Non-owning view over a mask buffer; bit e set ⇔ edge e is traversable.
+/// Cheap to copy (pointer + size). No bounds checks in allows() — the
+/// kernels only probe ids below the buffer's edge count.
+class EdgeMask {
+ public:
+  EdgeMask() = default;
+  EdgeMask(const std::uint64_t* words, std::size_t num_edges)
+      : words_(words), num_edges_(num_edges) {}
+
+  [[nodiscard]] bool allows(EdgeId e) const {
+    return (words_[e >> 6] >> (e & 63)) & 1u;
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] const std::uint64_t* words() const noexcept { return words_; }
+
+ private:
+  const std::uint64_t* words_ = nullptr;
+  std::size_t num_edges_ = 0;
+};
+
+/// Owning, reusable mask storage. assign()/fill_from() only allocate when
+/// the edge count grows beyond the current capacity, so warm reuse across
+/// searches is allocation-free.
+class EdgeMaskBuffer {
+ public:
+  /// Sizes the buffer for \p num_edges bits, all set to \p value.
+  void assign(std::size_t num_edges, bool value) {
+    num_edges_ = num_edges;
+    words_.assign(word_count(num_edges), value ? ~std::uint64_t{0} : 0);
+    trim_tail();
+  }
+
+  /// Materializes \p filter: bit e = filter(e). A null filter allows all.
+  /// One filter evaluation per edge — callers amortize this over the many
+  /// probes a search (or a whole Yen run) would otherwise pay.
+  void fill_from(const Graph& g, const EdgeFilter& filter) {
+    assign(g.num_edges(), true);
+    if (!filter) return;
+    for (EdgeId e = 0; e < num_edges_; ++e) {
+      if (!filter(e)) clear(e);
+    }
+  }
+
+  void copy_from(const EdgeMaskBuffer& other) {
+    num_edges_ = other.num_edges_;
+    words_.assign(other.words_.begin(), other.words_.end());
+  }
+
+  /// Word-copy of a view (e.g. Yen re-seeding a spur mask from its base).
+  void copy_from(const EdgeMask& other) {
+    num_edges_ = other.num_edges();
+    words_.assign(other.words(), other.words() + word_count(num_edges_));
+  }
+
+  void set(EdgeId e) {
+    DAGSFC_ASSERT(e < num_edges_);
+    words_[e >> 6] |= std::uint64_t{1} << (e & 63);
+  }
+  void clear(EdgeId e) {
+    DAGSFC_ASSERT(e < num_edges_);
+    words_[e >> 6] &= ~(std::uint64_t{1} << (e & 63));
+  }
+  [[nodiscard]] bool allows(EdgeId e) const {
+    DAGSFC_ASSERT(e < num_edges_);
+    return (words_[e >> 6] >> (e & 63)) & 1u;
+  }
+
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] EdgeMask view() const {
+    return EdgeMask{words_.data(), num_edges_};
+  }
+
+ private:
+  static std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
+
+  /// Keeps bits past num_edges_ zero so whole-word operations stay exact.
+  void trim_tail() {
+    const std::size_t tail = num_edges_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace dagsfc::graph

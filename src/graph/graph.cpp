@@ -6,6 +6,7 @@ namespace dagsfc::graph {
 
 NodeId Graph::add_node() {
   adjacency_.emplace_back();
+  csr_fresh_.store(false, std::memory_order_release);
   return static_cast<NodeId>(adjacency_.size() - 1);
 }
 
@@ -19,19 +20,66 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, double weight) {
   edges_.push_back(Edge{u, v, weight});
   adjacency_[u].push_back(Incidence{id, v});
   adjacency_[v].push_back(Incidence{id, u});
+  csr_fresh_.store(false, std::memory_order_release);
   return id;
+}
+
+CsrView Graph::csr() const {
+  if (!csr_fresh_.load(std::memory_order_acquire)) build_csr();
+  return CsrView{csr_offsets_, csr_incidence_, csr_weights_};
+}
+
+void Graph::build_csr() const {
+  std::lock_guard lock(csr_mu_);
+  if (csr_fresh_.load(std::memory_order_relaxed)) return;
+  const std::size_t n = adjacency_.size();
+  csr_offsets_.resize(n + 1);
+  csr_incidence_.clear();
+  csr_incidence_.reserve(2 * edges_.size());
+  csr_weights_.clear();
+  csr_weights_.reserve(2 * edges_.size());
+  csr_edge_slots_.assign(edges_.size(), {0, 0});
+  std::uint32_t offset = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    csr_offsets_[v] = offset;
+    // Row order = incidence-list insertion order, so CSR iteration visits
+    // neighbors exactly as neighbors() does (determinism contract).
+    for (const Incidence& inc : adjacency_[v]) {
+      const auto slot = static_cast<std::uint32_t>(csr_incidence_.size());
+      csr_incidence_.push_back(inc);
+      csr_weights_.push_back(edges_[inc.edge].weight);
+      // Each undirected edge appears in exactly two rows; record both slots
+      // (in row order: u's first, then v's — the order doesn't matter).
+      auto& slots = csr_edge_slots_[inc.edge];
+      if (inc.neighbor == edges_[inc.edge].v) {
+        slots[0] = slot;  // this is u's row
+      } else {
+        slots[1] = slot;  // this is v's row
+      }
+    }
+    offset += static_cast<std::uint32_t>(adjacency_[v].size());
+  }
+  csr_offsets_[n] = offset;
+  csr_fresh_.store(true, std::memory_order_release);
 }
 
 void Graph::set_weight(EdgeId e, double weight) {
   DAGSFC_CHECK(e < edges_.size());
   DAGSFC_CHECK(weight >= 0.0);
   edges_[e].weight = weight;
+  if (csr_fresh_.load(std::memory_order_acquire)) {
+    // Write the CSR weight mirror through so the packed view stays valid
+    // without a rebuild. Mutating concurrently with readers is undefined
+    // behaviour (same contract as every other mutator).
+    const auto& slots = csr_edge_slots_[e];
+    csr_weights_[slots[0]] = weight;
+    csr_weights_[slots[1]] = weight;
+  }
 }
 
 std::optional<EdgeId> Graph::find_edge(NodeId u, NodeId v) const {
-  DAGSFC_CHECK(u < adjacency_.size() && v < adjacency_.size());
-  // Scan the smaller incidence list.
-  const NodeId probe = adjacency_[u].size() <= adjacency_[v].size() ? u : v;
+  // Scan the smaller incidence list (checked inside the probe helper).
+  const NodeId probe = find_edge_probe_endpoint(u, v);
   const NodeId want = probe == u ? v : u;
   for (const Incidence& inc : adjacency_[probe]) {
     if (inc.neighbor == want) return inc.edge;

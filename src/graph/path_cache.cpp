@@ -40,6 +40,24 @@ std::shared_ptr<const ShortestPathTree> PathCache::tree(
   return entry;
 }
 
+std::shared_ptr<const ShortestPathTree> PathCache::tree(
+    const Graph& g, NodeId source, std::uint64_t version,
+    std::uint64_t context, const EdgeMask* mask, SearchWorkspace& ws,
+    PathQueryCounters& c) {
+  const TreeKey key{version, context, source};
+  if (auto it = trees_.find(key); it != trees_.end()) {
+    ++c.cache_hits;
+    return it->second;
+  }
+  ++c.cache_misses;
+  ++c.dijkstra_calls;
+  auto entry =
+      std::make_shared<const ShortestPathTree>(dijkstra(g, source, ws, mask));
+  make_room(trees_, version, c);
+  trees_.emplace(key, entry);
+  return entry;
+}
+
 std::shared_ptr<const std::vector<Path>> PathCache::k_paths(
     const Graph& g, NodeId source, NodeId target, std::size_t k,
     std::uint64_t version, std::uint64_t context, const EdgeFilter& filter,
@@ -53,6 +71,24 @@ std::shared_ptr<const std::vector<Path>> PathCache::k_paths(
   ++c.yen_calls;
   auto entry = std::make_shared<const std::vector<Path>>(
       k_shortest_paths(g, source, target, k, filter));
+  make_room(yens_, version, c);
+  yens_.emplace(key, entry);
+  return entry;
+}
+
+std::shared_ptr<const std::vector<Path>> PathCache::k_paths(
+    const Graph& g, NodeId source, NodeId target, std::size_t k,
+    std::uint64_t version, std::uint64_t context, const EdgeMask* mask,
+    SearchWorkspace& ws, PathQueryCounters& c) {
+  const YenKey key{version, context, source, target, k};
+  if (auto it = yens_.find(key); it != yens_.end()) {
+    ++c.cache_hits;
+    return it->second;
+  }
+  ++c.cache_misses;
+  ++c.yen_calls;
+  auto entry = std::make_shared<const std::vector<Path>>(
+      k_shortest_paths(g, source, target, k, mask, ws));
   make_room(yens_, version, c);
   yens_.emplace(key, entry);
   return entry;

@@ -70,11 +70,25 @@ class PathCache {
       const Graph& g, NodeId source, std::uint64_t version,
       std::uint64_t context, const EdgeFilter& filter, PathQueryCounters& c);
 
+  /// Flat-tier variant: misses compute through \p ws with \p mask (null ⇒
+  /// all edges). The caller guarantees (version, context) keys the mask
+  /// contents, exactly as it keys the filter in the legacy overload.
+  [[nodiscard]] std::shared_ptr<const ShortestPathTree> tree(
+      const Graph& g, NodeId source, std::uint64_t version,
+      std::uint64_t context, const EdgeMask* mask, SearchWorkspace& ws,
+      PathQueryCounters& c);
+
   /// Yen's k cheapest loopless paths source → target under \p filter.
   [[nodiscard]] std::shared_ptr<const std::vector<Path>> k_paths(
       const Graph& g, NodeId source, NodeId target, std::size_t k,
       std::uint64_t version, std::uint64_t context, const EdgeFilter& filter,
       PathQueryCounters& c);
+
+  /// Flat-tier variant of k_paths, same keying contract as the flat tree().
+  [[nodiscard]] std::shared_ptr<const std::vector<Path>> k_paths(
+      const Graph& g, NodeId source, NodeId target, std::size_t k,
+      std::uint64_t version, std::uint64_t context, const EdgeMask* mask,
+      SearchWorkspace& ws, PathQueryCounters& c);
 
   [[nodiscard]] std::size_t num_trees() const noexcept {
     return trees_.size();

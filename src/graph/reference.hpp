@@ -1,0 +1,46 @@
+#pragma once
+/// \file reference.hpp
+/// The seed search implementations, preserved verbatim.
+///
+/// When the flat kernels (CSR + SearchWorkspace + EdgeMask) replaced these on
+/// the hot path, the originals moved here instead of being deleted. They
+/// serve two purposes:
+///   1. Oracle for the differential tests (tests/test_search_flat.cpp): flat
+///      search must be bit-identical to these for every query and for every
+///      embedder's end-to-end SolveResult.
+///   2. The honest "before" arm of bench/micro_graph, so the recorded
+///      speedups compare against the real seed code, not a strawman.
+///
+/// They are also what the public EdgeFilter entry points fall back to when
+/// set_flat_search_default(false) is in effect. Do not "optimize" anything in
+/// this file — its value is being a frozen baseline.
+
+#include <optional>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+#include "graph/steiner.hpp"
+
+namespace dagsfc::graph::reference {
+
+/// Seed Dijkstra: fresh O(V) arrays + std::priority_queue per call.
+[[nodiscard]] ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                                        const EdgeFilter& filter = {});
+
+/// Seed point-to-point query with early exit at \p target.
+[[nodiscard]] std::optional<Path> min_cost_path(const Graph& g, NodeId source,
+                                                NodeId target,
+                                                const EdgeFilter& filter = {});
+
+/// Seed Yen: fresh closure + std::sets per spur candidate.
+[[nodiscard]] std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
+                                                 NodeId target, std::size_t k,
+                                                 const EdgeFilter& filter = {});
+
+/// Seed Dreyfus–Wagner DP over the adjacency lists.
+[[nodiscard]] std::optional<SteinerTree> steiner_tree(
+    const Graph& g, const std::vector<NodeId>& terminals,
+    const EdgeFilter& filter = {});
+
+}  // namespace dagsfc::graph::reference

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <set>
+
+#include "graph/reference.hpp"
 
 namespace dagsfc::graph {
 
@@ -18,9 +19,17 @@ struct Choice {
 
 }  // namespace
 
+// The seed Dreyfus–Wagner DP (see reference.cpp) with the flat kernels
+// underneath: base-case trees come from dijkstra(ws) exports, the per-subset
+// relaxation streams CSR rows and reuses the workspace's heap buffer, and
+// the filter probe is a mask bit test. The DP recurrences and every
+// tie-break are untouched, so results match the seed bit for bit (the
+// workspace heap pops in the same (key, node) order as the seed's
+// priority_queue — see dijkstra.cpp).
 std::optional<SteinerTree> steiner_tree(const Graph& g,
                                         const std::vector<NodeId>& terminals,
-                                        const EdgeFilter& filter) {
+                                        const EdgeMask* mask,
+                                        SearchWorkspace& ws) {
   std::vector<NodeId> terms(terminals);
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
@@ -32,6 +41,9 @@ std::optional<SteinerTree> steiner_tree(const Graph& g,
   const std::size_t n = g.num_nodes();
   const std::size_t k = terms.size();
   const std::uint32_t full = (1u << k) - 1;
+  const CsrView csr = g.csr();
+  const Incidence* const arcs = csr.incidence.data();
+  const double* const wt = csr.weights.data();
 
   // dp[S][v]: min weight of a tree containing node v and terminal subset S.
   std::vector<std::vector<double>> dp(full + 1,
@@ -42,7 +54,7 @@ std::optional<SteinerTree> steiner_tree(const Graph& g,
   std::vector<ShortestPathTree> term_sp;
   term_sp.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
-    term_sp.push_back(dijkstra(g, terms[i], filter));
+    term_sp.push_back(dijkstra(g, terms[i], ws, mask));
     const std::uint32_t bit = 1u << i;
     for (NodeId v = 0; v < n; ++v) {
       dp[bit][v] = term_sp[i].dist[v];
@@ -50,7 +62,6 @@ std::optional<SteinerTree> steiner_tree(const Graph& g,
     }
   }
 
-  using Item = std::pair<double, NodeId>;
   for (std::uint32_t S = 1; S <= full; ++S) {
     if ((S & (S - 1)) == 0) continue;  // singletons done above
     auto& row = dp[S];
@@ -70,22 +81,24 @@ std::optional<SteinerTree> steiner_tree(const Graph& g,
         }
       }
     }
-    // Dijkstra-style relaxation: grow the tree along cheap paths.
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    // Dijkstra-style relaxation: grow the tree along cheap paths. The dist
+    // array is the DP row, so only the heap comes from the workspace.
+    ws.heap_clear();
     for (NodeId v = 0; v < n; ++v) {
-      if (row[v] < kInfCost) pq.emplace(row[v], v);
+      if (row[v] < kInfCost) ws.heap_push(row[v], v);
     }
-    while (!pq.empty()) {
-      const auto [d, v] = pq.top();
-      pq.pop();
+    while (!ws.heap_empty()) {
+      const auto [d, v] = ws.heap_pop();
       if (d > row[v]) continue;
-      for (const Incidence& inc : g.neighbors(v)) {
-        if (filter && !filter(inc.edge)) continue;
-        const double nd = d + g.edge(inc.edge).weight;
+      const std::uint32_t row_end = csr.offsets[v + 1];
+      for (std::uint32_t s = csr.offsets[v]; s != row_end; ++s) {
+        const Incidence inc = arcs[s];
+        if (mask != nullptr && !mask->allows(inc.edge)) continue;
+        const double nd = d + wt[s];
         if (nd < row[inc.neighbor]) {
           row[inc.neighbor] = nd;
           hrow[inc.neighbor] = Choice{Choice::Kind::Extend, 0, v};
-          pq.emplace(nd, inc.neighbor);
+          ws.heap_push(nd, inc.neighbor);
         }
       }
     }
@@ -138,6 +151,19 @@ std::optional<SteinerTree> steiner_tree(const Graph& g,
   // optimal, so equality must hold (up to float noise).
   DAGSFC_ASSERT(out.cost <= dp[full][root] + 1e-9);
   return out;
+}
+
+std::optional<SteinerTree> steiner_tree(const Graph& g,
+                                        const std::vector<NodeId>& terminals,
+                                        const EdgeFilter& filter) {
+  if (!flat_search_default()) {
+    return reference::steiner_tree(g, terminals, filter);
+  }
+  SearchWorkspace& ws = thread_local_workspace();
+  if (!filter) return steiner_tree(g, terminals, nullptr, ws);
+  ws.scratch_mask().fill_from(g, filter);
+  const EdgeMask mask = ws.scratch_mask().view();
+  return steiner_tree(g, terminals, &mask, ws);
 }
 
 }  // namespace dagsfc::graph

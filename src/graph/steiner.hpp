@@ -27,9 +27,19 @@ struct SteinerTree {
   std::vector<EdgeId> edges;  // unique edges of the tree
 };
 
-/// Minimum-weight tree connecting all \p terminals (duplicates allowed and
-/// ignored). At most 14 distinct terminals. Returns nullopt when the
-/// terminals are not mutually reachable through the filtered subgraph.
+/// Flat tier: minimum-weight tree connecting all \p terminals through the
+/// masked subgraph (null mask ⇒ all edges), using \p ws for the base-case
+/// Dijkstras and the subset relaxations' heap. The DP tables themselves are
+/// still allocated per call — this entry point exists for mask/workspace
+/// plumbing consistency, not allocation freedom (the DP dominates anyway).
+/// Bit-identical to the legacy overload below.
+[[nodiscard]] std::optional<SteinerTree> steiner_tree(
+    const Graph& g, const std::vector<NodeId>& terminals, const EdgeMask* mask,
+    SearchWorkspace& ws);
+
+/// Legacy tier: minimum-weight tree connecting all \p terminals (duplicates
+/// allowed and ignored). At most 14 distinct terminals. Returns nullopt when
+/// the terminals are not mutually reachable through the filtered subgraph.
 /// A single distinct terminal yields an empty zero-cost tree.
 [[nodiscard]] std::optional<SteinerTree> steiner_tree(
     const Graph& g, const std::vector<NodeId>& terminals,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "graph/reference.hpp"
+
 namespace dagsfc::graph {
 
 namespace {
@@ -17,15 +19,30 @@ struct PathLess {
 
 }  // namespace
 
+// Structurally the seed algorithm (see reference.cpp) with one change: the
+// per-spur closure over fresh std::sets of banned edges/nodes becomes a
+// word-copy of the base mask with the banned bits cleared. "Edge incident to
+// a banned node" and "banned edge id" carve out exactly the edges the seed
+// filter rejected, so every spur search sees the same admissible subgraph
+// and the accepted paths are bit-identical.
 std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
                                    NodeId target, std::size_t k,
-                                   const EdgeFilter& filter) {
+                                   const EdgeMask* mask, SearchWorkspace& ws) {
   std::vector<Path> result;
   if (k == 0) return result;
 
-  auto first = min_cost_path(g, source, target, filter);
+  auto first = min_cost_path(g, source, target, ws, mask);
   if (!first) return result;
   result.push_back(std::move(*first));
+
+  EdgeMaskBuffer& base = ws.base_mask();
+  if (mask != nullptr) {
+    base.copy_from(*mask);
+  } else {
+    base.assign(g.num_edges(), true);
+  }
+  EdgeMaskBuffer& spur = ws.spur_mask();
+  const CsrView csr = g.csr();
 
   std::set<Path, PathLess> candidates;
   std::set<std::vector<NodeId>> known;  // dedupe by node sequence
@@ -39,35 +56,34 @@ std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
 
       // Edges removed for this spur: (a) the i-th edge of every accepted
       // path sharing the root prefix, (b) edges internal to the root path so
-      // the spur cannot revisit it.
-      std::set<EdgeId> banned_edges;
+      // the spur cannot revisit it — here "clear every edge incident to a
+      // root-prefix node", which bans the same traversals the seed's
+      // banned_nodes test did.
+      spur.copy_from(base);
       for (const Path& p : result) {
         if (p.nodes.size() > i + 1 &&
             std::equal(p.nodes.begin(), p.nodes.begin() + i + 1,
                        prev.nodes.begin())) {
-          banned_edges.insert(p.edges[i]);
+          spur.clear(p.edges[i]);
         }
       }
-      std::set<NodeId> banned_nodes(prev.nodes.begin(), prev.nodes.begin() + i);
+      for (std::size_t j = 0; j < i; ++j) {
+        for (const Incidence& inc : csr.row(prev.nodes[j])) {
+          spur.clear(inc.edge);
+        }
+      }
 
-      EdgeFilter spur_filter = [&](EdgeId e) {
-        if (filter && !filter(e)) return false;
-        if (banned_edges.count(e)) return false;
-        const Edge& ed = g.edge(e);
-        if (banned_nodes.count(ed.u) || banned_nodes.count(ed.v)) return false;
-        return true;
-      };
-
-      auto spur = min_cost_path(g, spur_node, target, spur_filter);
-      if (!spur) continue;
+      const EdgeMask spur_mask = spur.view();
+      auto spur_path = min_cost_path(g, spur_node, target, ws, &spur_mask);
+      if (!spur_path) continue;
 
       Path total;
       total.nodes.assign(prev.nodes.begin(), prev.nodes.begin() + i);
       total.edges.assign(prev.edges.begin(), prev.edges.begin() + i);
-      total.nodes.insert(total.nodes.end(), spur->nodes.begin(),
-                         spur->nodes.end());
-      total.edges.insert(total.edges.end(), spur->edges.begin(),
-                         spur->edges.end());
+      total.nodes.insert(total.nodes.end(), spur_path->nodes.begin(),
+                         spur_path->nodes.end());
+      total.edges.insert(total.edges.end(), spur_path->edges.begin(),
+                         spur_path->edges.end());
       total.cost = g.path_cost(total);
       if (known.insert(total.nodes).second) {
         candidates.insert(std::move(total));
@@ -78,6 +94,19 @@ std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
     candidates.erase(candidates.begin());
   }
   return result;
+}
+
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
+                                   NodeId target, std::size_t k,
+                                   const EdgeFilter& filter) {
+  if (!flat_search_default()) {
+    return reference::k_shortest_paths(g, source, target, k, filter);
+  }
+  SearchWorkspace& ws = thread_local_workspace();
+  if (!filter) return k_shortest_paths(g, source, target, k, nullptr, ws);
+  ws.scratch_mask().fill_from(g, filter);
+  const EdgeMask mask = ws.scratch_mask().view();
+  return k_shortest_paths(g, source, target, k, &mask, ws);
 }
 
 }  // namespace dagsfc::graph

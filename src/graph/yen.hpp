@@ -12,9 +12,19 @@
 
 namespace dagsfc::graph {
 
-/// Up to \p k cheapest simple paths source→target in ascending cost order.
-/// Honors \p filter the same way dijkstra() does. Returns fewer than k paths
-/// when the graph does not contain them.
+/// Flat tier: up to \p k cheapest simple paths source→target in ascending
+/// cost order, searching through \p ws (whose base/spur mask buffers the
+/// spur loop reuses — one word-copy per spur instead of a closure over fresh
+/// std::sets). A null \p mask admits every edge. Results are bit-identical
+/// to the legacy overload below.
+[[nodiscard]] std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
+                                                 NodeId target, std::size_t k,
+                                                 const EdgeMask* mask,
+                                                 SearchWorkspace& ws);
+
+/// Legacy tier: up to \p k cheapest simple paths source→target in ascending
+/// cost order. Honors \p filter the same way dijkstra() does. Returns fewer
+/// than k paths when the graph does not contain them.
 [[nodiscard]] std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
                                                  NodeId target, std::size_t k,
                                                  const EdgeFilter& filter = {});

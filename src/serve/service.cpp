@@ -74,13 +74,16 @@ void EmbeddingService::finish(Job&& job, Response&& resp) {
 }
 
 void EmbeddingService::worker_loop() {
+  // Per-worker search workspace: solves run outside the commit lock, so
+  // each worker warms its own buffers for the life of the thread.
+  graph::SearchWorkspace ws;
   while (auto job = queue_.pop()) {
-    Response resp = process(*job);
+    Response resp = process(*job, ws);
     finish(std::move(*job), std::move(resp));
   }
 }
 
-Response EmbeddingService::process(Job& job) {
+Response EmbeddingService::process(Job& job, graph::SearchWorkspace& ws) {
   const Clock::time_point dequeued = Clock::now();
   Response resp;
   resp.id = job.req.id;
@@ -119,7 +122,8 @@ Response EmbeddingService::process(Job& job) {
 
     // Solve outside the lock — the expensive, parallel part.
     Rng rng(solve_seed(opts_.seed, job.req.id, attempt));
-    const core::SolveResult r = embedder_->solve(index, *snap, rng);
+    const core::SolveResult r =
+        embedder_->solve(index, *snap, rng, nullptr, &ws);
     ++resp.solves;
     if (!r.ok()) {
       // Infeasible against a consistent snapshot: a genuine reject, not a

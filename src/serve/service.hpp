@@ -111,7 +111,7 @@ class EmbeddingService {
   };
 
   void worker_loop();
-  [[nodiscard]] Response process(Job& job);
+  [[nodiscard]] Response process(Job& job, graph::SearchWorkspace& ws);
   void finish(Job&& job, Response&& resp);
 
   const net::Network* net_;

@@ -53,6 +53,7 @@ DynamicResult run_dynamic(const DynamicConfig& cfg,
     }
   };
 
+  graph::SearchWorkspace ws;  // warm buffers across arrivals
   for (std::size_t arrival = 0; arrival < cfg.num_arrivals; ++arrival) {
     now += exponential(rng, 1.0 / cfg.arrival_rate);
     release_up_to(now);
@@ -79,7 +80,8 @@ DynamicResult run_dynamic(const DynamicConfig& cfg,
     // solve().
     const double holding = exponential(rng, cfg.mean_holding_time);
 
-    const core::SolveResult r = embedder.solve(index, ledger, rng);
+    const core::SolveResult r = embedder.solve(index, ledger, rng, nullptr,
+                                               &ws);
     if (!r.ok()) {
       ++result.rejected;
       continue;

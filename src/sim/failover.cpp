@@ -27,6 +27,7 @@ FailoverResult run_failover(const FailoverConfig& cfg,
   std::vector<Committed> committed;
 
   FailoverResult result;
+  graph::SearchWorkspace ws;  // warm buffers across all solves
 
   // ---- Phase 1: populate the network ------------------------------------
   for (std::size_t i = 0; i < cfg.num_flows; ++i) {
@@ -41,7 +42,8 @@ FailoverResult run_failover(const FailoverConfig& cfg,
     problem.flow =
         core::Flow{src, dst, cfg.base.flow_rate, cfg.base.flow_size};
     const core::ModelIndex index(problem);
-    const core::SolveResult r = embedder.solve(index, ledger, rng);
+    const core::SolveResult r = embedder.solve(index, ledger, rng, nullptr,
+                                               &ws);
     if (!r.ok()) continue;
     const core::Evaluator evaluator(index);
     core::ResourceUsage usage = evaluator.usage(*r.solution);
@@ -151,7 +153,8 @@ FailoverResult run_failover(const FailoverConfig& cfg,
     problem.sfc = c.dag.get();
     problem.flow = c.flow;
     const core::ModelIndex index(problem);
-    const core::SolveResult r = embedder.solve(index, ledger, rng);
+    const core::SolveResult r = embedder.solve(index, ledger, rng, nullptr,
+                                               &ws);
     if (!r.ok()) continue;
     const core::Evaluator evaluator(index);
     const core::ResourceUsage usage = evaluator.usage(*r.solution);

@@ -39,7 +39,12 @@ std::vector<AlgorithmStats> run_comparison(
       cfg.trials, std::vector<TrialRow>(algorithms.size()));
 
   ThreadPool pool(opts.threads);
+  // One search workspace per pool worker (slot 0 serves the caller thread
+  // when the pool is size 0 / parallel_for degrades to inline execution),
+  // so every trial on a worker reuses warm buffers.
+  std::vector<graph::SearchWorkspace> workspaces(pool.size() + 1);
   parallel_for(pool, cfg.trials, [&](std::size_t trial) {
+    graph::SearchWorkspace& ws = workspaces[ThreadPool::current_worker_id()];
     Rng rng(trial_seeds[trial]);
     const Scenario scenario = make_scenario(rng, cfg);
     const sfc::DagSfc dag = make_sfc(rng, scenario.network.catalog(), cfg);
@@ -57,7 +62,8 @@ std::vector<AlgorithmStats> run_comparison(
       core::EmbeddingTrace trace;
       core::TraceSink* sink = opts.collect_traces ? &trace : nullptr;
       WallTimer timer;
-      const core::SolveResult r = algorithms[a]->solve_fresh(index, rng, sink);
+      const core::SolveResult r =
+          algorithms[a]->solve_fresh(index, rng, sink, &ws);
       rows[a].ms = timer.elapsed_ms();
       if (sink != nullptr) rows[a].trace = trace.counts();
       rows[a].ok = r.ok();

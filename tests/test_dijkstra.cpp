@@ -127,5 +127,30 @@ TEST(Dijkstra, InvalidSourceRejected) {
   EXPECT_THROW((void)dijkstra(g, 17), ContractViolation);
 }
 
+TEST(Dijkstra, PathToSizesTheLongPathExactly) {
+  // A 500-hop line graph: path_to counts hops by walking the parent chain
+  // once, so the returned vectors are exactly sized (capacity == size, no
+  // push_back growth) and correctly ordered source → target.
+  constexpr std::size_t kNodes = 501;
+  Graph g(kNodes);
+  for (NodeId v = 0; v + 1 < kNodes; ++v) {
+    (void)g.add_edge(v, v + 1, 1.0);
+  }
+  const ShortestPathTree t = dijkstra(g, 0);
+  const auto p = t.path_to(kNodes - 1);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->nodes.size(), kNodes);
+  ASSERT_EQ(p->edges.size(), kNodes - 1);
+  EXPECT_EQ(p->nodes.capacity(), p->nodes.size());
+  EXPECT_EQ(p->edges.capacity(), p->edges.size());
+  EXPECT_EQ(p->cost, static_cast<double>(kNodes - 1));
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    EXPECT_EQ(p->nodes[i], static_cast<NodeId>(i));
+  }
+  for (std::size_t i = 0; i + 1 < kNodes; ++i) {
+    EXPECT_EQ(p->edges[i], static_cast<EdgeId>(i));
+  }
+}
+
 }  // namespace
 }  // namespace dagsfc::graph

@@ -135,6 +135,30 @@ TEST(Graph, PathEndpointAccessors) {
   EXPECT_THROW((void)empty.source(), ContractViolation);
 }
 
+TEST(Graph, FindEdgeProbesTheLowerDegreeEndpoint) {
+  // A hub with many leaves: probing leaf—hub must scan the leaf's (size-1)
+  // incidence list, never the hub's, in either argument order.
+  Graph g(10);
+  std::vector<EdgeId> spokes;
+  for (NodeId leaf = 1; leaf < 10; ++leaf) {
+    spokes.push_back(g.add_edge(0, leaf, 1.0));
+  }
+  ASSERT_EQ(g.degree(0), 9u);
+  ASSERT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.find_edge_probe_endpoint(3, 0), 3u);
+  EXPECT_EQ(g.find_edge_probe_endpoint(0, 3), 3u);
+  EXPECT_EQ(g.find_edge(3, 0), spokes[2]);
+  EXPECT_EQ(g.find_edge(0, 3), spokes[2]);
+  // Equal degrees: the first argument wins (deterministic, documented).
+  const EdgeId cross = g.add_edge(1, 2, 1.0);
+  EXPECT_EQ(g.find_edge_probe_endpoint(1, 2), 1u);
+  EXPECT_EQ(g.find_edge(2, 1), cross);
+  // Leaf—leaf pairs without an edge still resolve to nullopt via the
+  // cheaper endpoint.
+  EXPECT_EQ(g.find_edge_probe_endpoint(4, 0), 4u);
+  EXPECT_FALSE(g.find_edge(4, 5).has_value());
+}
+
 TEST(Graph, ConnectivityDetection) {
   Graph g(4);
   (void)g.add_edge(0, 1, 1.0);

@@ -111,13 +111,13 @@ class GateEmbedder : public core::Embedder {
   void open(std::ptrdiff_t permits) const { gate_.release(permits); }
 
  protected:
-  [[nodiscard]] core::SolveResult do_solve(const core::ModelIndex& index,
-                                           const net::CapacityLedger& ledger,
-                                           Rng& rng,
-                                           core::TraceSink*) const override {
+  [[nodiscard]] core::SolveResult do_solve(
+      const core::ModelIndex& index, const net::CapacityLedger& ledger,
+      Rng& rng, core::TraceSink*,
+      graph::SearchWorkspace* workspace) const override {
     entered_.release();
     gate_.acquire();
-    return inner_->solve(index, ledger, rng);
+    return inner_->solve(index, ledger, rng, nullptr, workspace);
   }
 
  private:
@@ -136,11 +136,11 @@ class RendezvousEmbedder : public core::Embedder {
   [[nodiscard]] std::string name() const override { return "rendezvous"; }
 
  protected:
-  [[nodiscard]] core::SolveResult do_solve(const core::ModelIndex& index,
-                                           const net::CapacityLedger& ledger,
-                                           Rng& rng,
-                                           core::TraceSink*) const override {
-    core::SolveResult r = inner_->solve(index, ledger, rng);
+  [[nodiscard]] core::SolveResult do_solve(
+      const core::ModelIndex& index, const net::CapacityLedger& ledger,
+      Rng& rng, core::TraceSink*,
+      graph::SearchWorkspace* workspace) const override {
+    core::SolveResult r = inner_->solve(index, ledger, rng, nullptr, workspace);
     if (calls_.fetch_add(1) < 2) sync_.arrive_and_wait();
     return r;
   }
