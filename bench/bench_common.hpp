@@ -94,54 +94,33 @@ inline std::unique_ptr<BenchSetup> setup(int argc, const char* const* argv,
 
 using util::json_escape;
 
-/// One JSON object per bench run: every sweep point × algorithm with cost,
-/// timing, search effort, and the solver path-query counters (dijkstra_calls,
-/// yen_calls, cache_hits, cache_misses, evictions, cache_hit_rate). Emitted
-/// on a single line prefixed "JSON: " so scripts can grep and parse it.
+/// One JSON object per bench run, rendered from the telemetry plane: every
+/// sweep point carries a MetricRegistry JSON document filled by
+/// sim::fill_registry — mean cost, timing, search effort, and the solver
+/// path-query counters appear as `dagsfc_solver_*` / `dagsfc_path_*`
+/// metrics labelled `algo="<name>"` (plus `dagsfc_trace_*` when tracing
+/// ran), plus a `cost_mean` convenience number per algorithm for quick
+/// grepping. Emitted on a single line prefixed "JSON: ".
 inline std::string to_json(const std::string& title,
                            const sim::SweepResult& result) {
   std::ostringstream os;
   os << "{\"bench\":\"" << json_escape(title) << "\",\"points\":[";
   for (std::size_t p = 0; p < result.point_stats.size(); ++p) {
     if (p) os << ",";
+    const auto& stats = result.point_stats[p];
+    util::MetricRegistry registry;
+    sim::fill_registry(stats, registry);
     os << "{\"label\":\""
        << json_escape(p < result.labels.size() ? result.labels[p] : "")
        << "\",\"algorithms\":[";
-    const auto& stats = result.point_stats[p];
     for (std::size_t a = 0; a < stats.size(); ++a) {
       const sim::AlgorithmStats& st = stats[a];
-      const auto& c = st.path_queries;
       if (a) os << ",";
-      os << "{\"name\":\"" << json_escape(st.name) << "\""
-         << ",\"success_rate\":" << st.success_rate()
-         << ",\"mean_cost\":" << (st.successes ? st.cost.mean() : 0.0)
-         << ",\"mean_ms\":" << st.wall_ms.mean()
-         << ",\"mean_expanded\":" << st.expanded.mean()
-         << ",\"dijkstra_calls\":" << c.dijkstra_calls
-         << ",\"yen_calls\":" << c.yen_calls
-         << ",\"cache_hits\":" << c.cache_hits
-         << ",\"cache_misses\":" << c.cache_misses
-         << ",\"evictions\":" << c.evictions
-         << ",\"cache_hit_rate\":" << c.hit_rate();
-      const core::TraceCounts& tc = st.trace;
-      if (tc.decision_events > 0 || tc.vnf_terms > 0) {
-        os << ",\"trace\":{"
-           << "\"decision_events\":" << tc.decision_events
-           << ",\"forward_searches\":" << tc.forward_searches
-           << ",\"backward_searches\":" << tc.backward_searches
-           << ",\"uncapped_retries\":" << tc.uncapped_retries
-           << ",\"candidate_children\":" << tc.candidate_children
-           << ",\"children_dropped\":" << tc.children_dropped
-           << ",\"pool_dropped\":" << tc.pool_dropped
-           << ",\"final_candidates\":" << tc.final_candidates
-           << ",\"vnf_terms\":" << tc.vnf_terms
-           << ",\"link_terms\":" << tc.link_terms
-           << ",\"multicast_shared_uses\":" << tc.multicast_shared_uses
-           << "}";
-      }
-      os << "}";
+      os << "{\"name\":\"" << json_escape(st.name)
+         << "\",\"cost_mean\":" << (st.successes ? st.cost.mean() : 0.0)
+         << "}";
     }
-    os << "]}";
+    os << "],\"registry\":" << registry.expose_json() << "}";
   }
   os << "]}";
   return os.str();

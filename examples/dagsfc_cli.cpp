@@ -86,9 +86,11 @@ int main(int argc, char** argv) {
       .define("trace", "",
               "record the structured solve trace and write it to this path "
               "as Chrome trace_event JSON (load in Perfetto / "
-              "chrome://tracing); also prints a trace summary");
+              "chrome://tracing); also prints a trace summary")
+      .define_log_level();
   try {
     flags.parse(argc, argv);
+    flags.apply_log_level();
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n\n" << flags.usage(argv[0]);
     return 1;

@@ -17,9 +17,11 @@
 
 #include <algorithm>
 #include <iostream>
+#include <memory>
 
 #include "core/backtracking.hpp"
 #include "serve/driver.hpp"
+#include "serve/http.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
 
@@ -44,9 +46,18 @@ int main(int argc, char** argv) {
                        "per-request deadline after submit; 0s disables")
       .define_bool("closed-loop", false,
                    "run the deterministic closed-loop driver instead")
+      .define_int("metrics-port", 0,
+                  "serve GET /metrics (Prometheus) and /metrics.json on "
+                  "127.0.0.1:<port> for the duration of the run; 0 disables")
+      .define_duration("slow-solve-threshold", "0s",
+                       "warn once (and count dagsfc_serve_slow_solves_total) "
+                       "for any request processed longer than this; 0s "
+                       "disables the watchdog")
+      .define_log_level()
       .define_int("seed", 0x5eed5e, "workload + solver RNG seed");
   try {
     flags.parse(argc, argv);
+    flags.apply_log_level();
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n\n" << flags.usage(argv[0]);
     return 1;
@@ -83,9 +94,29 @@ int main(int argc, char** argv) {
 
   core::MbbeEmbedder embedder;
 
+  // Observability: the drivers own the service, so the watchdog knobs ride
+  // in via ServiceTuning and the /metrics endpoint attaches on_start (it
+  // lives in `endpoint` out here so it serves for the whole run).
+  serve::ServiceTuning tuning;
+  tuning.slow_solve_threshold = flags.get_duration("slow-solve-threshold");
+  std::unique_ptr<serve::MetricsHttpServer> endpoint;
+  const int metrics_port = flags.get_int("metrics-port");
+  if (metrics_port > 0) {
+    tuning.on_start = [&endpoint, metrics_port](serve::EmbeddingService& s) {
+      endpoint = std::make_unique<serve::MetricsHttpServer>(
+          s.metrics_registry(), static_cast<std::uint16_t>(metrics_port));
+      std::cerr << "metrics: curl http://127.0.0.1:" << endpoint->port()
+                << "/metrics\n";
+    };
+    // The endpoint scrapes the service's registry, so it must go first.
+    tuning.on_finish = [&endpoint](serve::EmbeddingService&) {
+      endpoint.reset();
+    };
+  }
+
   if (flags.get_bool("closed-loop")) {
-    const serve::DriverResult r =
-        serve::run_closed_loop(workload, embedder, workers, admission, seed);
+    const serve::DriverResult r = serve::run_closed_loop(
+        workload, embedder, workers, admission, seed, tuning);
     const auto& m = r.metrics;
     std::cout << "== dagsfc_serve (closed loop, " << workers
               << " workers) ==\n"
@@ -109,6 +140,7 @@ int main(int argc, char** argv) {
   open.admission = admission;
   open.seed = seed;
   open.deadline = flags.get_duration("deadline");
+  open.tuning = tuning;
 
   const serve::OpenLoopResult r =
       serve::run_open_loop(workload, embedder, open);

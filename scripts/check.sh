@@ -8,10 +8,13 @@
 # sanitizer-clean. A third pass builds with ThreadSanitizer
 # (-DDAGSFC_TSAN=ON) and runs the concurrency-heavy suites (the serve
 # layer, the thread pool, and the trial runner) to catch data races in the
-# snapshot/commit machinery and the lazy CSR build. Every full pass also
-# runs the flat-vs-reference search differential suite (test_search_flat),
-# so the bit-identity contract of the CSR/workspace tier is checked under
-# ASan/UBSan as well as in the plain build.
+# snapshot/commit machinery and the lazy CSR build. A fourth pass reuses
+# the TSan tree for the telemetry plane (ctest -R 'metrics|watchdog'): the
+# striped counters, shared histogram cells, the /metrics HTTP scrape, and
+# the slow-solve watchdog are exactly the lock-free machinery TSan is for.
+# Every full pass also runs the flat-vs-reference search differential suite
+# (test_search_flat), so the bit-identity contract of the CSR/workspace
+# tier is checked under ASan/UBSan as well as in the plain build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,8 +48,13 @@ require_test() {
 
 run_pass "${BUILD_DIR:-build-asan}" "" -DDAGSFC_SANITIZE=ON
 require_test "${BUILD_DIR:-build-asan}" 'test_search_flat'
+require_test "${BUILD_DIR:-build-asan}" 'test_metrics'
+require_test "${BUILD_DIR:-build-asan}" 'test_watchdog'
 run_pass "${TRACE_BUILD_DIR:-build-asan-trace}" "" -DDAGSFC_SANITIZE=ON \
   -DDAGSFC_TRACE=ON
 run_pass "${TSAN_BUILD_DIR:-build-tsan}" \
   'test_serve|test_thread_pool|test_runner|test_search_flat.Csr' \
   -DDAGSFC_TSAN=ON
+# Telemetry-plane pass: same TSan tree, metrics + watchdog suites.
+ctest --test-dir "${TSAN_BUILD_DIR:-build-tsan}" --output-on-failure \
+  -j "$(nproc)" -R 'metrics|watchdog'

@@ -7,6 +7,7 @@
 
 #include "core/path_oracle.hpp"
 #include "graph/dijkstra.hpp"
+#include "util/trace.hpp"
 
 namespace dagsfc::core {
 
@@ -71,6 +72,7 @@ SearchTree ring_search(const graph::Graph& g, NodeId start, Coverage coverage,
                        std::size_t node_budget,
                        const graph::NodeFilter& filter, bool& success,
                        graph::SearchWorkspace& ws) {
+  DAGSFC_TRACE_SCOPE("backtracking/ring_search");
   graph::RingExpander expander(g, start, filter, &ws);
   coverage.observe(start);
   while (!coverage.complete()) {
@@ -249,6 +251,7 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
   }
 
   for (std::size_t l = 0; l < omega; ++l) {
+    DAGSFC_TRACE_SCOPE("backtracking/layer");
     const sfc::Layer& layer = dag.layer(l);
     const auto slots = index.layer_slots(l);
     std::vector<SubSolution>& out = pools[l + 1];
@@ -310,6 +313,7 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
       const SearchTree fst =
           ring_search(g, start, Coverage(ledger, required, rate), x_max_pass,
                       {}, fwd_ok, ws);
+      oracle.note_bfs();
       if (tr) {
         SolveEvent e;
         e.kind = TraceEventKind::ForwardSearch;
@@ -427,6 +431,7 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
         const SearchTree bst = ring_search(
             g, m, Coverage(ledger, layer.vnfs, rate), 0,
             [&](NodeId v) { return fst.contains(v); }, bwd_ok, ws);
+        oracle.note_bfs();
         if (tr) {
           SolveEvent e;
           e.kind = TraceEventKind::BackwardSearch;
@@ -597,6 +602,7 @@ SolveResult BacktrackingEngine::run(const ModelIndex& index,
 
   // ---- Completion: ω-th end node → destination by min-cost path, pick the
   // cheapest complete feasible candidate (Algorithm 1 lines 9–11).
+  DAGSFC_TRACE_SCOPE("backtracking/complete");
   Evaluator evaluator(index);
   double best_cost = graph::kInfCost;
   std::optional<EmbeddingSolution> best;

@@ -4,6 +4,7 @@
 
 #include "core/path_oracle.hpp"
 #include "graph/dijkstra.hpp"
+#include "util/trace.hpp"
 
 namespace dagsfc::core {
 
@@ -31,6 +32,8 @@ SolveResult assign_then_route(
   SolveResult result;
   EmbeddingSolution sol;
   sol.placement.assign(index.num_slots(), graph::kInvalidNode);
+
+  DAGSFC_TRACE_SCOPE("baselines/assign_then_route");
 
   // Working copy so repeated uses of one instance respect its capacity.
   net::CapacityLedger working(ledger);

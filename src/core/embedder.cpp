@@ -1,5 +1,7 @@
 #include "core/embedder.hpp"
 
+#include "util/metrics.hpp"
+
 namespace dagsfc::core {
 
 SolveResult Embedder::solve(const ModelIndex& index,
@@ -14,7 +16,17 @@ SolveResult Embedder::solve(const ModelIndex& index,
     t(begin);
   }
 
-  SolveResult r = do_solve(index, ledger, rng, trace, workspace);
+  SolveResult r;
+  {
+    // Per-algorithm wall-time meter on the global registry
+    // (dagsfc_phase_seconds{phase="solve/<name>"}), alive regardless of
+    // DAGSFC_TRACE: this is the telemetry plane, not the trace plane. The
+    // registry lookup is once per solve — noise next to the solve itself.
+    const util::PhaseMeter meter(util::MetricRegistry::global(),
+                                 "solve/" + name());
+    const util::PhaseTimer timer(meter);
+    r = do_solve(index, ledger, rng, trace, workspace);
+  }
 
   if (t) {
     if (r.ok()) {

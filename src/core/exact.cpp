@@ -7,6 +7,7 @@
 #include "core/path_oracle.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/steiner.hpp"
+#include "util/trace.hpp"
 
 namespace dagsfc::core {
 
@@ -165,6 +166,7 @@ SolveResult ExactEmbedder::do_solve(const ModelIndex& index,
   std::vector<std::map<NodeId, Cell>> trail;  // dp per layer, for rebuild
 
   for (std::size_t l = 0; l < omega; ++l) {
+    DAGSFC_TRACE_SCOPE("exact/dp_layer");
     const sfc::Layer& layer = dag.layer(l);
     std::map<NodeId, Cell> next;
     const std::size_t cells_in = dp.size();
@@ -269,6 +271,7 @@ SolveResult ExactEmbedder::do_solve(const ModelIndex& index,
   }
 
   // ---- Reconstruction ----------------------------------------------------
+  DAGSFC_TRACE_SCOPE("exact/reconstruct");
   EmbeddingSolution sol;
   sol.placement.assign(index.num_slots(), graph::kInvalidNode);
   sol.inter_paths.resize(index.inter_paths().size());

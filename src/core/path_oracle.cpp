@@ -80,6 +80,7 @@ std::vector<graph::Path> PathOracle::k_shortest_filtered(
 
 std::optional<graph::SteinerTree> PathOracle::steiner(
     const std::vector<NodeId>& terminals) {
+  ++counters_.steiner_calls;
   if (!flat_) return graph::steiner_tree(*g_, terminals, usable_);
   return graph::steiner_tree(*g_, terminals, usable_mask(), *ws_);
 }

@@ -89,9 +89,15 @@ class PathOracle {
       NodeId a, NodeId b, std::size_t k, const graph::EdgeFilter& filter);
 
   /// Minimum Steiner tree over usable links (exact solver's multicast
-  /// pricing). Uncounted, matching the seed's direct call.
+  /// pricing). Counted in PathQueryCounters::steiner_calls.
   [[nodiscard]] std::optional<graph::SteinerTree> steiner(
       const std::vector<NodeId>& terminals);
+
+  /// Tallies one BFS ring search run by the caller through workspace() —
+  /// the backtracking engine's forward/backward expansions, which don't
+  /// route through the oracle's query methods but should still show up in
+  /// the solver's path-work accounting.
+  void note_bfs() noexcept { ++counters_.bfs_calls; }
 
   [[nodiscard]] const graph::PathQueryCounters& counters() const noexcept {
     return counters_;

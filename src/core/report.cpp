@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "util/metrics.hpp"
+
 namespace dagsfc::core {
 
 namespace {
@@ -62,12 +64,13 @@ std::string describe_search(const SolveResult& result) {
   std::ostringstream os;
   os << "search: expanded " << result.expanded_sub_solutions
      << " sub-solutions, " << result.candidate_solutions << " candidates; "
-     << "dijkstra " << c.dijkstra_calls << ", yen " << c.yen_calls
-     << ", path-cache " << c.cache_hits << "/" << c.cache_hits + c.cache_misses
-     << " hits";
+     << "dijkstra " << c.dijkstra_calls << ", yen " << c.yen_calls;
+  if (c.bfs_calls > 0) os << ", bfs " << c.bfs_calls;
+  if (c.steiner_calls > 0) os << ", steiner " << c.steiner_calls;
+  os << ", path-cache " << c.cache_hits << "/"
+     << c.cache_hits + c.cache_misses << " hits";
   if (c.cache_hits + c.cache_misses > 0) {
-    os << " (" << std::fixed << std::setprecision(1) << c.hit_rate() * 100.0
-       << "%)";
+    os << " (" << util::format_percent(c.hit_rate()) << ")";
   }
   if (c.evictions > 0) os << ", " << c.evictions << " evicted";
   return os.str();

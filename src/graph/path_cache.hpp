@@ -31,12 +31,17 @@
 
 namespace dagsfc::graph {
 
-/// Observability counters for the solver path queries. `dijkstra_calls` and
-/// `yen_calls` count actual computations (cache misses included, hits
-/// excluded); hits/misses/evictions count cache events only.
+/// Observability counters for the solver path queries. The `*_calls`
+/// fields count actual computations (cache misses included, hits
+/// excluded); hits/misses/evictions count cache events only. `bfs_calls`
+/// tallies the backtracking engine's ring searches and `steiner_calls` the
+/// exact solver's multicast pricing, so the inter-layer path work is
+/// visible alongside the Dijkstra/Yen unicast work.
 struct PathQueryCounters {
   std::size_t dijkstra_calls = 0;
   std::size_t yen_calls = 0;
+  std::size_t bfs_calls = 0;
+  std::size_t steiner_calls = 0;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t evictions = 0;
@@ -44,6 +49,8 @@ struct PathQueryCounters {
   PathQueryCounters& operator+=(const PathQueryCounters& o) {
     dijkstra_calls += o.dijkstra_calls;
     yen_calls += o.yen_calls;
+    bfs_calls += o.bfs_calls;
+    steiner_calls += o.steiner_calls;
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
     evictions += o.evictions;

@@ -75,12 +75,15 @@ DriverResult run_closed_loop(const Workload& workload,
                              const core::Embedder& embedder,
                              std::size_t workers,
                              const AdmissionPolicy& admission,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, const ServiceTuning& tuning) {
   EmbeddingService::Options opts;
   opts.workers = workers;
   opts.admission = admission;
   opts.seed = seed;
+  opts.slow_solve_threshold = tuning.slow_solve_threshold;
+  opts.watchdog_period = tuning.watchdog_period;
   EmbeddingService service(workload.scenario.network, embedder, opts);
+  if (tuning.on_start) tuning.on_start(service);
 
   std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
       departures;
@@ -110,6 +113,7 @@ DriverResult run_closed_loop(const Workload& workload,
   result.conserved =
       residuals_nominal(drained, workload.scenario.network);
   result.metrics = service.metrics();
+  if (tuning.on_finish) tuning.on_finish(service);
   return result;
 }
 
@@ -122,7 +126,10 @@ OpenLoopResult run_open_loop(const Workload& workload,
   opts.workers = cfg.workers;
   opts.admission = cfg.admission;
   opts.seed = cfg.seed;
+  opts.slow_solve_threshold = cfg.tuning.slow_solve_threshold;
+  opts.watchdog_period = cfg.tuning.watchdog_period;
   EmbeddingService service(workload.scenario.network, embedder, opts);
+  if (cfg.tuning.on_start) cfg.tuning.on_start(service);
 
   const std::size_t per_producer_load =
       std::max<std::size_t>(1, cfg.target_load / cfg.producers);
@@ -169,6 +176,7 @@ OpenLoopResult run_open_loop(const Workload& workload,
   result.metrics = service.metrics();
   result.conserved =
       residuals_nominal(service.ledger_snapshot(), workload.scenario.network);
+  if (cfg.tuning.on_finish) cfg.tuning.on_finish(service);
   return result;
 }
 

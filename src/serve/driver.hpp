@@ -19,6 +19,7 @@
 /// instead.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/embedder.hpp"
@@ -49,6 +50,20 @@ struct Workload {
 [[nodiscard]] Workload make_workload(const sim::DynamicConfig& cfg,
                                      std::uint64_t seed);
 
+/// Observability knobs forwarded to the EmbeddingService the drivers build
+/// internally, plus a hook to reach the live service (e.g. to attach a
+/// /metrics HTTP endpoint to its registry for the duration of the run).
+struct ServiceTuning {
+  std::chrono::nanoseconds slow_solve_threshold{0};  ///< 0 = watchdog off
+  std::chrono::nanoseconds watchdog_period{0};       ///< 0 = threshold/4
+  /// Called once, after the service starts and before any submit.
+  std::function<void(EmbeddingService&)> on_start;
+  /// Called once, after the drain and final metrics capture but before the
+  /// service (and its registry) is destroyed — detach anything on_start
+  /// attached here, or it dangles.
+  std::function<void(EmbeddingService&)> on_finish;
+};
+
 struct DriverResult {
   MetricsSnapshot metrics;
   double simulated_time = 0.0;   ///< last arrival's virtual instant
@@ -65,7 +80,7 @@ struct DriverResult {
 [[nodiscard]] DriverResult run_closed_loop(
     const Workload& workload, const core::Embedder& embedder,
     std::size_t workers, const AdmissionPolicy& admission = {},
-    std::uint64_t seed = 0x5eedbeefULL);
+    std::uint64_t seed = 0x5eedbeefULL, const ServiceTuning& tuning = {});
 
 /// Open-loop replay: contention mode for the bench and the CLI.
 struct OpenLoopConfig {
@@ -83,6 +98,7 @@ struct OpenLoopConfig {
   std::uint64_t seed = 0x5eedbeefULL;
   /// Per-request deadline measured from submit; zero disables.
   std::chrono::nanoseconds deadline{0};
+  ServiceTuning tuning;
 };
 
 struct OpenLoopResult {

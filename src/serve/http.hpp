@@ -1,0 +1,52 @@
+#pragma once
+/// \file http.hpp
+/// Minimal blocking HTTP/1.0 exposition endpoint for a MetricRegistry.
+///
+/// Deliberately tiny: plain POSIX sockets, one accept loop on a background
+/// thread, one request per connection (`Connection: close`), two routes —
+///
+///   GET /metrics        → Prometheus text exposition (version 0.0.4)
+///   GET /metrics.json   → the registry's JSON document
+///
+/// Anything else is a 404; non-GET methods are a 405. The server binds
+/// 127.0.0.1 only — this is an operator scrape port, not a public API —
+/// and `port 0` picks an ephemeral port (read it back with port()), which
+/// is what the tests use. Scrapes snapshot the registry per request, so a
+/// scrape never blocks the solver hot path.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "util/metrics.hpp"
+
+namespace dagsfc::serve {
+
+class MetricsHttpServer {
+ public:
+  /// Binds and starts serving immediately; throws util::ContractViolation
+  /// if the socket cannot be bound. The registry must outlive the server.
+  MetricsHttpServer(const util::MetricRegistry& registry, std::uint16_t port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// The bound port — the actual one when constructed with port 0.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting and joins the serving thread. Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle_connection(int client_fd);
+
+  const util::MetricRegistry* registry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace dagsfc::serve

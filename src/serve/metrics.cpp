@@ -1,56 +1,98 @@
 #include "serve/metrics.hpp"
 
 #include <sstream>
+#include <utility>
 
-#include "util/check.hpp"
 #include "util/json.hpp"
 
 namespace dagsfc::serve {
 
-void ServiceMetrics::on_submitted() {
-  std::lock_guard lock(mu_);
-  ++data_.submitted;
+ServiceMetrics::ServiceMetrics()
+    : registry_(std::make_unique<util::MetricRegistry>()) {
+  util::MetricRegistry& r = *registry_;
+  submitted_ = r.counter("dagsfc_serve_submitted_total");
+  accepted_ = r.counter("dagsfc_serve_accepted_total");
+  rejected_infeasible_ = r.counter("dagsfc_serve_rejected_infeasible_total");
+  rejected_queue_full_ = r.counter("dagsfc_serve_rejected_queue_full_total");
+  shed_deadline_ = r.counter("dagsfc_serve_shed_deadline_total");
+  lost_conflict_ = r.counter("dagsfc_serve_lost_conflict_total");
+  commit_conflicts_ = r.counter("dagsfc_serve_commit_conflicts_total");
+  retries_ = r.counter("dagsfc_serve_retries_total");
+  fast_commits_ = r.counter("dagsfc_serve_fast_commits_total");
+  validated_commits_ = r.counter("dagsfc_serve_validated_commits_total");
+  releases_ = r.counter("dagsfc_serve_releases_total");
+  slow_solves_ = r.counter("dagsfc_serve_slow_solves_total");
+  queue_depth_ = r.gauge("dagsfc_serve_queue_depth");
+  workers_busy_ = r.gauge("dagsfc_serve_workers_busy");
+  latency_ms_ = r.histogram("dagsfc_serve_latency_ms", {}, 1e-3, 1e6);
+  solve_ms_ = r.histogram("dagsfc_serve_solve_ms", {}, 1e-3, 1e6);
+  cost_ = r.histogram("dagsfc_serve_cost", {}, 1e-1, 1e9);
 }
 
-void ServiceMetrics::on_release() {
-  std::lock_guard lock(mu_);
-  ++data_.releases;
+void ServiceMetrics::on_submitted() { submitted_.inc(); }
+
+void ServiceMetrics::on_release() { releases_.inc(); }
+
+void ServiceMetrics::on_slow_solve() { slow_solves_.inc(); }
+
+void ServiceMetrics::set_queue_depth(std::size_t depth) {
+  queue_depth_.set(static_cast<double>(depth));
+}
+
+void ServiceMetrics::add_workers_busy(double delta) {
+  workers_busy_.add(delta);
 }
 
 void ServiceMetrics::on_response(const Response& r) {
-  std::lock_guard lock(mu_);
   switch (r.outcome) {
     case Outcome::Accepted:
-      ++data_.accepted;
-      data_.cost.add(r.cost);
+      accepted_.inc();
+      cost_.observe(r.cost);
       if (r.epoch_validated) {
-        ++data_.validated_commits;
+        validated_commits_.inc();
       } else {
-        ++data_.fast_commits;
+        fast_commits_.inc();
       }
       break;
     case Outcome::RejectedInfeasible:
-      ++data_.rejected_infeasible;
+      rejected_infeasible_.inc();
       break;
     case Outcome::RejectedQueueFull:
-      ++data_.rejected_queue_full;
+      rejected_queue_full_.inc();
       break;
     case Outcome::SheddedDeadline:
-      ++data_.shed_deadline;
+      shed_deadline_.inc();
       break;
     case Outcome::LostConflict:
-      ++data_.lost_conflict;
+      lost_conflict_.inc();
       break;
   }
-  data_.commit_conflicts += r.conflicts;
-  if (r.solves > 1) data_.retries += r.solves - 1;
-  data_.latency_ms.add(r.queue_ms + r.solve_ms);
-  data_.solve_ms.add(r.solve_ms);
+  commit_conflicts_.inc(r.conflicts);
+  if (r.solves > 1) retries_.inc(r.solves - 1);
+  latency_ms_.observe(r.queue_ms + r.solve_ms);
+  solve_ms_.observe(r.solve_ms);
 }
 
 MetricsSnapshot ServiceMetrics::snapshot() const {
-  std::lock_guard lock(mu_);
-  return data_;
+  MetricsSnapshot s;
+  s.submitted = submitted_.value();
+  s.accepted = accepted_.value();
+  s.rejected_infeasible = rejected_infeasible_.value();
+  s.rejected_queue_full = rejected_queue_full_.value();
+  s.shed_deadline = shed_deadline_.value();
+  s.lost_conflict = lost_conflict_.value();
+  s.commit_conflicts = commit_conflicts_.value();
+  s.retries = retries_.value();
+  s.fast_commits = fast_commits_.value();
+  s.validated_commits = validated_commits_.value();
+  s.releases = releases_.value();
+  s.slow_solves = slow_solves_.value();
+  s.queue_depth = queue_depth_.value();
+  s.workers_busy = workers_busy_.value();
+  s.latency_ms = latency_ms_.snapshot();
+  s.solve_ms = solve_ms_.snapshot();
+  s.cost = cost_.snapshot();
+  return s;
 }
 
 std::string MetricsSnapshot::to_json() const {
@@ -64,8 +106,10 @@ std::string MetricsSnapshot::to_json() const {
      << ",\"commit_conflicts\":" << commit_conflicts
      << ",\"retries\":" << retries << ",\"fast_commits\":" << fast_commits
      << ",\"validated_commits\":" << validated_commits
-     << ",\"releases\":" << releases
+     << ",\"releases\":" << releases << ",\"slow_solves\":" << slow_solves
      << ",\"conflict_rate\":" << util::json_number(conflict_rate())
+     << ",\"queue_depth\":" << util::json_number(queue_depth)
+     << ",\"workers_busy\":" << util::json_number(workers_busy)
      << ",\"latency_ms\":{\"p50\":" << util::json_number(latency_ms.p50())
      << ",\"p95\":" << util::json_number(latency_ms.p95())
      << ",\"p99\":" << util::json_number(latency_ms.p99())

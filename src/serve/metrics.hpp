@@ -1,8 +1,15 @@
 #pragma once
 /// \file metrics.hpp
 /// Thread-safe service metrics: outcome counters, the optimistic-commit
-/// accounting (fast vs validated commits, conflicts, retries), and
-/// log-bucket latency/cost histograms with p50/p95/p99 queries.
+/// accounting (fast vs validated commits, conflicts, retries), queue-depth
+/// and worker-busy gauges, the slow-solve watchdog counter, and log-bucket
+/// latency/cost histograms with p50/p95/p99 queries.
+///
+/// Since the telemetry-plane migration the instruments live in a
+/// per-service util::MetricRegistry (per-instance, so multiple services in
+/// one process never collide on names) and the hot path is lock-free:
+/// counters stripe across cache lines, histograms update shared atomic
+/// cells. MetricsSnapshot is materialized from the registry on demand.
 ///
 /// Everything deterministic about a run — the counters and the histogram
 /// bucket counts — depends only on the multiset of recorded responses, not
@@ -12,10 +19,11 @@
 /// most one request in flight, fixing the order.)
 
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
 
 #include "serve/request.hpp"
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace dagsfc::serve {
@@ -34,6 +42,10 @@ struct MetricsSnapshot {
   std::uint64_t fast_commits = 0;      ///< epoch unchanged since snapshot
   std::uint64_t validated_commits = 0; ///< epoch moved, residuals re-checked
   std::uint64_t releases = 0;          ///< departures applied to the ledger
+  std::uint64_t slow_solves = 0;       ///< watchdog-flagged in-flight solves
+
+  double queue_depth = 0.0;   ///< jobs waiting at snapshot time
+  double workers_busy = 0.0;  ///< workers mid-request at snapshot time
 
   Histogram latency_ms{1e-3, 1e6};  ///< submit → terminal outcome
   Histogram solve_ms{1e-3, 1e6};    ///< dequeue → terminal outcome
@@ -62,17 +74,52 @@ struct MetricsSnapshot {
 
 class ServiceMetrics {
  public:
+  ServiceMetrics();
+
   void on_submitted();
   /// Records a terminal response — the single sink for every outcome,
   /// including queue-full rejects (their latency is the ~0 submit path).
   void on_response(const Response& r);
   void on_release();
+  /// Watchdog: one in-flight solve crossed the slow-solve threshold.
+  void on_slow_solve();
+  void set_queue_depth(std::size_t depth);
+  /// +1 when a worker dequeues, -1 when it finishes.
+  void add_workers_busy(double delta);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
+  /// The backing registry — what the HTTP /metrics endpoint exposes. Owned
+  /// by (and per-) service, so instrument names never collide across
+  /// service instances in one process.
+  [[nodiscard]] util::MetricRegistry& registry() noexcept {
+    return *registry_;
+  }
+  [[nodiscard]] const util::MetricRegistry& registry() const noexcept {
+    return *registry_;
+  }
+
  private:
-  mutable std::mutex mu_;
-  MetricsSnapshot data_;
+  /// unique_ptr so instrument handles stay valid if the owner moves.
+  std::unique_ptr<util::MetricRegistry> registry_;
+
+  util::Counter submitted_;
+  util::Counter accepted_;
+  util::Counter rejected_infeasible_;
+  util::Counter rejected_queue_full_;
+  util::Counter shed_deadline_;
+  util::Counter lost_conflict_;
+  util::Counter commit_conflicts_;
+  util::Counter retries_;
+  util::Counter fast_commits_;
+  util::Counter validated_commits_;
+  util::Counter releases_;
+  util::Counter slow_solves_;
+  util::Gauge queue_depth_;
+  util::Gauge workers_busy_;
+  util::HistogramMetric latency_ms_;
+  util::HistogramMetric solve_ms_;
+  util::HistogramMetric cost_;
 };
 
 }  // namespace dagsfc::serve

@@ -1,7 +1,10 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
+
+#include "util/log.hpp"
 
 namespace dagsfc::serve {
 
@@ -33,9 +36,15 @@ EmbeddingService::EmbeddingService(const net::Network& network,
       queue_(options.admission.queue_capacity) {
   opts_.admission.validate();
   DAGSFC_CHECK(opts_.workers >= 1);
+  DAGSFC_CHECK(opts_.slow_solve_threshold.count() >= 0);
+  DAGSFC_CHECK(opts_.watchdog_period.count() >= 0);
+  watch_slots_.resize(opts_.workers);
+  if (opts_.slow_solve_threshold.count() > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
   workers_.reserve(opts_.workers);
   for (std::size_t w = 0; w < opts_.workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, w] { worker_loop(w); });
   }
 }
 
@@ -51,7 +60,9 @@ std::future<Response> EmbeddingService::submit(Request req) {
   job.req = std::move(req);
   job.submitted = Clock::now();
   std::future<Response> fut = job.promise.get_future();
-  if (!queue_.try_push(std::move(job))) {
+  if (queue_.try_push(std::move(job))) {
+    metrics_.set_queue_depth(queue_.size());
+  } else {
     // try_push moves from its argument only on success, so the job — and
     // the promise backing `fut` — is intact on the reject path.
     Response resp;
@@ -73,13 +84,62 @@ void EmbeddingService::finish(Job&& job, Response&& resp) {
   drain_cv_.notify_all();
 }
 
-void EmbeddingService::worker_loop() {
+void EmbeddingService::worker_loop(std::size_t slot) {
   // Per-worker search workspace: solves run outside the commit lock, so
   // each worker warms its own buffers for the life of the thread.
   graph::SearchWorkspace ws;
+  const bool watched = opts_.slow_solve_threshold.count() > 0;
   while (auto job = queue_.pop()) {
+    metrics_.set_queue_depth(queue_.size());
+    metrics_.add_workers_busy(1.0);
+    if (watched) begin_watch(slot, job->req.id);
     Response resp = process(*job, ws);
+    if (watched) end_watch(slot);
+    metrics_.add_workers_busy(-1.0);
     finish(std::move(*job), std::move(resp));
+  }
+}
+
+void EmbeddingService::begin_watch(std::size_t slot, RequestId id) {
+  std::lock_guard lock(watch_mu_);
+  watch_slots_[slot] =
+      WatchSlot{id, Clock::now(), /*active=*/true, /*warned=*/false};
+}
+
+void EmbeddingService::end_watch(std::size_t slot) {
+  std::lock_guard lock(watch_mu_);
+  watch_slots_[slot].active = false;
+}
+
+std::chrono::nanoseconds EmbeddingService::watchdog_period() const {
+  if (opts_.watchdog_period.count() > 0) return opts_.watchdog_period;
+  using std::chrono::nanoseconds;
+  return std::clamp(opts_.slow_solve_threshold / 4,
+                    nanoseconds(std::chrono::milliseconds(1)),
+                    nanoseconds(std::chrono::milliseconds(250)));
+}
+
+void EmbeddingService::watchdog_loop() {
+  const std::chrono::nanoseconds period = watchdog_period();
+  std::unique_lock lock(watch_mu_);
+  while (!watch_stop_) {
+    watch_cv_.wait_for(lock, period, [&] { return watch_stop_; });
+    if (watch_stop_) return;
+    const Clock::time_point now = Clock::now();
+    for (WatchSlot& slot : watch_slots_) {
+      if (!slot.active || slot.warned) continue;
+      const auto elapsed = now - slot.started;
+      if (elapsed < opts_.slow_solve_threshold) continue;
+      slot.warned = true;  // one warning per slow request, however long
+      metrics_.on_slow_solve();
+      using MsDouble = std::chrono::duration<double, std::milli>;
+      const double elapsed_ms = MsDouble(elapsed).count();
+      const double threshold_ms = MsDouble(opts_.slow_solve_threshold).count();
+      DAGSFC_WARN("slow solve: request=" << slot.id << " solver="
+                                         << embedder_->name() << " elapsed_ms="
+                                         << elapsed_ms << " threshold_ms="
+                                         << threshold_ms);
+    }
   }
 }
 
@@ -195,6 +255,12 @@ void EmbeddingService::shutdown() {
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
+  {
+    std::lock_guard lock(watch_mu_);
+    watch_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 net::CapacityLedger EmbeddingService::ledger_snapshot() const {

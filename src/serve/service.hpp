@@ -30,6 +30,8 @@
 /// optimistic by construction; epoch validation is what keeps the ledger's
 /// no-oversubscription invariant exact under concurrency.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <future>
 #include <memory>
@@ -56,6 +58,14 @@ class EmbeddingService {
     /// retry number are mixed in, so results depend on (seed, id, retry)
     /// and never on which worker picked the job up.
     std::uint64_t seed = 0x5eedbeefULL;
+    /// Slow-solve watchdog: when nonzero, a monitor thread samples the ages
+    /// of in-flight requests and logs a one-time structured warning (and
+    /// bumps dagsfc_serve_slow_solves_total) for each request whose
+    /// processing exceeds the threshold. Zero disables the watchdog.
+    std::chrono::nanoseconds slow_solve_threshold{0};
+    /// Sampling period of the watchdog thread. Zero means threshold/4,
+    /// clamped to [1ms, 250ms].
+    std::chrono::nanoseconds watchdog_period{0};
   };
 
   /// The network and embedder must outlive the service. The embedder must
@@ -91,6 +101,12 @@ class EmbeddingService {
 
   [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
 
+  /// The service's metric registry — the source of the /metrics endpoint.
+  /// Per-service, so two services in one process expose disjoint planes.
+  [[nodiscard]] const util::MetricRegistry& metrics_registry() const noexcept {
+    return metrics_.registry();
+  }
+
   /// Consistent copy of the shared ledger (taken under the commit mutex).
   [[nodiscard]] net::CapacityLedger ledger_snapshot() const;
   [[nodiscard]] std::uint64_t epoch() const;
@@ -110,9 +126,22 @@ class EmbeddingService {
     double rate = 0.0;
   };
 
-  void worker_loop();
+  /// One in-flight request per worker, watched by the monitor thread.
+  struct WatchSlot {
+    RequestId id = 0;
+    Clock::time_point started{};
+    bool active = false;
+    bool warned = false;  ///< one-time: a slow request warns exactly once
+  };
+
+  void worker_loop(std::size_t slot);
   [[nodiscard]] Response process(Job& job, graph::SearchWorkspace& ws);
   void finish(Job&& job, Response&& resp);
+
+  void begin_watch(std::size_t slot, RequestId id);
+  void end_watch(std::size_t slot);
+  void watchdog_loop();
+  [[nodiscard]] std::chrono::nanoseconds watchdog_period() const;
 
   const net::Network* net_;
   const core::Embedder* embedder_;
@@ -130,6 +159,14 @@ class EmbeddingService {
   mutable std::mutex drain_mu_;
   std::condition_variable drain_cv_;
   std::size_t outstanding_ = 0;
+
+  /// Watchdog state: one slot per worker plus the monitor thread. Guarded
+  /// by watch_mu_; the monitor wakes every watchdog_period() or on stop.
+  mutable std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  std::vector<WatchSlot> watch_slots_;
+  bool watch_stop_ = false;
+  std::thread watchdog_;
 
   std::vector<std::thread> workers_;
   bool shut_down_ = false;

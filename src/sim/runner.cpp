@@ -99,4 +99,73 @@ std::vector<AlgorithmStats> run_comparison(
   return totals;
 }
 
+void fill_registry(const std::vector<AlgorithmStats>& stats,
+                   util::MetricRegistry& registry,
+                   const std::string& point_label) {
+  for (const AlgorithmStats& s : stats) {
+    util::MetricLabels labels{{"algo", s.name}};
+    if (!point_label.empty()) labels.emplace_back("point", point_label);
+
+    registry.counter("dagsfc_solver_successes_total", labels)
+        .inc(s.successes);
+    registry.counter("dagsfc_solver_failures_total", labels).inc(s.failures);
+
+    const graph::PathQueryCounters& q = s.path_queries;
+    registry.counter("dagsfc_path_dijkstra_calls_total", labels)
+        .inc(q.dijkstra_calls);
+    registry.counter("dagsfc_path_yen_calls_total", labels).inc(q.yen_calls);
+    registry.counter("dagsfc_path_bfs_calls_total", labels).inc(q.bfs_calls);
+    registry.counter("dagsfc_path_steiner_calls_total", labels)
+        .inc(q.steiner_calls);
+    registry.counter("dagsfc_path_cache_hits_total", labels)
+        .inc(q.cache_hits);
+    registry.counter("dagsfc_path_cache_misses_total", labels)
+        .inc(q.cache_misses);
+    registry.counter("dagsfc_path_cache_evictions_total", labels)
+        .inc(q.evictions);
+
+    registry.gauge("dagsfc_solver_success_ratio", labels)
+        .set(s.success_rate());
+    registry.gauge("dagsfc_path_cache_hit_ratio", labels)
+        .set(s.cache_hit_rate());
+    registry.gauge("dagsfc_solver_cost_mean", labels).set(s.cost.mean());
+    registry.gauge("dagsfc_solver_vnf_cost_mean", labels)
+        .set(s.vnf_cost.mean());
+    registry.gauge("dagsfc_solver_link_cost_mean", labels)
+        .set(s.link_cost.mean());
+    registry.gauge("dagsfc_solver_wall_ms_mean", labels)
+        .set(s.wall_ms.mean());
+    registry.gauge("dagsfc_solver_expanded_mean", labels)
+        .set(s.expanded.mean());
+
+    // Trace counters only when tracing actually ran — all-zero trace
+    // families would just be noise in the exposition.
+    const core::TraceCounts& t = s.trace;
+    if (t.decision_events || t.vnf_terms) {
+      registry.counter("dagsfc_trace_decision_events_total", labels)
+          .inc(t.decision_events);
+      registry.counter("dagsfc_trace_forward_searches_total", labels)
+          .inc(t.forward_searches);
+      registry.counter("dagsfc_trace_backward_searches_total", labels)
+          .inc(t.backward_searches);
+      registry.counter("dagsfc_trace_uncapped_retries_total", labels)
+          .inc(t.uncapped_retries);
+      registry.counter("dagsfc_trace_candidate_children_total", labels)
+          .inc(t.candidate_children);
+      registry.counter("dagsfc_trace_children_dropped_total", labels)
+          .inc(t.children_dropped);
+      registry.counter("dagsfc_trace_pool_dropped_total", labels)
+          .inc(t.pool_dropped);
+      registry.counter("dagsfc_trace_final_candidates_total", labels)
+          .inc(t.final_candidates);
+      registry.counter("dagsfc_trace_vnf_terms_total", labels)
+          .inc(t.vnf_terms);
+      registry.counter("dagsfc_trace_link_terms_total", labels)
+          .inc(t.link_terms);
+      registry.counter("dagsfc_trace_multicast_shared_uses_total", labels)
+          .inc(t.multicast_shared_uses);
+    }
+  }
+}
+
 }  // namespace dagsfc::sim

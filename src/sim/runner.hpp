@@ -10,10 +10,12 @@
 /// thread pool; each derives its own RNG stream from the base seed, so
 /// results are bit-identical regardless of thread count.
 
+#include <string>
 #include <vector>
 
 #include "core/embedder.hpp"
 #include "sim/scenario.hpp"
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -59,5 +61,16 @@ struct RunOptions {
     const ExperimentConfig& cfg,
     const std::vector<const core::Embedder*>& algorithms,
     const RunOptions& opts = {});
+
+/// Loads one comparison's statistics into a MetricRegistry, one label set
+/// per algorithm (`algo="<name>"`, plus `point="<point_label>"` when the
+/// label is non-empty). Counters carry run totals (solve outcomes,
+/// shortest-path work), gauges carry the derived rates and per-trial means;
+/// trace counters appear only when traces were collected. Intended for a
+/// *fresh* registry per comparison — counters are monotonic, so re-filling
+/// one registry with overlapping label sets double-counts.
+void fill_registry(const std::vector<AlgorithmStats>& stats,
+                   util::MetricRegistry& registry,
+                   const std::string& point_label = "");
 
 }  // namespace dagsfc::sim

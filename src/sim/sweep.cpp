@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "util/metrics.hpp"
+
 namespace dagsfc::sim {
 
 SweepResult run_sweep(const std::string& x_name,
@@ -26,18 +28,28 @@ SweepResult run_sweep(const std::string& x_name,
   out.labels.reserve(points.size());
   for (const SweepPoint& point : points) {
     auto stats = run_comparison(point.config, algorithms, opts);
+    // One registry snapshot per point: the detail table's derived-rate
+    // cells render from the same telemetry plane the bench JSON exposes.
+    util::MetricRegistry point_registry;
+    fill_registry(stats, point_registry);
+    const util::RegistrySnapshot snap = point_registry.snapshot();
     out.cost_table.row().cell(point.label);
     out.detail_table.row().cell(point.label);
     for (const AlgorithmStats& s : stats) {
+      const util::MetricLabels algo{{"algo", s.name}};
       if (s.successes > 0) {
         out.cost_table.cell(s.cost.mean());
       } else {
         out.cost_table.cell("-");
       }
-      out.detail_table.cell(s.success_rate() * 100.0, 1);
-      out.detail_table.cell(s.wall_ms.mean(), 3);
-      out.detail_table.cell(s.expanded.mean(), 1);
-      out.detail_table.cell(s.cache_hit_rate() * 100.0, 1);
+      out.detail_table.cell(util::format_percent(
+          snap.gauge_value("dagsfc_solver_success_ratio", algo)));
+      out.detail_table.cell(
+          snap.gauge_value("dagsfc_solver_wall_ms_mean", algo), 3);
+      out.detail_table.cell(
+          snap.gauge_value("dagsfc_solver_expanded_mean", algo), 1);
+      out.detail_table.cell(util::format_percent(
+          snap.gauge_value("dagsfc_path_cache_hit_ratio", algo)));
     }
     out.point_stats.push_back(std::move(stats));
     out.labels.push_back(point.label);

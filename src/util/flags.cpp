@@ -1,9 +1,12 @@
 #include "util/flags.hpp"
 
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+
+#include "util/log.hpp"
 
 namespace dagsfc {
 
@@ -84,6 +87,23 @@ Flags& Flags::define_duration(const std::string& name,
 Flags& Flags::define_workers(std::int64_t default_value) {
   return define_int("workers", default_value,
                     "solver worker threads (0 = hardware concurrency)");
+}
+
+Flags& Flags::define_log_level() {
+  return define("log-level", "",
+                "stderr log level: debug|info|warn|error|off (empty = keep "
+                "the DAGSFC_LOG_LEVEL / built-in default)");
+}
+
+void Flags::apply_log_level() const {
+  const std::string& v = entry("log-level").value;
+  if (v.empty()) return;
+  const std::optional<LogLevel> level = parse_log_level(v);
+  if (!level) {
+    throw std::invalid_argument(
+        "flag --log-level must be debug|info|warn|error|off, got: " + v);
+  }
+  set_log_level(*level);
 }
 
 void Flags::parse(int argc, const char* const* argv) {

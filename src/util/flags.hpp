@@ -38,6 +38,9 @@ class Flags {
   /// Registers the standard `--workers` flag (0 = hardware concurrency),
   /// shared by dagsfc_serve and bench_serve_throughput.
   Flags& define_workers(std::int64_t default_value = 0);
+  /// Registers the standard `--log-level` flag (debug|info|warn|error|off;
+  /// empty = keep the DAGSFC_LOG_LEVEL / built-in default).
+  Flags& define_log_level();
 
   /// Parses argv. Throws std::invalid_argument on unknown flags or malformed
   /// values. Recognizes --help by setting help_requested().
@@ -55,6 +58,9 @@ class Flags {
   /// Resolved worker count: the --workers value, with 0 mapped to
   /// std::thread::hardware_concurrency() (at least 1). Negative throws.
   [[nodiscard]] std::size_t get_workers() const;
+  /// Applies --log-level via set_log_level() when non-empty; a value
+  /// outside the vocabulary throws std::invalid_argument.
+  void apply_log_level() const;
 
  private:
   struct Entry {

@@ -1,6 +1,7 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
@@ -9,6 +10,17 @@ namespace dagsfc {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 std::mutex g_mu;
+
+/// Applies DAGSFC_LOG_LEVEL before main() via a namespace-scope
+/// initializer, so library users can turn Info logs on without recompiling
+/// callers. Unset or invalid values leave the Warn default alone.
+bool apply_env_level() {
+  if (const std::optional<LogLevel> level = env_log_level()) {
+    g_level.store(static_cast<int>(*level), std::memory_order_relaxed);
+  }
+  return true;
+}
+[[maybe_unused]] const bool g_env_applied = apply_env_level();
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,6 +45,21 @@ void set_log_level(LogLevel level) noexcept {
 
 LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+std::optional<LogLevel> parse_log_level(const std::string& text) {
+  if (text == "debug") return LogLevel::Debug;
+  if (text == "info") return LogLevel::Info;
+  if (text == "warn") return LogLevel::Warn;
+  if (text == "error") return LogLevel::Error;
+  if (text == "off") return LogLevel::Off;
+  return std::nullopt;
+}
+
+std::optional<LogLevel> env_log_level() {
+  const char* raw = std::getenv("DAGSFC_LOG_LEVEL");
+  if (raw == nullptr) return std::nullopt;
+  return parse_log_level(raw);
 }
 
 namespace detail {

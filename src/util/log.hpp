@@ -3,6 +3,7 @@
 /// Minimal leveled logging to stderr. Thread-safe (one lock per line).
 /// Default level is Warn so library users see nothing unless they opt in.
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +13,16 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-sensitive);
+/// nullopt for anything else. The shared vocabulary of the DAGSFC_LOG_LEVEL
+/// environment variable and the CLIs' --log-level flag.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(const std::string& text);
+
+/// The level requested by the DAGSFC_LOG_LEVEL environment variable, if set
+/// and valid. It is applied once at startup (before main); this accessor
+/// lets CLIs report it.
+[[nodiscard]] std::optional<LogLevel> env_log_level();
 
 namespace detail {
 void log_line(LogLevel level, const std::string& message);

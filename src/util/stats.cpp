@@ -153,6 +153,21 @@ std::pair<double, double> Histogram::bucket_bounds(std::size_t b) const {
   return {lo, std::min(hi, max_bound_)};
 }
 
+Histogram Histogram::from_parts(const Histogram& layout,
+                                std::vector<std::uint64_t> counts,
+                                std::uint64_t n, double sum, double min,
+                                double max) {
+  Histogram h = layout;
+  DAGSFC_CHECK_MSG(counts.size() == h.counts_.size(),
+                   "from_parts bucket count mismatch");
+  h.counts_ = std::move(counts);
+  h.n_ = n;
+  h.sum_ = n ? sum : 0.0;
+  h.min_ = n ? min : 0.0;
+  h.max_ = n ? max : 0.0;
+  return h;
+}
+
 double Histogram::quantile(double q) const {
   DAGSFC_CHECK(q >= 0.0 && q <= 1.0);
   if (n_ == 0) return 0.0;

@@ -101,10 +101,22 @@ class Histogram {
   /// [lower, upper) value range of bucket \p b. The underflow bucket spans
   /// (-inf, min_bound), the overflow bucket [max_bound, +inf).
   [[nodiscard]] std::pair<double, double> bucket_bounds(std::size_t b) const;
-
- private:
+  /// Index of the bucket \p x falls into (public so external accumulators —
+  /// the metric registry's atomic histogram cells — can share the layout).
   [[nodiscard]] std::size_t bucket_of(double x) const noexcept;
 
+  /// Materializes a Histogram from externally-held parts: \p layout
+  /// supplies the bucket layout, the remaining arguments the counts and
+  /// moments. \p counts must match the layout's bucket count. When \p n is
+  /// zero the moments are normalized to the empty representation
+  /// (min = max = sum = 0), so a snapshot of an untouched accumulator
+  /// compares bitwise-equal to a freshly constructed Histogram.
+  [[nodiscard]] static Histogram from_parts(const Histogram& layout,
+                                            std::vector<std::uint64_t> counts,
+                                            std::uint64_t n, double sum,
+                                            double min, double max);
+
+ private:
   double min_bound_ = 0.0;
   double max_bound_ = 0.0;
   double log_min_ = 0.0;

@@ -28,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/metrics.hpp"
+
 namespace dagsfc::util {
 
 /// One Chrome-trace-compatible event. `phase` follows the trace_event
@@ -130,12 +132,24 @@ void uninstall_global_trace() noexcept;
 
 }  // namespace dagsfc::util
 
-// Ambient instrumentation macros — compiled out unless the build enables
-// them, so instrumented hot paths cost nothing by default.
-#if defined(DAGSFC_TRACE)
+// Ambient instrumentation macros. The phase-meter half is ALWAYS compiled:
+// every DAGSFC_TRACE_SCOPE site feeds the global metric registry's
+// dagsfc_phase_seconds{phase=...} gauge and dagsfc_phase_calls_total
+// counter through a function-local static PhaseMeter (one registry lookup
+// per site, two relaxed atomics per entry), so per-phase solve timings
+// exist without -DDAGSFC_TRACE=ON. The TraceSpan half — and the instant
+// events — still compile out unless the build defines DAGSFC_TRACE.
 #define DAGSFC_TRACE_CONCAT_IMPL(a, b) a##b
 #define DAGSFC_TRACE_CONCAT(a, b) DAGSFC_TRACE_CONCAT_IMPL(a, b)
+#define DAGSFC_PHASE_SCOPE(name)                                        \
+  static const ::dagsfc::util::PhaseMeter DAGSFC_TRACE_CONCAT(          \
+      dagsfc_phase_meter_, __LINE__){(name)};                           \
+  const ::dagsfc::util::PhaseTimer DAGSFC_TRACE_CONCAT(                 \
+      dagsfc_phase_timer_,                                              \
+      __LINE__)(DAGSFC_TRACE_CONCAT(dagsfc_phase_meter_, __LINE__))
+#if defined(DAGSFC_TRACE)
 #define DAGSFC_TRACE_SCOPE(name)                          \
+  DAGSFC_PHASE_SCOPE(name);                               \
   ::dagsfc::util::TraceSpan DAGSFC_TRACE_CONCAT(          \
       dagsfc_trace_span_, __LINE__)(::dagsfc::util::global_trace(), (name))
 #define DAGSFC_TRACE_INSTANT(name)                                     \
@@ -144,9 +158,7 @@ void uninstall_global_trace() noexcept;
       dagsfc_trace_rec->instant((name));                               \
   } while (false)
 #else
-#define DAGSFC_TRACE_SCOPE(name) \
-  do {                           \
-  } while (false)
+#define DAGSFC_TRACE_SCOPE(name) DAGSFC_PHASE_SCOPE(name)
 #define DAGSFC_TRACE_INSTANT(name) \
   do {                             \
   } while (false)

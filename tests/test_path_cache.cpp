@@ -104,11 +104,13 @@ TEST(PathCache, EvictsStaleVersionsFirstThenEverything) {
 }
 
 TEST(PathCache, CountersAggregateAndReportHitRate) {
-  graph::PathQueryCounters a{10, 2, 6, 4, 1};
-  graph::PathQueryCounters b{1, 1, 2, 0, 0};
+  graph::PathQueryCounters a{10, 2, 5, 3, 6, 4, 1};
+  graph::PathQueryCounters b{1, 1, 2, 1, 2, 0, 0};
   a += b;
   EXPECT_EQ(a.dijkstra_calls, 11u);
   EXPECT_EQ(a.yen_calls, 3u);
+  EXPECT_EQ(a.bfs_calls, 7u);
+  EXPECT_EQ(a.steiner_calls, 4u);
   EXPECT_EQ(a.cache_hits, 8u);
   EXPECT_EQ(a.cache_misses, 4u);
   EXPECT_EQ(a.evictions, 1u);

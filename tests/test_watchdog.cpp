@@ -1,0 +1,161 @@
+/// Slow-solve watchdog tests: a gate-held solve crosses the threshold, the
+/// monitor fires exactly once for it (however many sampling periods it
+/// stays in flight), the structured warning carries the request identity,
+/// and the default configuration has no watchdog at all.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <semaphore>
+#include <string>
+
+#include "core/backtracking.hpp"
+#include "serve/service.hpp"
+#include "test_helpers.hpp"
+#include "util/log.hpp"
+
+namespace dagsfc::serve {
+namespace {
+
+using test::NetBuilder;
+
+net::Network line_network() {
+  NetBuilder b(3, 1);
+  b.link(0, 1, 1.0, 10.0).link(1, 2, 1.0, 10.0);
+  b.put(1, 1, 5.0, 4.0);
+  return b.build();
+}
+
+Request line_request(RequestId id) {
+  Request req;
+  req.id = id;
+  req.sfc = sfc::DagSfc({sfc::Layer{{1}}});
+  req.flow = core::Flow{0, 2, 1.0, 1.0};
+  return req;
+}
+
+/// Every solve signals entry, then blocks until released — holding the
+/// request in flight for as long as the test wants.
+class HoldEmbedder : public core::Embedder {
+ public:
+  explicit HoldEmbedder(const core::Embedder& inner) : inner_(&inner) {}
+
+  [[nodiscard]] std::string name() const override { return "hold"; }
+
+  void wait_entered() const { entered_.acquire(); }
+  void release(std::ptrdiff_t permits = 1) const { gate_.release(permits); }
+
+ protected:
+  [[nodiscard]] core::SolveResult do_solve(
+      const core::ModelIndex& index, const net::CapacityLedger& ledger,
+      Rng& rng, core::TraceSink*,
+      graph::SearchWorkspace* workspace) const override {
+    entered_.release();
+    gate_.acquire();
+    return inner_->solve(index, ledger, rng, nullptr, workspace);
+  }
+
+ private:
+  const core::Embedder* inner_;
+  mutable std::counting_semaphore<64> entered_{0};
+  mutable std::counting_semaphore<64> gate_{0};
+};
+
+TEST(Watchdog, FiresExactlyOncePerSlowRequest) {
+  const net::Network network = line_network();
+  const core::MbbeEmbedder mbbe;
+  const HoldEmbedder hold(mbbe);
+
+  EmbeddingService::Options opts;
+  opts.workers = 1;
+  opts.slow_solve_threshold = std::chrono::milliseconds(20);
+  opts.watchdog_period = std::chrono::milliseconds(2);
+  EmbeddingService service(network, hold, opts);
+
+  std::future<Response> fut = service.submit(line_request(1));
+  hold.wait_entered();  // the worker is now inside the gated solve
+
+  // The request is held well past the threshold; the watchdog samples it
+  // every 2ms. Wait until it fires...
+  const auto deadline =
+      Clock::now() + std::chrono::seconds(10);
+  while (service.metrics().slow_solves == 0 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(service.metrics().slow_solves, 1u);
+
+  // ...then hold for many more sampling periods: still exactly one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(service.metrics().slow_solves, 1u);
+
+  hold.release();
+  const Response r = fut.get();
+  EXPECT_EQ(r.outcome, Outcome::Accepted);
+  EXPECT_EQ(service.metrics().slow_solves, 1u);
+
+  // A second slow request is a fresh incident: the counter moves again.
+  std::future<Response> fut2 = service.submit(line_request(2));
+  hold.wait_entered();
+  const auto deadline2 = Clock::now() + std::chrono::seconds(10);
+  while (service.metrics().slow_solves < 2 && Clock::now() < deadline2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(service.metrics().slow_solves, 2u);
+  hold.release();
+  (void)fut2.get();
+  service.shutdown();
+  EXPECT_EQ(service.metrics().slow_solves, 2u);
+}
+
+TEST(Watchdog, FastSolvesNeverTripIt) {
+  const net::Network network = line_network();
+  const core::MbbeEmbedder mbbe;
+  EmbeddingService::Options opts;
+  opts.workers = 2;
+  opts.slow_solve_threshold = std::chrono::seconds(30);
+  opts.watchdog_period = std::chrono::milliseconds(1);
+  EmbeddingService service(network, mbbe, opts);
+  for (RequestId id = 1; id <= 4; ++id) {
+    (void)service.submit(line_request(id)).get();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(service.metrics().slow_solves, 0u);
+}
+
+TEST(Watchdog, DisabledByDefault) {
+  const net::Network network = line_network();
+  const core::MbbeEmbedder mbbe;
+  EmbeddingService service(network, mbbe, {});
+  EXPECT_EQ(service.options().slow_solve_threshold.count(), 0);
+  (void)service.submit(line_request(1)).get();
+  EXPECT_EQ(service.metrics().slow_solves, 0u);
+}
+
+TEST(Watchdog, BusyAndQueueGaugesSettleAfterDrain) {
+  const net::Network network = line_network();
+  const core::MbbeEmbedder mbbe;
+  const HoldEmbedder hold(mbbe);
+  EmbeddingService::Options opts;
+  opts.workers = 1;
+  opts.slow_solve_threshold = std::chrono::seconds(30);  // watch, never warn
+  EmbeddingService service(network, hold, opts);
+
+  std::future<Response> a = service.submit(line_request(1));
+  std::future<Response> b = service.submit(line_request(2));
+  hold.wait_entered();
+  MetricsSnapshot busy = service.metrics();
+  EXPECT_DOUBLE_EQ(busy.workers_busy, 1.0);
+  EXPECT_DOUBLE_EQ(busy.queue_depth, 1.0);  // request 2 still queued
+
+  hold.release(2);
+  (void)a.get();
+  (void)b.get();
+  service.drain();
+  MetricsSnapshot idle = service.metrics();
+  EXPECT_DOUBLE_EQ(idle.workers_busy, 0.0);
+  EXPECT_DOUBLE_EQ(idle.queue_depth, 0.0);
+}
+
+}  // namespace
+}  // namespace dagsfc::serve
