@@ -10,7 +10,11 @@
 ///     validated-commit / conflict / retry counters come alive;
 ///   * --closed-loop: the deterministic driver (one request in flight,
 ///     virtual departures) whose metrics are bit-identical for any
-///     --workers value.
+///     --workers value and either --pipeline.
+///
+/// --pipeline selects the commit protocol: mvcc (default; per-worker
+/// replica sync, footprint-stamp validation, group commit) or mutex
+/// (the legacy full-copy baseline) — see DESIGN.md §10.
 ///
 /// Prints a human-readable summary plus a machine-readable `JSON:` line
 /// like the bench binaries.
@@ -18,6 +22,7 @@
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "core/backtracking.hpp"
 #include "serve/driver.hpp"
@@ -46,6 +51,9 @@ int main(int argc, char** argv) {
                        "per-request deadline after submit; 0s disables")
       .define_bool("closed-loop", false,
                    "run the deterministic closed-loop driver instead")
+      .define("pipeline", "mvcc",
+              "commit pipeline: mvcc (replica sync + stamp validation + "
+              "group commit) or mutex (legacy full-copy baseline)")
       .define_int("metrics-port", 0,
                   "serve GET /metrics (Prometheus) and /metrics.json on "
                   "127.0.0.1:<port> for the duration of the run; 0 disables")
@@ -99,6 +107,15 @@ int main(int argc, char** argv) {
   // lives in `endpoint` out here so it serves for the whole run).
   serve::ServiceTuning tuning;
   tuning.slow_solve_threshold = flags.get_duration("slow-solve-threshold");
+  const std::string pipeline_name = flags.get("pipeline");
+  if (pipeline_name == "mutex") {
+    tuning.pipeline = serve::CommitPipeline::kMutex;
+  } else if (pipeline_name == "mvcc") {
+    tuning.pipeline = serve::CommitPipeline::kMvcc;
+  } else {
+    std::cerr << "unknown pipeline '" << pipeline_name << "' (mvcc|mutex)\n";
+    return 1;
+  }
   std::unique_ptr<serve::MetricsHttpServer> endpoint;
   const int metrics_port = flags.get_int("metrics-port");
   if (metrics_port > 0) {
@@ -119,12 +136,13 @@ int main(int argc, char** argv) {
         workload, embedder, workers, admission, seed, tuning);
     const auto& m = r.metrics;
     std::cout << "== dagsfc_serve (closed loop, " << workers
-              << " workers) ==\n"
+              << " workers, " << pipeline_name << " pipeline) ==\n"
               << "accepted " << m.accepted << " / " << m.submitted
               << " (ratio " << m.acceptance_ratio() << "), conserved="
               << (r.conserved ? "yes" : "no") << ", final epoch "
               << r.final_epoch << "\n";
-    std::cout << "JSON: {\"mode\":\"closed-loop\",\"workers\":" << workers
+    std::cout << "JSON: {\"mode\":\"closed-loop\",\"pipeline\":\""
+              << pipeline_name << "\",\"workers\":" << workers
               << ",\"conserved\":" << (r.conserved ? "true" : "false")
               << ",\"metrics\":" << m.to_json() << "}\n";
     return 0;
@@ -146,21 +164,24 @@ int main(int argc, char** argv) {
       serve::run_open_loop(workload, embedder, open);
   const auto& m = r.metrics;
   std::cout << "== dagsfc_serve (open loop, " << workers << " workers, "
-            << open.producers << " producers) ==\n"
+            << open.producers << " producers, " << pipeline_name
+            << " pipeline) ==\n"
             << "served " << m.completed() << " requests in " << r.wall_seconds
             << "s (" << r.throughput_rps() << " req/s)\n"
             << "accepted " << m.accepted << ", rejected "
             << m.rejected_infeasible << ", queue-full "
             << m.rejected_queue_full << ", shed " << m.shed_deadline
             << ", lost " << m.lost_conflict << "\n"
-            << "commits: fast " << m.fast_commits << ", validated "
-            << m.validated_commits << ", conflicts " << m.commit_conflicts
-            << ", retries " << m.retries << "\n"
+            << "commits: fast " << m.fast_commits << ", stamp "
+            << m.stamp_commits << ", validated " << m.validated_commits
+            << ", conflicts " << m.commit_conflicts << ", retries "
+            << m.retries << "\n"
             << "latency ms p50/p95/p99: " << m.latency_ms.p50() << " / "
             << m.latency_ms.p95() << " / " << m.latency_ms.p99() << "\n"
             << "conserved after drain: " << (r.conserved ? "yes" : "no")
             << "\n";
-  std::cout << "JSON: {\"mode\":\"open-loop\",\"workers\":" << workers
+  std::cout << "JSON: {\"mode\":\"open-loop\",\"pipeline\":\""
+            << pipeline_name << "\",\"workers\":" << workers
             << ",\"wall_s\":" << util::json_number(r.wall_seconds)
             << ",\"throughput_rps\":" << util::json_number(r.throughput_rps())
             << ",\"conserved\":" << (r.conserved ? "true" : "false")

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_serve_throughput.json: builds the bench tree in Release
+# and runs the serving-layer worker sweep across both commit pipelines —
+# `mutex` (legacy copy-the-ledger, full residual re-check) as the baseline
+# arm and `mvcc` (replica sync + stamp validation + group commit) as the
+# candidate arm — over the same seeded workload, so every JSON point is a
+# directly comparable cell of the pipeline × load × workers grid. The
+# acceptance bar for the MVCC work lives in this file's output: at the
+# highest worker count, the mvcc arm's committed-requests/sec must beat the
+# mutex arm's.
+#
+# Usage: scripts/bench_serve.sh [extra bench_serve_throughput flags...]
+# The build directory defaults to build-bench/ (override with BUILD_DIR).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+
+cmake -B "$BUILD_DIR" -G Ninja -DCMAKE_BUILD_TYPE=Release \
+  -DDAGSFC_BUILD_TESTS=OFF -DDAGSFC_BUILD_EXAMPLES=OFF \
+  ${CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR" -j --target serve_throughput
+
+out="$("$BUILD_DIR/bench/bench_serve_throughput" "$@")"
+echo "$out"
+echo "$out" | grep '^JSON: ' | sed 's/^JSON: //' > BENCH_serve_throughput.json
+echo
+echo "wrote BENCH_serve_throughput.json"

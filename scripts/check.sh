@@ -12,6 +12,10 @@
 # the TSan tree for the telemetry plane (ctest -R 'metrics|watchdog'): the
 # striped counters, shared histogram cells, the /metrics HTTP scrape, and
 # the slow-solve watchdog are exactly the lock-free machinery TSan is for.
+# A fifth pass (same tree) runs the MVCC commit battery and the path-cache
+# suites (ctest -R 'mvcc|serve|path_cache'): the 8-worker overlapping-
+# footprint conflict battery, the group-commit leader/follower handoff, and
+# the replica-sync invalidation path all execute under TSan.
 # Every full pass also runs the flat-vs-reference search differential suite
 # (test_search_flat), so the bit-identity contract of the CSR/workspace
 # tier is checked under ASan/UBSan as well as in the plain build.
@@ -58,3 +62,10 @@ run_pass "${TSAN_BUILD_DIR:-build-tsan}" \
 # Telemetry-plane pass: same TSan tree, metrics + watchdog suites.
 ctest --test-dir "${TSAN_BUILD_DIR:-build-tsan}" --output-on-failure \
   -j "$(nproc)" -R 'metrics|watchdog'
+# MVCC pass: same TSan tree; the commit-pipeline battery (shadow-ledger
+# fuzz, journal sync, 8-worker conflict hammer) plus the serve and
+# path-cache suites that pin its determinism and invalidation contracts.
+require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_mvcc'
+require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_path_cache'
+ctest --test-dir "${TSAN_BUILD_DIR:-build-tsan}" --output-on-failure \
+  -j "$(nproc)" -R 'mvcc|serve|path_cache'

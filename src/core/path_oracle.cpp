@@ -6,9 +6,10 @@ const graph::EdgeMask* PathOracle::usable_mask() {
   const std::uint64_t epoch = ledger_->epoch();
   if (!mask_ready_ || mask_epoch_ != epoch) {
     // One link_can_carry sweep per epoch; every probe afterwards is a bit
-    // test. The epoch keys the mask exactly as it keys PathCache entries:
-    // the ledger bumps it on any admission/release that can change a
-    // residual capacity.
+    // test. The ledger bumps the epoch on any admission/release that can
+    // change a residual capacity, so a stale mask is impossible; PathCache
+    // entries themselves stay valid across epochs via the ledger's
+    // footprint-scoped invalidation hooks.
     usable_mask_.assign(g_->num_edges(), true);
     for (graph::EdgeId e = 0; e < g_->num_edges(); ++e) {
       if (!ledger_->link_can_carry(e, rate_)) usable_mask_.clear(e);
@@ -24,8 +25,7 @@ std::shared_ptr<const graph::ShortestPathTree> PathOracle::tree(
     NodeId source) {
   if (!flat_) {
     if (auto* cache = ledger_->path_cache()) {
-      return cache->tree(*g_, source, ledger_->epoch(), context(), usable_,
-                         counters_);
+      return cache->tree(*g_, source, context(), usable_, counters_);
     }
     ++counters_.dijkstra_calls;
     return std::make_shared<const graph::ShortestPathTree>(
@@ -33,8 +33,7 @@ std::shared_ptr<const graph::ShortestPathTree> PathOracle::tree(
   }
   const graph::EdgeMask* mask = usable_mask();
   if (auto* cache = ledger_->path_cache()) {
-    return cache->tree(*g_, source, ledger_->epoch(), context(), mask, *ws_,
-                       counters_);
+    return cache->tree(*g_, source, context(), mask, *ws_, counters_);
   }
   ++counters_.dijkstra_calls;
   return std::make_shared<const graph::ShortestPathTree>(
@@ -52,16 +51,14 @@ std::vector<graph::Path> PathOracle::k_shortest(NodeId a, NodeId b,
                                                 std::size_t k) {
   if (!flat_) {
     if (auto* cache = ledger_->path_cache()) {
-      return *cache->k_paths(*g_, a, b, k, ledger_->epoch(), context(),
-                             usable_, counters_);
+      return *cache->k_paths(*g_, a, b, k, context(), usable_, counters_);
     }
     ++counters_.yen_calls;
     return graph::k_shortest_paths(*g_, a, b, k, usable_);
   }
   const graph::EdgeMask* mask = usable_mask();
   if (auto* cache = ledger_->path_cache()) {
-    return *cache->k_paths(*g_, a, b, k, ledger_->epoch(), context(), mask,
-                           *ws_, counters_);
+    return *cache->k_paths(*g_, a, b, k, context(), mask, *ws_, counters_);
   }
   ++counters_.yen_calls;
   return graph::k_shortest_paths(*g_, a, b, k, mask, *ws_);

@@ -11,13 +11,35 @@
 /// sequential multi-flow examples keep one long-lived ledger across
 /// admissions.
 ///
-/// Every debit or credit bumps a monotonic epoch() counter. The epoch keys
-/// the per-ledger graph::PathCache: shortest-path results memoized at one
-/// epoch are never served at another, so cached routes invalidate exactly
-/// when the usable-edge set may have changed (a commit, a release, a
-/// backtracked reservation). Copies inherit the residuals and epoch but
-/// start with a fresh, empty cache (caches are never shared — they are not
-/// thread-safe).
+/// ## MVCC state
+///
+/// Every debit or credit bumps a monotonic epoch() counter *and* stamps the
+/// touched resource with the new epoch value (link_stamp / instance_stamp).
+/// The global epoch orders all mutations; the per-resource stamps let a
+/// commit validate only the footprint it touches: if every resource a
+/// solution uses carries a stamp at or below the epoch its solving snapshot
+/// was taken at, the residuals the solver saw for that footprint are still
+/// the live residuals — the commit is valid without re-checking capacities
+/// (footprint_unchanged_since). That is the serve layer's stamp-validated
+/// commit path.
+///
+/// A ledger can additionally journal its mutations (enable_journal): a
+/// fixed ring of (resource, residual-after) records indexed by epoch.
+/// Replicas then catch up with sync_from(master) by replaying only the
+/// delta instead of copying the whole residual state — and, crucially,
+/// the replay feeds the replica's PathCache the footprint-scoped
+/// invalidations, so cached routes survive commits that cannot have
+/// affected them (see path_cache.hpp for the exactness argument).
+///
+/// ## Path-cache coupling
+///
+/// The ledger owns a per-instance graph::PathCache. Link debits and
+/// credits forward (edge, residual-before/after, kEps) to the cache, which
+/// evicts exactly the entries whose results a usability flip could change;
+/// instance mutations never touch the cache (edge usability depends only
+/// on link residuals). Copies inherit residuals, stamps and epoch but
+/// start with a fresh, empty cache and no journal (caches are never shared
+/// — they are not thread-safe).
 
 #include <cstdint>
 #include <memory>
@@ -74,7 +96,7 @@ class CapacityLedger {
   /// the vectors' lengths are implicitly zero). Each counted use costs
   /// \p rate; these are the one shared implementation behind
   /// Evaluator::feasible/commit/release, the dynamic sim's departures, and
-  /// the serve layer's epoch-validated commits.
+  /// the serve layer's optimistic commits.
   [[nodiscard]] bool can_apply(std::span<const std::uint32_t> link_uses,
                                std::span<const std::uint32_t> instance_uses,
                                double rate) const;
@@ -91,9 +113,53 @@ class CapacityLedger {
   [[nodiscard]] double total_instance_consumed() const;
 
   /// Monotonic version of the residual state: bumped by every consume_* /
-  /// release_*. Two equal epochs of one ledger instance imply an identical
-  /// usable-edge set, which is what makes path-cache entries reusable.
+  /// release_*. Two equal epochs of one ledger instance imply identical
+  /// residuals everywhere.
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  // --- MVCC stamps --------------------------------------------------------
+
+  /// Epoch of the last mutation of one resource (0 = never mutated). Stamps
+  /// are monotone per resource and never exceed epoch().
+  [[nodiscard]] std::uint64_t link_stamp(EdgeId e) const {
+    DAGSFC_CHECK(e < link_stamp_.size());
+    return link_stamp_[e];
+  }
+  [[nodiscard]] std::uint64_t instance_stamp(InstanceId id) const {
+    DAGSFC_CHECK(id < instance_stamp_.size());
+    return instance_stamp_[id];
+  }
+
+  /// Footprint-scoped MVCC validation: true iff no resource counted in the
+  /// footprint has been mutated after \p since_epoch — i.e. a snapshot
+  /// taken at since_epoch saw, for this footprint, exactly the live
+  /// residuals, so a solution feasible against the snapshot is feasible
+  /// now without re-checking capacities.
+  [[nodiscard]] bool footprint_unchanged_since(
+      std::span<const std::uint32_t> link_uses,
+      std::span<const std::uint32_t> instance_uses,
+      std::uint64_t since_epoch) const;
+
+  // --- Mutation journal + replica sync ------------------------------------
+
+  /// Starts journaling this ledger's mutations into a ring of \p capacity
+  /// records (one per epoch bump), enabling O(delta) sync_from on replicas
+  /// that fall at most \p capacity mutations behind. Journaling is off by
+  /// default and never inherited by copies.
+  void enable_journal(std::size_t capacity);
+  [[nodiscard]] bool journal_enabled() const noexcept {
+    return journal_capacity_ > 0;
+  }
+
+  /// Catches this ledger (a replica) up to \p master — both must view the
+  /// same Network. When the master's journal covers the gap, replays only
+  /// the delta: residuals and stamps are overwritten with the master's
+  /// bitwise values and the replica's path cache receives the same
+  /// footprint-scoped invalidations a direct mutation would have issued,
+  /// so unaffected cached routes survive. Otherwise falls back to a full
+  /// residual copy and drops the cache. Returns true on the delta path.
+  /// Either way the replica ends bit-equal to the master's residual state.
+  bool sync_from(const CapacityLedger& master);
 
   /// The ledger's shortest-path cache, lazily created; nullptr when caching
   /// is disabled for this ledger. The cache is logically state — it never
@@ -112,10 +178,35 @@ class CapacityLedger {
  private:
   static constexpr double kEps = 1e-9;
 
+  /// One journaled mutation: the resource touched and its residual after.
+  /// The epoch field guards ring-slot reuse (slot = epoch % capacity).
+  struct JournalEntry {
+    std::uint64_t epoch = 0;
+    std::uint32_t id = 0;
+    bool is_link = false;
+    double after = 0.0;
+  };
+
+  /// Shared epilogue of every link mutation: stamp, journal, and forward
+  /// the residual change to the cache's footprint-scoped invalidation.
+  void note_link_changed(EdgeId e, double before, double after);
+  void note_instance_changed(InstanceId id, double after);
+  void journal_record(bool is_link, std::uint32_t id, double after);
+
   const Network* net_;
   std::vector<double> link_residual_;
   std::vector<double> instance_residual_;
+  std::vector<std::uint64_t> link_stamp_;
+  std::vector<std::uint64_t> instance_stamp_;
   std::uint64_t epoch_ = 0;
+
+  /// Ring of the last journal_capacity_ mutations, indexed epoch % capacity;
+  /// journal_start_ is the epoch journaling began at (entries exist for
+  /// epochs in (max(journal_start_, epoch_ - capacity), epoch_]).
+  std::vector<JournalEntry> journal_;
+  std::size_t journal_capacity_ = 0;
+  std::uint64_t journal_start_ = 0;
+
   bool cache_enabled_ = cache_default();
   mutable std::unique_ptr<graph::PathCache> cache_;
 };

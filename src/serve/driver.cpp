@@ -80,6 +80,7 @@ DriverResult run_closed_loop(const Workload& workload,
   opts.workers = workers;
   opts.admission = admission;
   opts.seed = seed;
+  opts.pipeline = tuning.pipeline;
   opts.slow_solve_threshold = tuning.slow_solve_threshold;
   opts.watchdog_period = tuning.watchdog_period;
   EmbeddingService service(workload.scenario.network, embedder, opts);
@@ -126,6 +127,7 @@ OpenLoopResult run_open_loop(const Workload& workload,
   opts.workers = cfg.workers;
   opts.admission = cfg.admission;
   opts.seed = cfg.seed;
+  opts.pipeline = cfg.tuning.pipeline;
   opts.slow_solve_threshold = cfg.tuning.slow_solve_threshold;
   opts.watchdog_period = cfg.tuning.watchdog_period;
   EmbeddingService service(workload.scenario.network, embedder, opts);

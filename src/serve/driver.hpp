@@ -56,6 +56,9 @@ struct Workload {
 struct ServiceTuning {
   std::chrono::nanoseconds slow_solve_threshold{0};  ///< 0 = watchdog off
   std::chrono::nanoseconds watchdog_period{0};       ///< 0 = threshold/4
+  /// Commit machinery of the service under test; kMutex is the legacy
+  /// baseline the bench A/Bs against.
+  CommitPipeline pipeline = CommitPipeline::kMvcc;
   /// Called once, after the service starts and before any submit.
   std::function<void(EmbeddingService&)> on_start;
   /// Called once, after the drain and final metrics capture but before the

@@ -19,6 +19,7 @@ ServiceMetrics::ServiceMetrics()
   commit_conflicts_ = r.counter("dagsfc_serve_commit_conflicts_total");
   retries_ = r.counter("dagsfc_serve_retries_total");
   fast_commits_ = r.counter("dagsfc_serve_fast_commits_total");
+  stamp_commits_ = r.counter("dagsfc_serve_stamp_commits_total");
   validated_commits_ = r.counter("dagsfc_serve_validated_commits_total");
   releases_ = r.counter("dagsfc_serve_releases_total");
   slow_solves_ = r.counter("dagsfc_serve_slow_solves_total");
@@ -27,6 +28,8 @@ ServiceMetrics::ServiceMetrics()
   latency_ms_ = r.histogram("dagsfc_serve_latency_ms", {}, 1e-3, 1e6);
   solve_ms_ = r.histogram("dagsfc_serve_solve_ms", {}, 1e-3, 1e6);
   cost_ = r.histogram("dagsfc_serve_cost", {}, 1e-1, 1e9);
+  group_commit_batch_ = r.histogram("dagsfc_serve_group_commit_batch", {},
+                                    1.0, 1e4);
 }
 
 void ServiceMetrics::on_submitted() { submitted_.inc(); }
@@ -34,6 +37,10 @@ void ServiceMetrics::on_submitted() { submitted_.inc(); }
 void ServiceMetrics::on_release() { releases_.inc(); }
 
 void ServiceMetrics::on_slow_solve() { slow_solves_.inc(); }
+
+void ServiceMetrics::on_group_commit(std::size_t size) {
+  group_commit_batch_.observe(static_cast<double>(size));
+}
 
 void ServiceMetrics::set_queue_depth(std::size_t depth) {
   queue_depth_.set(static_cast<double>(depth));
@@ -48,10 +55,12 @@ void ServiceMetrics::on_response(const Response& r) {
     case Outcome::Accepted:
       accepted_.inc();
       cost_.observe(r.cost);
-      if (r.epoch_validated) {
-        validated_commits_.inc();
-      } else {
+      if (!r.epoch_validated) {
         fast_commits_.inc();
+      } else if (r.stamp_validated) {
+        stamp_commits_.inc();
+      } else {
+        validated_commits_.inc();
       }
       break;
     case Outcome::RejectedInfeasible:
@@ -84,6 +93,7 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.commit_conflicts = commit_conflicts_.value();
   s.retries = retries_.value();
   s.fast_commits = fast_commits_.value();
+  s.stamp_commits = stamp_commits_.value();
   s.validated_commits = validated_commits_.value();
   s.releases = releases_.value();
   s.slow_solves = slow_solves_.value();
@@ -92,6 +102,7 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.latency_ms = latency_ms_.snapshot();
   s.solve_ms = solve_ms_.snapshot();
   s.cost = cost_.snapshot();
+  s.group_commit_batch = group_commit_batch_.snapshot();
   return s;
 }
 
@@ -105,6 +116,7 @@ std::string MetricsSnapshot::to_json() const {
      << ",\"acceptance_ratio\":" << util::json_number(acceptance_ratio())
      << ",\"commit_conflicts\":" << commit_conflicts
      << ",\"retries\":" << retries << ",\"fast_commits\":" << fast_commits
+     << ",\"stamp_commits\":" << stamp_commits
      << ",\"validated_commits\":" << validated_commits
      << ",\"releases\":" << releases << ",\"slow_solves\":" << slow_solves
      << ",\"conflict_rate\":" << util::json_number(conflict_rate())
@@ -122,7 +134,10 @@ std::string MetricsSnapshot::to_json() const {
      << ",\"mean\":" << util::json_number(cost.mean())
      << ",\"p50\":" << util::json_number(cost.p50())
      << ",\"p95\":" << util::json_number(cost.p95())
-     << ",\"p99\":" << util::json_number(cost.p99()) << "}}";
+     << ",\"p99\":" << util::json_number(cost.p99()) << "}"
+     << ",\"group_commit_batch\":{\"count\":" << group_commit_batch.count()
+     << ",\"mean\":" << util::json_number(group_commit_batch.mean())
+     << ",\"max\":" << util::json_number(group_commit_batch.max()) << "}}";
   return os.str();
 }
 

@@ -1,7 +1,8 @@
 #pragma once
 /// \file metrics.hpp
 /// Thread-safe service metrics: outcome counters, the optimistic-commit
-/// accounting (fast vs validated commits, conflicts, retries), queue-depth
+/// accounting (fast vs stamp-validated vs residual-validated commits,
+/// conflicts, retries, group-commit batch sizes), queue-depth
 /// and worker-busy gauges, the slow-solve watchdog counter, and log-bucket
 /// latency/cost histograms with p50/p95/p99 queries.
 ///
@@ -40,6 +41,7 @@ struct MetricsSnapshot {
   std::uint64_t commit_conflicts = 0;  ///< commits failing epoch validation
   std::uint64_t retries = 0;           ///< re-solves caused by conflicts
   std::uint64_t fast_commits = 0;      ///< epoch unchanged since snapshot
+  std::uint64_t stamp_commits = 0;     ///< epoch moved, footprint stamps clean
   std::uint64_t validated_commits = 0; ///< epoch moved, residuals re-checked
   std::uint64_t releases = 0;          ///< departures applied to the ledger
   std::uint64_t slow_solves = 0;       ///< watchdog-flagged in-flight solves
@@ -50,6 +52,9 @@ struct MetricsSnapshot {
   Histogram latency_ms{1e-3, 1e6};  ///< submit → terminal outcome
   Histogram solve_ms{1e-3, 1e6};    ///< dequeue → terminal outcome
   Histogram cost{1e-1, 1e9};        ///< accepted flows' objective (1)
+  /// Commits applied per group-commit drain (MVCC pipeline only — the
+  /// legacy mutex pipeline never records it).
+  Histogram group_commit_batch{1.0, 1e4};
 
   [[nodiscard]] std::uint64_t completed() const noexcept {
     return accepted + rejected_infeasible + rejected_queue_full +
@@ -83,6 +88,9 @@ class ServiceMetrics {
   void on_release();
   /// Watchdog: one in-flight solve crossed the slow-solve threshold.
   void on_slow_solve();
+  /// MVCC group commit: a leader drained and applied a batch of \p size
+  /// pending commits in one critical section.
+  void on_group_commit(std::size_t size);
   void set_queue_depth(std::size_t depth);
   /// +1 when a worker dequeues, -1 when it finishes.
   void add_workers_busy(double delta);
@@ -112,6 +120,7 @@ class ServiceMetrics {
   util::Counter commit_conflicts_;
   util::Counter retries_;
   util::Counter fast_commits_;
+  util::Counter stamp_commits_;
   util::Counter validated_commits_;
   util::Counter releases_;
   util::Counter slow_solves_;
@@ -120,6 +129,7 @@ class ServiceMetrics {
   util::HistogramMetric latency_ms_;
   util::HistogramMetric solve_ms_;
   util::HistogramMetric cost_;
+  util::HistogramMetric group_commit_batch_;
 };
 
 }  // namespace dagsfc::serve

@@ -60,9 +60,15 @@ struct Response {
   std::uint64_t snapshot_epoch = 0;
   std::uint64_t commit_epoch = 0;
   /// True when the ledger epoch had moved past snapshot_epoch at commit
-  /// time, so the commit had to be re-validated against live residuals;
-  /// false for fast-path commits (epoch unchanged).
+  /// time, so the commit had to be validated; false for fast-path commits
+  /// (epoch unchanged).
   bool epoch_validated = false;
+  /// True when a moved epoch was reconciled by MVCC stamp validation alone
+  /// (no resource in the solution's footprint changed since the snapshot,
+  /// so the residuals the solver saw are still live — no capacity
+  /// re-check). False for fast commits and for commits that needed the
+  /// full residual re-check. Implies epoch_validated.
+  bool stamp_validated = false;
   double queue_ms = 0.0;  ///< submit → dequeue
   double solve_ms = 0.0;  ///< dequeue → terminal outcome
 

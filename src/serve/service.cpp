@@ -38,6 +38,12 @@ EmbeddingService::EmbeddingService(const net::Network& network,
   DAGSFC_CHECK(opts_.workers >= 1);
   DAGSFC_CHECK(opts_.slow_solve_threshold.count() >= 0);
   DAGSFC_CHECK(opts_.watchdog_period.count() >= 0);
+  if (opts_.pipeline == CommitPipeline::kMvcc) {
+    // Journal depth: enough to cover many full-footprint commits between a
+    // worker's syncs, so replicas replay deltas instead of recopying.
+    ledger_.enable_journal(std::max<std::size_t>(
+        4096, 32 * (network.num_links() + network.num_instances())));
+  }
   watch_slots_.resize(opts_.workers);
   if (opts_.slow_solve_threshold.count() > 0) {
     watchdog_ = std::thread([this] { watchdog_loop(); });
@@ -85,15 +91,16 @@ void EmbeddingService::finish(Job&& job, Response&& resp) {
 }
 
 void EmbeddingService::worker_loop(std::size_t slot) {
-  // Per-worker search workspace: solves run outside the commit lock, so
-  // each worker warms its own buffers for the life of the thread.
-  graph::SearchWorkspace ws;
+  // Per-worker solver state: solves run outside the commit lock, so each
+  // worker warms its own search buffers — and, under MVCC, its ledger
+  // replica's path cache — for the life of the thread.
+  WorkerState state;
   const bool watched = opts_.slow_solve_threshold.count() > 0;
   while (auto job = queue_.pop()) {
     metrics_.set_queue_depth(queue_.size());
     metrics_.add_workers_busy(1.0);
     if (watched) begin_watch(slot, job->req.id);
-    Response resp = process(*job, ws);
+    Response resp = process(*job, state);
     if (watched) end_watch(slot);
     metrics_.add_workers_busy(-1.0);
     finish(std::move(*job), std::move(resp));
@@ -143,7 +150,68 @@ void EmbeddingService::watchdog_loop() {
   }
 }
 
-Response EmbeddingService::process(Job& job, graph::SearchWorkspace& ws) {
+std::uint64_t EmbeddingService::sync_replica(WorkerState& state) {
+  std::lock_guard lock(commit_mu_);
+  if (!state.replica) {
+    state.replica = std::make_unique<net::CapacityLedger>(ledger_);
+  } else {
+    state.replica->sync_from(ledger_);
+  }
+  return state.replica->epoch();
+}
+
+void EmbeddingService::decide(PendingCommit& p) {
+  const bool moved = ledger_.epoch() != p.snapshot_epoch;
+  p.epoch_moved = moved;
+  bool admit = !moved;
+  if (!admit && ledger_.footprint_unchanged_since(
+                    p.usage.link_uses, p.usage.instance_uses,
+                    p.snapshot_epoch)) {
+    // Every resource this solution touches still carries the residual the
+    // solver saw — feasible then implies feasible now, no re-check needed.
+    admit = true;
+    p.stamp_validated = true;
+  }
+  if (!admit) {
+    admit = ledger_.can_apply(p.usage.link_uses, p.usage.instance_uses,
+                              p.rate);
+  }
+  if (admit) {
+    ledger_.apply(p.usage.link_uses, p.usage.instance_uses, p.rate);
+    p.commit_epoch = ledger_.epoch();
+    committed_.emplace(p.id, CommittedFlow{std::move(p.usage), p.rate});
+    p.status = PendingCommit::Status::kCommitted;
+  } else {
+    p.status = PendingCommit::Status::kConflict;
+  }
+}
+
+bool EmbeddingService::group_commit(PendingCommit& pc) {
+  {
+    std::lock_guard plock(pending_mu_);
+    pending_.push_back(&pc);
+  }
+  // Block until the commit mutex is ours. A leader that drained our entry
+  // in the meantime decided it before releasing the mutex, so an entry
+  // still kWaiting here is guaranteed to still be in pending_.
+  std::lock_guard lock(commit_mu_);
+  std::vector<PendingCommit*> batch;
+  {
+    std::lock_guard plock(pending_mu_);
+    if (pc.status == PendingCommit::Status::kWaiting) batch.swap(pending_);
+  }
+  if (!batch.empty()) {
+    // Leader: validate and apply the whole batch (our own entry included)
+    // in this one critical section. Entries are decided in arrival order
+    // against the evolving ledger, so overlapping solutions within a batch
+    // degrade to stamp/residual validation exactly like cross-batch ones.
+    metrics_.on_group_commit(batch.size());
+    for (PendingCommit* p : batch) decide(*p);
+  }
+  return pc.status == PendingCommit::Status::kCommitted;
+}
+
+Response EmbeddingService::process(Job& job, WorkerState& state) {
   const Clock::time_point dequeued = Clock::now();
   Response resp;
   resp.id = job.req.id;
@@ -162,6 +230,7 @@ Response EmbeddingService::process(Job& job, graph::SearchWorkspace& ws) {
   const core::ModelIndex index(problem);
   const core::Evaluator evaluator(index);
   const double rate = job.req.flow.rate;
+  const bool mvcc = opts_.pipeline == CommitPipeline::kMvcc;
 
   const std::uint32_t max_attempts = 1 + opts_.admission.max_retries;
   for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
@@ -170,20 +239,28 @@ Response EmbeddingService::process(Job& job, graph::SearchWorkspace& ws) {
       if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
     }
 
-    // Snapshot: private copy of the shared residual state plus the epoch
-    // it was taken at, consistent because both happen under the mutex.
+    // Snapshot: a private, consistent view of the shared residual state
+    // plus the epoch it was taken at. MVCC syncs the worker's persistent
+    // replica (O(delta) journal replay, warm path cache); the legacy
+    // pipeline copies the whole ledger.
     std::uint64_t snapshot_epoch = 0;
     std::unique_ptr<net::CapacityLedger> snap;
-    {
+    const net::CapacityLedger* view = nullptr;
+    if (mvcc) {
+      snapshot_epoch = sync_replica(state);
+      view = state.replica.get();
+    } else {
       std::lock_guard lock(commit_mu_);
       snapshot_epoch = ledger_.epoch();
       snap = std::make_unique<net::CapacityLedger>(ledger_);
+      view = snap.get();
     }
 
-    // Solve outside the lock — the expensive, parallel part.
+    // Solve outside the lock — the expensive, parallel part. solve() takes
+    // the ledger const, so the replica survives for the next request.
     Rng rng(solve_seed(opts_.seed, job.req.id, attempt));
     const core::SolveResult r =
-        embedder_->solve(index, *snap, rng, nullptr, &ws);
+        embedder_->solve(index, *view, rng, nullptr, &state.ws);
     ++resp.solves;
     if (!r.ok()) {
       // Infeasible against a consistent snapshot: a genuine reject, not a
@@ -195,8 +272,24 @@ Response EmbeddingService::process(Job& job, graph::SearchWorkspace& ws) {
 
     core::ResourceUsage usage = evaluator.usage(*r.solution);
 
-    // Commit under the mutex with epoch validation.
-    {
+    if (mvcc) {
+      PendingCommit pc;
+      pc.id = job.req.id;
+      pc.usage = std::move(usage);
+      pc.rate = rate;
+      pc.snapshot_epoch = snapshot_epoch;
+      if (group_commit(pc)) {
+        resp.outcome = Outcome::Accepted;
+        resp.cost = r.cost;
+        resp.snapshot_epoch = snapshot_epoch;
+        resp.commit_epoch = pc.commit_epoch;
+        resp.epoch_validated = pc.epoch_moved;
+        resp.stamp_validated = pc.stamp_validated;
+        resp.solve_ms = ms_between(dequeued, Clock::now());
+        return resp;
+      }
+    } else {
+      // Legacy commit: epoch validation with a full residual re-check.
       std::lock_guard lock(commit_mu_);
       const bool moved = ledger_.epoch() != snapshot_epoch;
       if (!moved || ledger_.can_apply(usage.link_uses, usage.instance_uses,

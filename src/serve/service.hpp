@@ -27,8 +27,38 @@
 ///      (a departure) credits their exact usage back to the ledger.
 ///
 /// The service never locks the ledger around a solve, so solutions are
-/// optimistic by construction; epoch validation is what keeps the ledger's
-/// no-oversubscription invariant exact under concurrency.
+/// optimistic by construction; validation at commit is what keeps the
+/// ledger's no-oversubscription invariant exact under concurrency.
+///
+/// ## Commit pipelines
+///
+/// Step 2 and 4 above describe the legacy kMutex pipeline (a full ledger
+/// copy per attempt, epoch check + full residual re-check at commit). The
+/// default kMvcc pipeline replaces both ends:
+///
+///   * Snapshot: each worker keeps a persistent ledger *replica* and
+///     catches it up under the lock with CapacityLedger::sync_from — an
+///     O(delta) journal replay instead of an O(E+V) copy, which also
+///     preserves the replica's warm path cache across requests (only
+///     entries whose footprint a committed mutation flipped are evicted).
+///   * Validation: a moved epoch no longer forces a full residual
+///     re-check. If no resource in the solution's footprint changed since
+///     the snapshot (per-resource version stamps,
+///     footprint_unchanged_since), the residuals the solver saw are still
+///     live and the commit applies directly — the stamp-validated commit.
+///     Only footprint overlaps fall back to can_apply.
+///   * Group commit: workers publish their validated solutions to a
+///     pending list and the first one through the commit mutex becomes
+///     the *leader*, draining and applying the whole batch in one critical
+///     section while the followers wait at the mutex. A follower finding
+///     its entry already decided simply returns; statuses are always
+///     decided before the deciding leader releases the mutex, so no
+///     condition variable is needed and every request terminates.
+///
+/// Both pipelines produce identical outcomes for identical interleavings —
+/// stamp validation accepts exactly when can_apply would (unchanged
+/// footprint residuals trivially re-admit the solution) — so the closed
+/// loop determinism guarantee holds across pipelines and worker counts.
 
 #include <chrono>
 #include <condition_variable>
@@ -49,11 +79,22 @@
 
 namespace dagsfc::serve {
 
+/// Which commit machinery the service runs (see the file comment).
+enum class CommitPipeline : std::uint8_t {
+  kMutex,  ///< legacy: per-attempt ledger copy, epoch + full residual check
+  kMvcc,   ///< replica sync + stamp validation + group commit (default)
+};
+
+[[nodiscard]] constexpr const char* to_string(CommitPipeline p) noexcept {
+  return p == CommitPipeline::kMutex ? "mutex" : "mvcc";
+}
+
 class EmbeddingService {
  public:
   struct Options {
     std::size_t workers = 1;
     AdmissionPolicy admission;
+    CommitPipeline pipeline = CommitPipeline::kMvcc;
     /// Base seed of the per-request solver RNG streams: request id and
     /// retry number are mixed in, so results depend on (seed, id, retry)
     /// and never on which worker picked the job up.
@@ -126,6 +167,32 @@ class EmbeddingService {
     double rate = 0.0;
   };
 
+  /// Long-lived per-worker solver state: the warm search workspace and, in
+  /// the MVCC pipeline, the ledger replica whose path cache survives
+  /// across requests.
+  struct WorkerState {
+    graph::SearchWorkspace ws;
+    std::unique_ptr<net::CapacityLedger> replica;
+  };
+
+  /// One solution queued for group commit. Lives on the submitting
+  /// worker's stack; the worker blocks on commit_mu_ until some leader
+  /// (possibly itself) has decided it, so the pointer in pending_ never
+  /// dangles.
+  struct PendingCommit {
+    enum class Status : std::uint8_t { kWaiting, kCommitted, kConflict };
+    RequestId id = 0;
+    core::ResourceUsage usage;
+    double rate = 0.0;
+    std::uint64_t snapshot_epoch = 0;
+    // Decided by the leader, read by the owner after it acquires
+    // commit_mu_ (the leader wrote while holding it — no race).
+    Status status = Status::kWaiting;
+    std::uint64_t commit_epoch = 0;
+    bool epoch_moved = false;
+    bool stamp_validated = false;
+  };
+
   /// One in-flight request per worker, watched by the monitor thread.
   struct WatchSlot {
     RequestId id = 0;
@@ -135,8 +202,18 @@ class EmbeddingService {
   };
 
   void worker_loop(std::size_t slot);
-  [[nodiscard]] Response process(Job& job, graph::SearchWorkspace& ws);
+  [[nodiscard]] Response process(Job& job, WorkerState& state);
   void finish(Job&& job, Response&& resp);
+
+  /// MVCC snapshot: catches state.replica up to the shared ledger under
+  /// commit_mu_ and returns the snapshot epoch.
+  [[nodiscard]] std::uint64_t sync_replica(WorkerState& state);
+  /// Queues \p pc and waits through commit_mu_ until it is decided —
+  /// becoming the batch leader if it arrives undecided. Returns true iff
+  /// committed.
+  bool group_commit(PendingCommit& pc);
+  /// Leader-side validate+apply of one pending commit. commit_mu_ held.
+  void decide(PendingCommit& pc);
 
   void begin_watch(std::size_t slot, RequestId id);
   void end_watch(std::size_t slot);
@@ -151,6 +228,12 @@ class EmbeddingService {
   mutable std::mutex commit_mu_;
   net::CapacityLedger ledger_;
   std::unordered_map<RequestId, CommittedFlow> committed_;
+
+  /// Group-commit intake. Lock order: commit_mu_ before pending_mu_ when
+  /// both are needed; publishing holds only pending_mu_. Never acquire
+  /// commit_mu_ while holding pending_mu_.
+  std::mutex pending_mu_;
+  std::vector<PendingCommit*> pending_;
 
   BoundedQueue<Job> queue_;
   ServiceMetrics metrics_;

@@ -1,11 +1,13 @@
-/// Tests for the epoch-keyed shortest-path cache: PathCache unit behavior,
-/// ledger epoch/caching integration, and the differential harness required
-/// by the cache's core contract — every embedder produces bit-identical
-/// solutions with the cache on and off, across the serialized corpus and
-/// 200 random seeded instances.
+/// Tests for the footprint-invalidated shortest-path cache: PathCache unit
+/// behavior (flip-gated eviction through the on_link_* hooks), ledger
+/// integration, and the differential harness required by the cache's core
+/// contract — every embedder produces bit-identical solutions with the
+/// cache on and off, across the serialized corpus and 200 random seeded
+/// instances.
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <fstream>
 #include <sstream>
 
@@ -37,68 +39,147 @@ graph::Graph diamond() {
 // ---------------------------------------------------------------------------
 // PathCache unit behavior
 
-TEST(PathCache, TreeHitsOnRepeatAndMissesAcrossVersions) {
+constexpr double kEps = 1e-9;
+
+/// The cache's context convention: the flow rate, bit-cast.
+std::uint64_t ctx(double rate) { return std::bit_cast<std::uint64_t>(rate); }
+
+TEST(PathCache, TreeHitsOnRepeatAndSurvivesNonFlipDebits) {
   const graph::Graph g = diamond();
   graph::PathCache cache;
   graph::PathQueryCounters c;
 
-  const auto t1 = cache.tree(g, 0, /*version=*/7, /*context=*/0, {}, c);
+  const auto t1 = cache.tree(g, 0, ctx(1.0), {}, c);
   EXPECT_EQ(c.cache_misses, 1u);
   EXPECT_EQ(c.dijkstra_calls, 1u);
-  const auto t2 = cache.tree(g, 0, 7, 0, {}, c);
+  const auto t2 = cache.tree(g, 0, ctx(1.0), {}, c);
   EXPECT_EQ(c.cache_hits, 1u);
   EXPECT_EQ(c.dijkstra_calls, 1u);  // served from cache, not recomputed
   EXPECT_EQ(t1.get(), t2.get());    // same shared entry
 
-  const auto t3 = cache.tree(g, 0, /*version=*/8, 0, {}, c);
+  // A debit that leaves the edge usable at rate 1.0 is not a flip: the
+  // usable-edge set — and therefore every cached result — is unchanged.
+  cache.on_link_debit(0, 10.0, 5.0, kEps);
+  (void)cache.tree(g, 0, ctx(1.0), {}, c);
+  EXPECT_EQ(c.cache_hits, 2u);
+  EXPECT_EQ(cache.invalidation_stats().flips, 0u);
+  EXPECT_EQ(cache.invalidation_stats().trees_evicted, 0u);
+
+  // Draining edge 0 below the rate flips it unusable; the tree from node 0
+  // carries edge 0 in its parent footprint, so it must go.
+  cache.on_link_debit(0, 5.0, 0.5, kEps);
+  EXPECT_EQ(cache.invalidation_stats().flips, 1u);
+  EXPECT_EQ(cache.invalidation_stats().trees_evicted, 1u);
+  const auto t3 = cache.tree(g, 0, ctx(1.0), {}, c);
   EXPECT_EQ(c.cache_misses, 2u);
   EXPECT_NE(t1.get(), t3.get());
-  EXPECT_EQ(t1->dist[3], 2.0);
+  EXPECT_EQ(t1->dist[3], 2.0);  // held entry stays valid after eviction
 }
 
-TEST(PathCache, ContextSeparatesEntries) {
+TEST(PathCache, DebitFlipSparesTreesOutsideTheFootprint) {
   const graph::Graph g = diamond();
   graph::PathCache cache;
   graph::PathQueryCounters c;
-  (void)cache.tree(g, 0, 1, /*context=*/10, {}, c);
-  (void)cache.tree(g, 0, 1, /*context=*/20, {}, c);
-  EXPECT_EQ(c.cache_misses, 2u);  // different contexts never share
+  (void)cache.tree(g, 0, ctx(1.0), {}, c);  // parent edges {0, 1, 2}
+  (void)cache.tree(g, 2, ctx(1.0), {}, c);  // parent edges {0, 2, 3}
+  ASSERT_EQ(cache.num_trees(), 2u);
+
+  // Edge 1 (1–3) flips unusable: only the tree from node 0 routes through
+  // it, so the tree from node 2 survives and keeps hitting.
+  cache.on_link_debit(1, 1.0, 0.0, kEps);
+  EXPECT_EQ(cache.invalidation_stats().trees_evicted, 1u);
+  EXPECT_EQ(cache.num_trees(), 1u);
+  (void)cache.tree(g, 2, ctx(1.0), {}, c);
+  EXPECT_EQ(c.cache_hits, 1u);
+  (void)cache.tree(g, 0, ctx(1.0), {}, c);
+  EXPECT_EQ(c.cache_misses, 3u);
+}
+
+TEST(PathCache, ContextSeparatesEntriesAndFlipsAreRateScoped) {
+  const graph::Graph g = diamond();
+  graph::PathCache cache;
+  graph::PathQueryCounters c;
+  (void)cache.tree(g, 0, ctx(1.0), {}, c);
+  (void)cache.tree(g, 0, ctx(2.0), {}, c);
+  EXPECT_EQ(c.cache_misses, 2u);  // different rates never share
   EXPECT_EQ(cache.num_trees(), 2u);
+
+  // 2.5 → 1.5 flips edge 0 at rate 2.0 only; the rate-1.0 entry survives.
+  cache.on_link_debit(0, 2.5, 1.5, kEps);
+  EXPECT_EQ(cache.invalidation_stats().flips, 1u);
+  EXPECT_EQ(cache.num_trees(), 1u);
+  (void)cache.tree(g, 0, ctx(1.0), {}, c);
+  EXPECT_EQ(c.cache_hits, 1u);
 }
 
 TEST(PathCache, KPathsCachedPerEndpointAndK) {
   const graph::Graph g = diamond();
   graph::PathCache cache;
   graph::PathQueryCounters c;
-  const auto p1 = cache.k_paths(g, 0, 3, 2, 1, 0, {}, c);
+  const auto p1 = cache.k_paths(g, 0, 3, 2, ctx(1.0), {}, c);
   ASSERT_EQ(p1->size(), 2u);
   EXPECT_EQ(c.yen_calls, 1u);
-  (void)cache.k_paths(g, 0, 3, 2, 1, 0, {}, c);
+  (void)cache.k_paths(g, 0, 3, 2, ctx(1.0), {}, c);
   EXPECT_EQ(c.cache_hits, 1u);
   EXPECT_EQ(c.yen_calls, 1u);
-  (void)cache.k_paths(g, 0, 3, 3, 1, 0, {}, c);  // different k ⇒ miss
+  (void)cache.k_paths(g, 0, 3, 3, ctx(1.0), {}, c);  // different k ⇒ miss
   EXPECT_EQ(c.yen_calls, 2u);
 }
 
-TEST(PathCache, EvictsStaleVersionsFirstThenEverything) {
+TEST(PathCache, DebitFlipEvictsAllKPathListsAtThatRate) {
+  const graph::Graph g = diamond();
+  graph::PathCache cache;
+  graph::PathQueryCounters c;
+  (void)cache.k_paths(g, 0, 3, 2, ctx(1.0), {}, c);
+  // Yen entries are evicted wholesale on a flip even when their paths avoid
+  // the edge: a vanished edge can unmask equal-cost candidates, so keeping
+  // "non-intersecting" lists would not be bit-exact.
+  cache.on_link_debit(3, 1.0, 0.0, kEps);
+  EXPECT_EQ(cache.invalidation_stats().yens_evicted, 1u);
+  EXPECT_EQ(cache.num_k_paths(), 0u);
+  // A non-flip debit, by contrast, spares them.
+  (void)cache.k_paths(g, 0, 3, 2, ctx(1.0), {}, c);
+  cache.on_link_debit(3, 10.0, 5.0, kEps);
+  EXPECT_EQ(cache.num_k_paths(), 1u);
+}
+
+TEST(PathCache, CreditFlipEvictsEverythingAtThatRate) {
+  const graph::Graph g = diamond();
+  graph::PathCache cache;
+  graph::PathQueryCounters c;
+  (void)cache.tree(g, 0, ctx(1.0), {}, c);
+  (void)cache.k_paths(g, 0, 3, 2, ctx(1.0), {}, c);
+
+  // A credit that keeps the edge unusable flips nothing.
+  cache.on_link_credit(0, 0.2, 0.6, kEps);
+  EXPECT_EQ(cache.invalidation_stats().flips, 0u);
+  EXPECT_EQ(cache.num_trees(), 1u);
+  EXPECT_EQ(cache.num_k_paths(), 1u);
+
+  // Flipping an edge usable can improve paths anywhere — every rate-1.0
+  // entry goes, footprints notwithstanding.
+  cache.on_link_credit(0, 0.6, 2.0, kEps);
+  EXPECT_EQ(cache.invalidation_stats().flips, 1u);
+  EXPECT_EQ(cache.num_trees(), 0u);
+  EXPECT_EQ(cache.num_k_paths(), 0u);
+}
+
+TEST(PathCache, EvictsEverythingWhenFull) {
   const graph::Graph g = diamond();
   graph::PathCache cache(/*max_entries=*/2);
   graph::PathQueryCounters c;
-  (void)cache.tree(g, 0, /*version=*/1, 0, {}, c);
-  (void)cache.tree(g, 1, /*version=*/1, 0, {}, c);
+  (void)cache.tree(g, 0, ctx(1.0), {}, c);
+  (void)cache.tree(g, 1, ctx(1.0), {}, c);
   EXPECT_EQ(cache.num_trees(), 2u);
-  // Insert at a newer version: the two version-1 entries are evicted.
-  (void)cache.tree(g, 2, /*version=*/2, 0, {}, c);
+  // All entries are current under event invalidation, so a full store is
+  // simply wiped to make room.
+  (void)cache.tree(g, 2, ctx(1.0), {}, c);
   EXPECT_EQ(c.evictions, 2u);
   EXPECT_EQ(cache.num_trees(), 1u);
-  // Fill up at the current version; next insert wipes the (current) store.
-  (void)cache.tree(g, 3, /*version=*/2, 0, {}, c);
-  (void)cache.tree(g, 0, /*version=*/2, 0, {}, c);
-  EXPECT_EQ(c.evictions, 4u);
   // A held entry stays valid across eviction of its cache slot.
-  const auto held = cache.tree(g, 1, /*version=*/3, 0, {}, c);
-  (void)cache.tree(g, 2, /*version=*/4, 0, {}, c);
-  (void)cache.tree(g, 3, /*version=*/4, 0, {}, c);
+  const auto held = cache.tree(g, 1, ctx(1.0), {}, c);
+  (void)cache.tree(g, 3, ctx(1.0), {}, c);
+  EXPECT_EQ(c.evictions, 4u);
   EXPECT_EQ(held->source, 1u);
   EXPECT_EQ(held->dist[0], 1.0);
 }
@@ -251,7 +332,7 @@ TEST(PathCacheDifferential, TwoHundredRandomInstances) {
 // ---------------------------------------------------------------------------
 // Ledger integration
 
-TEST(LedgerPathCache, CacheSpansSolvesUntilTheLedgerChanges) {
+TEST(LedgerPathCache, CacheSurvivesNonFlipDebitsAndEvictsOnFlips) {
   auto fx = test::canonical_fixture();
   net::CapacityLedger ledger(fx->network);
   const core::MbbeEmbedder mbbe;
@@ -261,16 +342,103 @@ TEST(LedgerPathCache, CacheSpansSolvesUntilTheLedgerChanges) {
   ASSERT_TRUE(first.ok());
   EXPECT_GT(first.path_queries.cache_misses, 0u);
 
-  // Same ledger, same epoch: the second solve reuses the first's entries.
+  // Same ledger, unchanged residuals: the second solve reuses everything.
   const auto second = mbbe.solve(*fx->index, ledger, rng);
   EXPECT_EQ(second.path_queries.cache_misses, 0u);
   EXPECT_GT(second.path_queries.cache_hits, 0u);
   expect_identical(second, first);
 
-  // Any debit bumps the epoch: previously cached routes are stale now.
+  // A debit that keeps link 0 usable at the flow rate (100 → 99, rate 1)
+  // flips nothing: cached routes stay live across the mutation. The
+  // epoch-keyed design this replaces dropped the whole cache here.
   ledger.consume_link(0, 1.0);
   const auto third = mbbe.solve(*fx->index, ledger, rng);
-  EXPECT_GT(third.path_queries.cache_misses, 0u);
+  EXPECT_EQ(third.path_queries.cache_misses, 0u);
+  EXPECT_GT(third.path_queries.cache_hits, 0u);
+  expect_identical(third, first);
+
+  // Draining the link below the rate is a flip: affected entries go and
+  // the next solve recomputes.
+  ledger.consume_link(0, 98.5);
+  const auto fourth = mbbe.solve(*fx->index, ledger, rng);
+  EXPECT_GT(fourth.path_queries.cache_misses, 0u);
+}
+
+/// The MVCC-replica scenario: one long-lived cache-on ledger survives a
+/// random stream of committed footprints (applies) and departures
+/// (unapplies) between solves. After every mutation batch the next solve
+/// must be bit-identical to a cache-off solve over the same residuals —
+/// proving the event-driven invalidation evicted everything a mutation
+/// could have affected (soundness) while whatever survived is still valid.
+TEST(LedgerPathCache, InvalidationDifferentialAcrossCommitsAndDepartures) {
+  sim::ExperimentConfig cfg;
+  cfg.network_size = 16;
+  cfg.network_connectivity = 3.0;
+  cfg.catalog_size = 6;
+  cfg.sfc_size = 3;
+  cfg.vnf_capacity = 6.0;
+  cfg.link_capacity = 4.0;  // small: commits actually flip link usability
+  Rng rng(0xcafe);
+  const sim::Scenario scenario = sim::make_scenario(rng, cfg);
+
+  net::CapacityLedger live(scenario.network);  // cache on, never reset
+  const core::MbbeEmbedder mbbe;
+
+  struct Committed {
+    core::ResourceUsage usage;
+    double rate = 0.0;
+  };
+  std::vector<Committed> in_service;
+  std::uint64_t total_hits = 0;
+
+  for (int round = 0; round < 60; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const sfc::DagSfc dag =
+        sim::make_sfc(rng, scenario.network.catalog(), cfg);
+    auto src = static_cast<graph::NodeId>(rng.index(cfg.network_size));
+    auto dst = static_cast<graph::NodeId>(rng.index(cfg.network_size));
+    if (dst == src) {
+      dst = static_cast<graph::NodeId>((dst + 1) % cfg.network_size);
+    }
+    core::EmbeddingProblem problem;
+    problem.network = &scenario.network;
+    problem.sfc = &dag;
+    problem.flow = core::Flow{src, dst, 1.0, 1.0};
+    const core::ModelIndex index(problem);
+
+    // Reference arm: identical residuals (copied from the live ledger),
+    // cache off. The copy never shares the live cache, so the only thing
+    // under test is whether the survivors in the live cache are stale.
+    net::CapacityLedger fresh(live);
+    fresh.set_cache_enabled(false);
+
+    Rng on_rng(7000 + round);
+    Rng off_rng(7000 + round);
+    const auto on = mbbe.solve(index, live, on_rng);
+    const auto off = mbbe.solve(index, fresh, off_rng);
+    expect_identical(on, off);
+    if (::testing::Test::HasFailure()) break;
+    total_hits += on.path_queries.cache_hits;
+
+    if (on.ok()) {
+      // Commit: debits fire the footprint-scoped eviction hooks.
+      core::ResourceUsage usage = core::Evaluator(index).usage(*on.solution);
+      live.apply(usage.link_uses, usage.instance_uses, 1.0);
+      in_service.push_back(Committed{std::move(usage), 1.0});
+    }
+    if (in_service.size() > 4) {
+      // Departure: credits flip links back to usable; the conservative
+      // credit eviction must keep the survivors coherent too.
+      const std::size_t pick = rng.index(in_service.size());
+      const Committed gone = in_service[pick];
+      in_service[pick] = in_service.back();
+      in_service.pop_back();
+      live.unapply(gone.usage.link_uses, gone.usage.instance_uses, gone.rate);
+    }
+  }
+  // Not vacuous: entries must actually have survived mutations and been
+  // reused across rounds.
+  EXPECT_GT(total_hits, 0u);
 }
 
 TEST(LedgerPathCache, CachingReducesDijkstraComputations) {

@@ -275,7 +275,7 @@ TEST(EmbeddingService, ForcedEpochConflictRetriesThenRejects) {
   EXPECT_EQ(m.accepted, 1u);
   EXPECT_EQ(m.commit_conflicts, 1u);
   EXPECT_EQ(m.retries, 1u);
-  EXPECT_EQ(m.fast_commits + m.validated_commits, 1u);
+  EXPECT_EQ(m.fast_commits + m.stamp_commits + m.validated_commits, 1u);
 }
 
 TEST(EmbeddingService, ZeroRetriesLosesConflictedRequests) {
@@ -332,8 +332,10 @@ TEST(EmbeddingServiceStress, ManyProducersConserveCapacity) {
   // ...every accepted flow was released, and the drained ledger is nominal.
   EXPECT_EQ(m.releases, m.accepted);
   EXPECT_TRUE(r.conserved);
-  // Commit-path accounting closes too.
-  EXPECT_EQ(m.fast_commits + m.validated_commits, m.accepted);
+  // Commit-path accounting closes too: every accept went through exactly
+  // one of the fast / stamp-validated / residual-validated commit paths.
+  EXPECT_EQ(m.fast_commits + m.stamp_commits + m.validated_commits,
+            m.accepted);
   EXPECT_GT(m.accepted, 0u);
 }
 
@@ -385,15 +387,18 @@ TEST(EmbeddingServiceStress, SubmitReleaseRaceOnTinyNetwork) {
 MetricsSnapshot closed_loop_metrics(const Workload& w,
                                     const core::Embedder& e,
                                     std::size_t workers,
+                                    CommitPipeline pipeline,
                                     DriverResult* out = nullptr) {
   AdmissionPolicy admission;
   admission.retry_backoff = std::chrono::nanoseconds(0);
-  DriverResult r = run_closed_loop(w, e, workers, admission, 0x5eed);
+  ServiceTuning tuning;
+  tuning.pipeline = pipeline;
+  DriverResult r = run_closed_loop(w, e, workers, admission, 0x5eed, tuning);
   if (out) *out = r;
   return r.metrics;
 }
 
-TEST(ClosedLoopDriver, MetricsBitIdenticalAcrossWorkerCounts) {
+TEST(ClosedLoopDriver, MetricsBitIdenticalAcrossWorkersAndPipelines) {
   sim::DynamicConfig cfg;
   cfg.base.network_size = 30;
   cfg.base.network_connectivity = 4.0;
@@ -407,36 +412,67 @@ TEST(ClosedLoopDriver, MetricsBitIdenticalAcrossWorkerCounts) {
   const Workload workload = make_workload(cfg, 0x1234);
 
   // Both a deterministic and a randomized embedder: the per-request RNG
-  // streams are keyed on (seed, id, attempt), never the worker.
+  // streams are keyed on (seed, id, attempt), never the worker. The grid
+  // covers both commit pipelines at 1 and 8 workers: the closed loop must
+  // produce one identical metric stream for all four.
   const core::MbbeEmbedder mbbe;
   const core::RanvEmbedder ranv;
+  struct Cell {
+    CommitPipeline pipeline;
+    std::size_t workers;
+  };
+  const Cell cells[] = {{CommitPipeline::kMvcc, 1},
+                        {CommitPipeline::kMvcc, 8},
+                        {CommitPipeline::kMutex, 1},
+                        {CommitPipeline::kMutex, 8}};
   for (const core::Embedder* algo :
        {static_cast<const core::Embedder*>(&mbbe),
         static_cast<const core::Embedder*>(&ranv)}) {
-    DriverResult r1{};
-    DriverResult r8{};
-    const MetricsSnapshot a = closed_loop_metrics(workload, *algo, 1, &r1);
-    const MetricsSnapshot b = closed_loop_metrics(workload, *algo, 8, &r8);
-
-    EXPECT_EQ(a.accepted, b.accepted) << algo->name();
-    EXPECT_EQ(a.rejected_infeasible, b.rejected_infeasible) << algo->name();
-    EXPECT_EQ(a.lost_conflict, b.lost_conflict) << algo->name();
-    EXPECT_EQ(a.commit_conflicts, b.commit_conflicts) << algo->name();
-    EXPECT_EQ(a.retries, b.retries) << algo->name();
-    EXPECT_EQ(a.fast_commits, b.fast_commits) << algo->name();
-    EXPECT_EQ(a.validated_commits, b.validated_commits) << algo->name();
-    EXPECT_EQ(a.releases, b.releases) << algo->name();
-    // Bitwise: per-flow cost distribution (counts, sum, extremes).
-    EXPECT_TRUE(a.cost == b.cost) << algo->name();
-    EXPECT_EQ(r1.final_epoch, r8.final_epoch) << algo->name();
-    EXPECT_DOUBLE_EQ(r1.simulated_time, r8.simulated_time) << algo->name();
-    EXPECT_TRUE(r1.conserved) << algo->name();
-    EXPECT_TRUE(r8.conserved) << algo->name();
-    // Closed loop keeps one request in flight: optimistic commits can
-    // never race, so the fast path must carry every accept.
-    EXPECT_EQ(a.commit_conflicts, 0u) << algo->name();
-    EXPECT_EQ(a.validated_commits, 0u) << algo->name();
+    DriverResult ref{};
+    const MetricsSnapshot a = closed_loop_metrics(
+        workload, *algo, cells[0].workers, cells[0].pipeline, &ref);
+    EXPECT_TRUE(ref.conserved) << algo->name();
     EXPECT_GT(a.accepted, 0u) << algo->name();
+    // Closed loop keeps one request in flight: optimistic commits can
+    // never race, so the fast path must carry every accept in both
+    // pipelines and the batch histogram sees only singleton drains.
+    EXPECT_EQ(a.commit_conflicts, 0u) << algo->name();
+    EXPECT_EQ(a.stamp_commits, 0u) << algo->name();
+    EXPECT_EQ(a.validated_commits, 0u) << algo->name();
+    EXPECT_EQ(a.fast_commits, a.accepted) << algo->name();
+    EXPECT_EQ(a.group_commit_batch.count(), a.accepted) << algo->name();
+    EXPECT_DOUBLE_EQ(a.group_commit_batch.max(), 1.0) << algo->name();
+
+    for (std::size_t i = 1; i < std::size(cells); ++i) {
+      const Cell& cell = cells[i];
+      const auto label = [&] {
+        return std::string(algo->name()) + "/" + to_string(cell.pipeline) +
+               "/w" + std::to_string(cell.workers);
+      };
+      DriverResult r{};
+      const MetricsSnapshot b =
+          closed_loop_metrics(workload, *algo, cell.workers, cell.pipeline,
+                              &r);
+      EXPECT_EQ(a.accepted, b.accepted) << label();
+      EXPECT_EQ(a.rejected_infeasible, b.rejected_infeasible) << label();
+      EXPECT_EQ(a.lost_conflict, b.lost_conflict) << label();
+      EXPECT_EQ(a.commit_conflicts, b.commit_conflicts) << label();
+      EXPECT_EQ(a.retries, b.retries) << label();
+      EXPECT_EQ(a.fast_commits, b.fast_commits) << label();
+      EXPECT_EQ(a.stamp_commits, b.stamp_commits) << label();
+      EXPECT_EQ(a.validated_commits, b.validated_commits) << label();
+      EXPECT_EQ(a.releases, b.releases) << label();
+      // Bitwise: per-flow cost distribution (counts, sum, extremes).
+      EXPECT_TRUE(a.cost == b.cost) << label();
+      EXPECT_EQ(ref.final_epoch, r.final_epoch) << label();
+      EXPECT_DOUBLE_EQ(ref.simulated_time, r.simulated_time) << label();
+      EXPECT_TRUE(r.conserved) << label();
+      // Only the MVCC pipeline records group-commit drains; the legacy
+      // mutex pipeline must leave the histogram untouched.
+      const std::uint64_t expect_batches =
+          cell.pipeline == CommitPipeline::kMvcc ? b.accepted : 0u;
+      EXPECT_EQ(b.group_commit_batch.count(), expect_batches) << label();
+    }
   }
 }
 
