@@ -16,6 +16,7 @@
 #include "core/delay.hpp"
 #include "core/exact.hpp"
 #include "core/ilp.hpp"
+#include "core/layered.hpp"
 #include "core/report.hpp"
 #include "net/io.hpp"
 #include "sfc/io.hpp"
@@ -56,15 +57,25 @@ void write_demo(const std::string& net_path, const std::string& sfc_path) {
              "layer 1\nlayer 2 3\nflow 0 4 1 1\n");
 }
 
-std::unique_ptr<core::Embedder> make_algorithm(const std::string& name) {
+std::unique_ptr<core::Embedder> make_algorithm(const std::string& name,
+                                               double delay_budget_ms) {
+  if (delay_budget_ms > 0.0 && name != "layered") {
+    throw std::invalid_argument(
+        "--delay-budget is only honoured by the layered algorithm");
+  }
   if (name == "ranv") return std::make_unique<core::RanvEmbedder>();
   if (name == "minv") return std::make_unique<core::MinvEmbedder>();
   if (name == "bbe") return std::make_unique<core::BbeEmbedder>();
   if (name == "mbbe") return std::make_unique<core::MbbeEmbedder>();
   if (name == "exact") return std::make_unique<core::ExactEmbedder>();
+  if (name == "layered") {
+    core::LayeredOptions opts;
+    if (delay_budget_ms > 0.0) opts.delay_budget_ms = delay_budget_ms;
+    return std::make_unique<core::LayeredEmbedder>(opts);
+  }
   throw std::invalid_argument(
       "unknown algorithm '" + name +
-      "' (expected ranv|minv|bbe|mbbe|exact)");
+      "' (expected ranv|minv|bbe|mbbe|exact|layered)");
 }
 
 }  // namespace
@@ -73,7 +84,10 @@ int main(int argc, char** argv) {
   Flags flags;
   flags.define("network", "demo_network.txt", "network description file")
       .define("sfc", "demo_sfc.txt", "DAG-SFC (+flow) description file")
-      .define("algorithm", "mbbe", "ranv|minv|bbe|mbbe|exact")
+      .define("algorithm", "mbbe", "ranv|minv|bbe|mbbe|exact|layered")
+      .define_double("delay-budget", 0.0,
+                     "end-to-end delay budget in ms (layered algorithm "
+                     "only); 0 disables")
       .define_int("seed", 42, "RNG seed (randomized algorithms)")
       .define_bool("demo", false, "write demo input files before running")
       .define_bool("delay", true, "also report the end-to-end delay model")
@@ -130,7 +144,8 @@ int main(int argc, char** argv) {
       std::cout << "ILP written to " << flags.get("emit-lp") << "\n";
     }
 
-    const auto algo = make_algorithm(flags.get("algorithm"));
+    const auto algo = make_algorithm(flags.get("algorithm"),
+                                     flags.get_double("delay-budget"));
     Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
     std::cout << "DAG-SFC: " << file.dag.to_string(network.catalog())
               << "\nalgorithm: " << algo->name() << "\n\n";

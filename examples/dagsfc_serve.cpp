@@ -25,6 +25,9 @@
 #include <string>
 
 #include "core/backtracking.hpp"
+#include "core/baselines.hpp"
+#include "core/exact.hpp"
+#include "core/layered.hpp"
 #include "serve/driver.hpp"
 #include "serve/http.hpp"
 #include "util/flags.hpp"
@@ -51,6 +54,8 @@ int main(int argc, char** argv) {
                        "per-request deadline after submit; 0s disables")
       .define_bool("closed-loop", false,
                    "run the deterministic closed-loop driver instead")
+      .define("algorithm", "mbbe",
+              "worker solver: ranv|minv|bbe|mbbe|exact|layered")
       .define("pipeline", "mvcc",
               "commit pipeline: mvcc (replica sync + stamp validation + "
               "group commit) or mutex (legacy full-copy baseline)")
@@ -100,7 +105,26 @@ int main(int argc, char** argv) {
             << cfg.base.network_size << " nodes)...\n";
   const serve::Workload workload = serve::make_workload(cfg, seed);
 
-  core::MbbeEmbedder embedder;
+  std::unique_ptr<core::Embedder> algo;
+  const std::string algo_name = flags.get("algorithm");
+  if (algo_name == "ranv") {
+    algo = std::make_unique<core::RanvEmbedder>();
+  } else if (algo_name == "minv") {
+    algo = std::make_unique<core::MinvEmbedder>();
+  } else if (algo_name == "bbe") {
+    algo = std::make_unique<core::BbeEmbedder>();
+  } else if (algo_name == "mbbe") {
+    algo = std::make_unique<core::MbbeEmbedder>();
+  } else if (algo_name == "exact") {
+    algo = std::make_unique<core::ExactEmbedder>();
+  } else if (algo_name == "layered") {
+    algo = std::make_unique<core::LayeredEmbedder>();
+  } else {
+    std::cerr << "unknown algorithm '" << algo_name
+              << "' (ranv|minv|bbe|mbbe|exact|layered)\n";
+    return 1;
+  }
+  const core::Embedder& embedder = *algo;
 
   // Observability: the drivers own the service, so the watchdog knobs ride
   // in via ServiceTuning and the /metrics endpoint attaches on_start (it

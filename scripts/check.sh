@@ -16,6 +16,11 @@
 # suites (ctest -R 'mvcc|serve|path_cache'): the 8-worker overlapping-
 # footprint conflict battery, the group-commit leader/follower handoff, and
 # the replica-sync invalidation path all execute under TSan.
+# A sixth pass reuses the TSan tree for the layered-embedder batteries
+# (ctest -R 'layered|validity'): the cross-embedder optimality
+# differential, the validity fuzz over all six solvers, and the
+# concurrent-solve hammer that races the lazy CSR build and shared const
+# embedders across threads.
 # Every full pass also runs the flat-vs-reference search differential suite
 # (test_search_flat), so the bit-identity contract of the CSR/workspace
 # tier is checked under ASan/UBSan as well as in the plain build.
@@ -54,6 +59,8 @@ run_pass "${BUILD_DIR:-build-asan}" "" -DDAGSFC_SANITIZE=ON
 require_test "${BUILD_DIR:-build-asan}" 'test_search_flat'
 require_test "${BUILD_DIR:-build-asan}" 'test_metrics'
 require_test "${BUILD_DIR:-build-asan}" 'test_watchdog'
+require_test "${BUILD_DIR:-build-asan}" 'test_layered'
+require_test "${BUILD_DIR:-build-asan}" 'test_validity_fuzz'
 run_pass "${TRACE_BUILD_DIR:-build-asan-trace}" "" -DDAGSFC_SANITIZE=ON \
   -DDAGSFC_TRACE=ON
 run_pass "${TSAN_BUILD_DIR:-build-tsan}" \
@@ -69,3 +76,8 @@ require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_mvcc'
 require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_path_cache'
 ctest --test-dir "${TSAN_BUILD_DIR:-build-tsan}" --output-on-failure \
   -j "$(nproc)" -R 'mvcc|serve|path_cache'
+# Layered-embedder pass: same TSan tree; the cross-embedder battery, the
+# six-solver validity fuzz, and the concurrent bitwise-agreement hammer.
+require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_validity_fuzz'
+ctest --test-dir "${TSAN_BUILD_DIR:-build-tsan}" --output-on-failure \
+  -j "$(nproc)" -R 'layered|validity'

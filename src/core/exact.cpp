@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <map>
-#include <queue>
 
 #include "core/path_oracle.hpp"
+#include "core/solver_detail.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/steiner.hpp"
 #include "util/trace.hpp"
@@ -13,11 +13,9 @@ namespace dagsfc::core {
 
 namespace {
 
-graph::Path trivial_path(NodeId v) {
-  graph::Path p;
-  p.nodes.push_back(v);
-  return p;
-}
+using detail::Enumerator;
+using detail::path_in_tree;
+using detail::trivial_path;
 
 struct BackPointer {
   NodeId prev_end = graph::kInvalidNode;
@@ -29,79 +27,6 @@ struct BackPointer {
 struct Cell {
   double cost = graph::kInfCost;
   BackPointer back;
-};
-
-/// Path a→b inside a fixed edge set (the Steiner tree), by BFS. The tree is
-/// connected over its terminals, so the path exists whenever both endpoints
-/// touch the tree (or a == b).
-graph::Path path_in_tree(const graph::Graph& g,
-                         const std::vector<graph::EdgeId>& tree, NodeId a,
-                         NodeId b) {
-  if (a == b) return trivial_path(a);
-  std::map<NodeId, std::vector<std::pair<NodeId, graph::EdgeId>>> adj;
-  for (graph::EdgeId e : tree) {
-    const auto& ed = g.edge(e);
-    adj[ed.u].emplace_back(ed.v, e);
-    adj[ed.v].emplace_back(ed.u, e);
-  }
-  std::map<NodeId, std::pair<NodeId, graph::EdgeId>> parent;
-  std::queue<NodeId> q;
-  q.push(a);
-  parent[a] = {a, graph::kInvalidEdge};
-  while (!q.empty()) {
-    const NodeId v = q.front();
-    q.pop();
-    if (v == b) break;
-    for (const auto& [w, e] : adj[v]) {
-      if (!parent.count(w)) {
-        parent[w] = {v, e};
-        q.push(w);
-      }
-    }
-  }
-  DAGSFC_CHECK_MSG(parent.count(b), "endpoints not connected by the tree");
-  graph::Path p;
-  NodeId v = b;
-  while (v != a) {
-    p.nodes.push_back(v);
-    p.edges.push_back(parent[v].second);
-    v = parent[v].first;
-  }
-  p.nodes.push_back(a);
-  std::reverse(p.nodes.begin(), p.nodes.end());
-  std::reverse(p.edges.begin(), p.edges.end());
-  p.cost = g.path_cost(p);
-  return p;
-}
-
-class Enumerator {
- public:
-  explicit Enumerator(std::vector<std::vector<NodeId>> choices)
-      : choices_(std::move(choices)), cursor_(choices_.size(), 0) {
-    for (const auto& c : choices_) {
-      if (c.empty()) done_ = true;
-    }
-  }
-  [[nodiscard]] bool done() const noexcept { return done_; }
-  [[nodiscard]] std::vector<NodeId> current() const {
-    std::vector<NodeId> out(choices_.size());
-    for (std::size_t i = 0; i < choices_.size(); ++i) {
-      out[i] = choices_[i][cursor_[i]];
-    }
-    return out;
-  }
-  void advance() {
-    for (std::size_t i = choices_.size(); i-- > 0;) {
-      if (++cursor_[i] < choices_[i].size()) return;
-      cursor_[i] = 0;
-    }
-    done_ = true;
-  }
-
- private:
-  std::vector<std::vector<NodeId>> choices_;
-  std::vector<std::size_t> cursor_;
-  bool done_ = false;
 };
 
 }  // namespace

@@ -23,6 +23,8 @@ TraceCategory category(TraceEventKind kind) noexcept {
     case TraceEventKind::SlotChoice:
     case TraceEventKind::MetaPathRouted:
     case TraceEventKind::DpLayer:
+    case TraceEventKind::LayeredLevel:
+    case TraceEventKind::LayeredGadget:
       return TraceCategory::Decision;
     case TraceEventKind::VnfTerm:
     case TraceEventKind::LinkTerm:
@@ -50,6 +52,8 @@ const char* kind_name(TraceEventKind kind) noexcept {
     case TraceEventKind::SlotChoice:     return "slot_choice";
     case TraceEventKind::MetaPathRouted: return "meta_path_routed";
     case TraceEventKind::DpLayer:        return "dp_layer";
+    case TraceEventKind::LayeredLevel:   return "layered_level";
+    case TraceEventKind::LayeredGadget:  return "layered_gadget";
     case TraceEventKind::VnfTerm:        return "vnf_term";
     case TraceEventKind::LinkTerm:       return "link_term";
     case TraceEventKind::PathQueries:    return "path_queries";

@@ -54,6 +54,10 @@ enum class TraceEventKind : std::uint8_t {
                    ///< v0 = path cost
   // --- Decision: exact layer DP ---
   DpLayer,         ///< i0 = layer, i1 = cells considered, i2 = cells kept
+  // --- Decision: layered product-graph search (LAYERED) ---
+  LayeredLevel,    ///< i0 = level, i1 = states settled, i2 = relaxations
+  LayeredGadget,   ///< i0 = layer, i1 = boundary node, i2 = labels relaxed,
+                   ///< v0 = boundary cost, v1 = assignments enumerated
   // --- Cost: objective (1) reconstruction ---
   VnfTerm,         ///< i0 = instance, i1 = α uses, i2 = hosting node,
                    ///< v0 = term value (α·price·z), v1 = price

@@ -1,0 +1,224 @@
+#include "core/validator.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <sstream>
+
+namespace dagsfc::core {
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << errors[i];
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Walk check from first principles: contiguous over the topology's edge
+/// endpoints, edge-distinct, endpoints as demanded by the layer order.
+void check_walk(const graph::Graph& g, const graph::Path& p, NodeId from,
+                NodeId to, const std::string& what,
+                std::vector<std::string>& errors) {
+  if (p.nodes.empty()) {
+    errors.push_back(what + ": not instantiated");
+    return;
+  }
+  if (p.edges.size() + 1 != p.nodes.size()) {
+    errors.push_back(what + ": node/edge counts disagree");
+    return;
+  }
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < p.edges.size(); ++i) {
+    const graph::EdgeId e = p.edges[i];
+    if (e >= g.num_edges()) {
+      errors.push_back(what + ": nonexistent edge");
+      return;
+    }
+    const graph::Edge& ed = g.edge(e);
+    const NodeId a = p.nodes[i];
+    const NodeId b = p.nodes[i + 1];
+    const bool spans = (ed.u == a && ed.v == b) || (ed.u == b && ed.v == a);
+    if (!spans) {
+      errors.push_back(what + ": hop " + std::to_string(i) +
+                       " does not follow its edge");
+      return;
+    }
+    weight_sum += ed.weight;
+  }
+  const std::set<graph::EdgeId> distinct(p.edges.begin(), p.edges.end());
+  if (distinct.size() != p.edges.size()) {
+    errors.push_back(what + ": repeats a link");
+  }
+  if (p.source() != from || p.target() != to) {
+    std::ostringstream os;
+    os << what << ": runs " << p.source() << " -> " << p.target()
+       << " but the layer order demands " << from << " -> " << to;
+    errors.push_back(os.str());
+  }
+  // Path::cost is advisory for consumers; allow summation-order slack (Yen
+  // computes spur costs as prefix+suffix sums) but not a wrong total.
+  const double drift = p.cost - weight_sum;
+  const double scale = weight_sum < 1.0 ? 1.0 : weight_sum;
+  if (drift > 1e-9 * scale || drift < -1e-9 * scale) {
+    errors.push_back(what + ": stored cost disagrees with its edge weights");
+  }
+}
+
+}  // namespace
+
+ValidationReport SolutionValidator::check_solution(
+    const EmbeddingSolution& sol, const net::CapacityLedger& ledger) const {
+  ValidationReport report;
+  auto& errors = report.errors;
+  const ModelIndex& index = *index_;
+  const EmbeddingProblem& prob = index.problem();
+  const net::Network& net = prob.net();
+  const graph::Graph& g = net.topology();
+  const sfc::DagSfc& dag = prob.dag();
+  const std::size_t omega = dag.num_layers();
+
+  // ---- Placement: deployment-set membership, formula (7) ------------------
+  if (sol.placement.size() != index.num_slots()) {
+    errors.push_back("placement vector has wrong size");
+    return report;
+  }
+  for (SlotId s = 0; s < index.num_slots(); ++s) {
+    const NodeId v = sol.placement[s];
+    if (v >= g.num_nodes()) {
+      errors.push_back("slot " + std::to_string(s) +
+                       " placed on nonexistent node");
+    } else if (!net.find_instance(v, index.slot_type(s)).has_value()) {
+      errors.push_back("slot " + std::to_string(s) + " placed on node " +
+                       std::to_string(v) +
+                       " outside the VNF's deployment set");
+    }
+  }
+  if (!errors.empty()) return report;
+
+  if (sol.inter_paths.size() != index.inter_paths().size()) {
+    errors.push_back("inter-layer path vector has wrong size");
+    return report;
+  }
+  if (sol.inner_paths.size() != index.inner_paths().size()) {
+    errors.push_back("inner-layer path vector has wrong size");
+    return report;
+  }
+
+  // ---- Layer order: endpoints re-derived from the DAG, not from the
+  // meta-path table the embedders were handed ------------------------------
+  for (std::size_t l = 0; l <= omega; ++l) {
+    const NodeId from = l == 0
+                            ? prob.flow.source
+                            : sol.placement[index.layer_end_slot(l - 1)];
+    const auto [first, last] = index.inter_group_range(l);
+    if (l == omega) {
+      if (last - first != 1) {
+        errors.push_back("destination group is not a single path");
+        continue;
+      }
+      check_walk(g, sol.inter_paths[first], from, prob.flow.destination,
+                 "destination path", errors);
+      continue;
+    }
+    const sfc::Layer& layer = dag.layer(l);
+    if (last - first != layer.vnfs.size()) {
+      errors.push_back("inter group " + std::to_string(l) +
+                       " has the wrong path count");
+      continue;
+    }
+    for (std::size_t i = first; i < last; ++i) {
+      const NodeId to = sol.placement[index.vnf_slot(l, i - first)];
+      check_walk(g, sol.inter_paths[i], from, to,
+                 "inter path " + std::to_string(i) + " (layer " +
+                     std::to_string(l) + ")",
+                 errors);
+    }
+    const auto [nfirst, nlast] = index.inner_layer_range(l);
+    if (!layer.has_merger()) {
+      if (nfirst != nlast) {
+        errors.push_back("sequential layer " + std::to_string(l) +
+                         " has inner paths");
+      }
+      continue;
+    }
+    if (nlast - nfirst != layer.vnfs.size()) {
+      errors.push_back("inner range of layer " + std::to_string(l) +
+                       " has the wrong path count");
+      continue;
+    }
+    const NodeId merger = sol.placement[index.merger_slot(l)];
+    for (std::size_t i = nfirst; i < nlast; ++i) {
+      const NodeId branch = sol.placement[index.vnf_slot(l, i - nfirst)];
+      check_walk(g, sol.inner_paths[i], branch, merger,
+                 "inner path " + std::to_string(i) + " (layer " +
+                     std::to_string(l) + ")",
+                 errors);
+    }
+  }
+  if (!errors.empty()) return report;
+
+  // ---- Reuse counts from scratch: formulas (7), (9), (10) -----------------
+  std::vector<std::uint32_t> instance_uses(net.num_instances(), 0);
+  for (SlotId s = 0; s < index.num_slots(); ++s) {
+    ++instance_uses[*net.find_instance(sol.placement[s],
+                                       index.slot_type(s))];
+  }
+  std::vector<std::uint32_t> link_uses(net.num_links(), 0);
+  for (std::size_t l = 0; l <= omega; ++l) {
+    const auto [first, last] = index.inter_group_range(l);
+    std::set<graph::EdgeId> group_edges;  // charged once per group
+    for (std::size_t i = first; i < last; ++i) {
+      group_edges.insert(sol.inter_paths[i].edges.begin(),
+                         sol.inter_paths[i].edges.end());
+    }
+    for (graph::EdgeId e : group_edges) ++link_uses[e];
+  }
+  for (const graph::Path& p : sol.inner_paths) {
+    for (graph::EdgeId e : p.edges) ++link_uses[e];
+  }
+
+  // ---- Capacity admissibility against residual state ----------------------
+  if (!ledger.can_apply(link_uses, instance_uses, prob.flow.rate)) {
+    errors.push_back("solution violates a residual capacity constraint");
+  }
+
+  // ---- Objective (1), re-accumulated in the Evaluator's term order --------
+  const double z = prob.flow.size;
+  double vnf = 0.0;
+  for (net::InstanceId id = 0; id < instance_uses.size(); ++id) {
+    if (instance_uses[id] > 0) {
+      vnf += static_cast<double>(instance_uses[id]) * net.instance(id).price *
+             z;
+    }
+  }
+  double link = 0.0;
+  for (graph::EdgeId e = 0; e < link_uses.size(); ++e) {
+    if (link_uses[e] > 0) {
+      link += static_cast<double>(link_uses[e]) * net.link_price(e) * z;
+    }
+  }
+  report.recomputed_cost = vnf + link;
+  return report;
+}
+
+ValidationReport SolutionValidator::check(
+    const SolveResult& result, const net::CapacityLedger& ledger) const {
+  if (!result.ok()) return ValidationReport{};
+  ValidationReport report = check_solution(*result.solution, ledger);
+  if (std::bit_cast<std::uint64_t>(result.cost) !=
+      std::bit_cast<std::uint64_t>(report.recomputed_cost)) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "reported cost " << result.cost
+       << " is not bitwise-equal to the recomputed objective "
+       << report.recomputed_cost;
+    report.errors.push_back(os.str());
+  }
+  return report;
+}
+
+}  // namespace dagsfc::core

@@ -1,0 +1,73 @@
+#pragma once
+/// \file validator.hpp
+/// Independent admissibility oracle for embedding solutions.
+///
+/// Every embedder is scored by core::Evaluator, and the exact/layered
+/// solvers even assert Evaluator::validate() before returning — so a bug
+/// shared by an embedder and the Evaluator would sail through every
+/// differential test. SolutionValidator closes that hole: it re-derives all
+/// admissibility facts straight from the ModelIndex layer structure, the
+/// Network deployment sets, and the raw topology, without calling
+/// Evaluator::validate(), usage() or cost():
+///
+///   * placements sit on nodes whose deployment set offers the slot's VNF
+///     type (an instance must exist — formula (7) has a term to rent);
+///   * every real-path is a contiguous, edge-distinct walk whose endpoints
+///     are re-resolved from the DAG layer order (group l runs from layer
+///     l−1's end slot to each of layer l's VNF slots; inner paths run from
+///     a VNF slot to the same layer's merger — never across layers);
+///   * reuse counts are recomputed from scratch (multicast discount of
+///     formula (9) per inter group, independent charging of formula (10)
+///     per inner path) and checked against residual capacities via the
+///     ledger's own can_apply;
+///   * the objective is re-accumulated in the Evaluator's published term
+///     order (instance ids ascending, then edge ids ascending, two partial
+///     sums added last) so a SolveResult's cost must match *bitwise* — any
+///     divergence, even one ulp, means the solver priced a different
+///     solution than it returned.
+///
+/// The validator never mutates anything and holds no state between calls;
+/// one instance can check solutions from any embedder on the same problem.
+
+#include <string>
+#include <vector>
+
+#include "core/embedder.hpp"
+#include "core/model.hpp"
+
+namespace dagsfc::core {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  /// Objective (1) re-accumulated from the solution; meaningful when the
+  /// structural checks passed (errors may still contain cost/capacity
+  /// complaints).
+  double recomputed_cost = 0.0;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+  /// All violations joined for gtest failure messages.
+  [[nodiscard]] std::string to_string() const;
+};
+
+class SolutionValidator {
+ public:
+  explicit SolutionValidator(const ModelIndex& index) : index_(&index) {}
+
+  /// Full admissibility check of \p sol against the residual state in
+  /// \p ledger (structure, layer order, deployment sets, capacities).
+  [[nodiscard]] ValidationReport check_solution(
+      const EmbeddingSolution& sol, const net::CapacityLedger& ledger) const;
+
+  /// check_solution() plus the bitwise cost cross-check: a successful
+  /// \p result must report exactly the recomputed objective. A failed
+  /// result (no solution) yields an empty report — there is nothing to
+  /// admit.
+  [[nodiscard]] ValidationReport check(const SolveResult& result,
+                                       const net::CapacityLedger& ledger)
+      const;
+
+ private:
+  const ModelIndex* index_;
+};
+
+}  // namespace dagsfc::core

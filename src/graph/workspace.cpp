@@ -46,6 +46,22 @@ void SearchWorkspace::prepare(const Graph& g) {
   source_ = kInvalidNode;
 }
 
+void SearchWorkspace::prepare_states(std::size_t num_states,
+                                     std::size_t heap_reserve) {
+  if (slots_.size() < num_states) {
+    slots_.resize(num_states);
+    parents_.resize(num_states);
+  }
+  ++generation_;
+  if (generation_ == 0) {
+    for (Slot& s : slots_) s.stamp = 0;
+    generation_ = 1;
+  }
+  if (heap_.capacity() < heap_reserve) heap_.reserve(heap_reserve);
+  heap_.clear();
+  source_ = kInvalidNode;
+}
+
 void SearchWorkspace::bfs_prepare(const Graph& g) {
   const std::size_t n = g.num_nodes();
   if (bfs_stamp_.size() < n) {

@@ -79,6 +79,15 @@ class SearchWorkspace {
   /// per-node work), grows arrays only if the graph grew, clears the heap.
   void prepare(const Graph& g);
 
+  /// Starts a new search over an abstract state space of \p num_states
+  /// dense ids instead of the graph's nodes — e.g. the implicit layered
+  /// product graph, where state = level·|V| + node. The slot/parent/heap
+  /// machinery is shared with prepare(): the same stamps, the same strict
+  /// (key, id) pop order, the same O(1) warm reuse. \p heap_reserve bounds
+  /// the expected pushes (pass the per-level arc count times the level
+  /// count); the heap still grows if a search exceeds it.
+  void prepare_states(std::size_t num_states, std::size_t heap_reserve);
+
   [[nodiscard]] NodeId source() const noexcept { return source_; }
   [[nodiscard]] bool reached(NodeId v) const {
     return v < slots_.size() && slots_[v].stamp == generation_;

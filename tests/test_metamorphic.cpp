@@ -22,7 +22,9 @@
 
 #include "core/backtracking.hpp"
 #include "core/baselines.hpp"
+#include "core/delay.hpp"
 #include "core/exact.hpp"
+#include "core/layered.hpp"
 #include "core/solution.hpp"
 #include "core/trace.hpp"
 #include "graph/generator.hpp"
@@ -77,9 +79,14 @@ struct EmbedderSet {
   core::BbeEmbedder bbe;
   core::MbbeEmbedder mbbe;
   core::ExactEmbedder exact{core::ExactOptions{50'000'000}};
+  core::LayeredEmbedder layered{core::LayeredOptions{
+      .delay_budget_ms = std::nullopt,
+      .delay_model = {},
+      .max_work = 50'000'000,
+      .max_labels = 2'000'000}};
 
   [[nodiscard]] std::vector<const core::Embedder*> all() const {
-    return {&ranv, &minv, &bbe, &mbbe, &exact};
+    return {&ranv, &minv, &bbe, &mbbe, &exact, &layered};
   }
 };
 
@@ -493,6 +500,116 @@ TEST(VnfDuplication, RandomSharingNeverDecreases) {
     ++exercised;
   }
   EXPECT_GT(exercised, 0u) << "no random seed produced a solvable base case";
+}
+
+// ---------------------------------------------------------------------------
+// (d) delay budgets on the layered solver
+// ---------------------------------------------------------------------------
+
+/// Tightening a delay budget can only shrink the feasible set, so the
+/// optimal cost is monotonically non-increasing in the budget: for budgets
+/// b1 >= b2, cost(b1) <= cost(b2), and a solve that succeeds under b2 must
+/// succeed under b1.
+TEST(DelayBudget, TighteningNeverDecreasesCost) {
+  const auto budgets = {64.0, 16.0, 8.0, 6.0, 5.0, 4.5};
+
+  for (std::uint64_t seed : {0x91uLL, 0x92uLL, 0x93uLL}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const sim::ExperimentConfig cfg = small_config(seed);
+    Rng gen(cfg.seed);
+    const sim::Scenario scenario = sim::make_scenario(gen, cfg);
+    const sfc::DagSfc dag = sim::make_sfc(gen, scenario.network.catalog(), cfg);
+    core::EmbeddingProblem problem;
+    problem.network = &scenario.network;
+    problem.sfc = &dag;
+    problem.flow = core::Flow{scenario.source, scenario.destination, 1.0, 1.0};
+    const core::ModelIndex index(problem);
+
+    double prev_cost = 0.0;
+    bool prev_ok = false;
+    bool any_ok = false;
+    for (const double budget : budgets) {
+      SCOPED_TRACE("budget " + std::to_string(budget));
+      core::LayeredOptions opts;
+      opts.delay_budget_ms = budget;
+      const core::LayeredEmbedder layered{opts};
+      const auto r = solve_checked(layered, index, seed);
+      // Budgets iterate loosest-first: whenever two budgets both embed, the
+      // tighter one may not be cheaper.
+      if (prev_ok && r.ok()) {
+        EXPECT_GE(r.cost + tol(r.cost), prev_cost)
+            << "tightening the budget decreased the cost";
+      }
+      if (r.ok()) {
+        const core::Evaluator evaluator(index);
+        EXPECT_LE(core::end_to_end_delay(evaluator, *r.solution, {}),
+                  budget + 1e-9);
+        prev_cost = r.cost;
+        prev_ok = true;
+        any_ok = true;
+      }
+    }
+    (void)any_ok;
+    // Once a budget fails, every tighter one must fail too (checked by
+    // construction: budgets are descending, so assert failure is absorbing).
+    bool seen_failure = false;
+    for (const double budget : budgets) {
+      core::LayeredOptions opts;
+      opts.delay_budget_ms = budget;
+      const core::LayeredEmbedder layered{opts};
+      const bool ok = solve_checked(layered, index, seed).ok();
+      if (seen_failure) {
+        EXPECT_FALSE(ok) << "budget " << budget
+                         << " succeeded after a looser one failed";
+      }
+      if (!ok) seen_failure = true;
+    }
+  }
+}
+
+/// "No budget" and "budget = ∞" are the same thing, and the implementation
+/// promises they take the same code path — so the results must be fully
+/// bitwise-identical, solutions included.
+TEST(DelayBudget, InfiniteBudgetIsBitwiseNoBudget) {
+  const auto check = [](const core::ModelIndex& index, std::uint64_t seed) {
+    const core::LayeredEmbedder none;  // delay_budget_ms unset
+    core::LayeredOptions inf_opts;
+    inf_opts.delay_budget_ms = std::numeric_limits<double>::infinity();
+    const core::LayeredEmbedder infinite{inf_opts};
+
+    const auto a = solve_checked(none, index, seed);
+    const auto b = solve_checked(infinite, index, seed);
+    ASSERT_EQ(a.ok(), b.ok());
+    EXPECT_EQ(a.failure_reason, b.failure_reason);
+    EXPECT_EQ(a.expanded_sub_solutions, b.expanded_sub_solutions);
+    if (!a.ok()) return;
+    EXPECT_EQ(a.cost, b.cost);  // bitwise
+    EXPECT_EQ(a.solution->placement, b.solution->placement);
+    ASSERT_EQ(a.solution->inter_paths.size(), b.solution->inter_paths.size());
+    for (std::size_t i = 0; i < a.solution->inter_paths.size(); ++i) {
+      EXPECT_EQ(a.solution->inter_paths[i].nodes,
+                b.solution->inter_paths[i].nodes);
+      EXPECT_EQ(a.solution->inter_paths[i].cost,
+                b.solution->inter_paths[i].cost);
+    }
+  };
+
+  const auto fx = test::canonical_fixture();
+  check(*fx->index, 0x1f1);
+
+  for (std::uint64_t seed : {0xa1uLL, 0xa2uLL, 0xa3uLL}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const sim::ExperimentConfig cfg = small_config(seed);
+    Rng gen(cfg.seed);
+    const sim::Scenario scenario = sim::make_scenario(gen, cfg);
+    const sfc::DagSfc dag = sim::make_sfc(gen, scenario.network.catalog(), cfg);
+    core::EmbeddingProblem problem;
+    problem.network = &scenario.network;
+    problem.sfc = &dag;
+    problem.flow = core::Flow{scenario.source, scenario.destination, 1.0, 1.0};
+    const core::ModelIndex index(problem);
+    check(index, seed);
+  }
 }
 
 }  // namespace

@@ -14,6 +14,8 @@
 #include "core/backtracking.hpp"
 #include "core/baselines.hpp"
 #include "core/exact.hpp"
+#include "core/layered.hpp"
+#include "core/validator.hpp"
 #include "graph/path_cache.hpp"
 #include "net/io.hpp"
 #include "sfc/io.hpp"
@@ -257,15 +259,21 @@ struct EmbedderSet {
   core::BbeEmbedder bbe;
   core::MbbeEmbedder mbbe;
   core::ExactEmbedder exact{core::ExactOptions{50'000'000}};
+  core::LayeredEmbedder layered{core::LayeredOptions{
+      .delay_budget_ms = std::nullopt,
+      .delay_model = {},
+      .max_work = 50'000'000,
+      .max_labels = 2'000'000}};
 
   [[nodiscard]] std::vector<const core::Embedder*> all() const {
-    return {&ranv, &minv, &bbe, &mbbe, &exact};
+    return {&ranv, &minv, &bbe, &mbbe, &exact, &layered};
   }
 };
 
 void run_differential(const core::ModelIndex& index, std::uint64_t seed,
                       graph::PathQueryCounters* on_tally) {
   const EmbedderSet set;
+  const core::SolutionValidator validator(index);
   for (const core::Embedder* algo : set.all()) {
     SCOPED_TRACE(algo->name());
     const auto on = solve_with(*algo, index, true, seed, on_tally);
@@ -274,6 +282,11 @@ void run_differential(const core::ModelIndex& index, std::uint64_t seed,
     EXPECT_EQ(off.path_queries.cache_hits, 0u);
     EXPECT_EQ(off.path_queries.cache_misses, 0u);
     expect_identical(on, off);
+    // Independent admissibility oracle over the returned solution, with its
+    // bitwise cost recomputation.
+    const net::CapacityLedger fresh(index.problem().net());
+    const auto audit = validator.check(on, fresh);
+    EXPECT_TRUE(audit.ok()) << audit.to_string();
   }
 }
 

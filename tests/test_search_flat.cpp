@@ -18,6 +18,8 @@
 #include "core/backtracking.hpp"
 #include "core/baselines.hpp"
 #include "core/exact.hpp"
+#include "core/layered.hpp"
+#include "core/validator.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/generator.hpp"
 #include "graph/reference.hpp"
@@ -314,15 +316,21 @@ struct EmbedderSet {
   core::BbeEmbedder bbe;
   core::MbbeEmbedder mbbe;
   core::ExactEmbedder exact{core::ExactOptions{50'000'000}};
+  core::LayeredEmbedder layered{core::LayeredOptions{
+      .delay_budget_ms = std::nullopt,
+      .delay_model = {},
+      .max_work = 50'000'000,
+      .max_labels = 2'000'000}};
 
   [[nodiscard]] std::vector<const core::Embedder*> all() const {
-    return {&ranv, &minv, &bbe, &mbbe, &exact};
+    return {&ranv, &minv, &bbe, &mbbe, &exact, &layered};
   }
 };
 
 void run_differential(const core::ModelIndex& index, std::uint64_t seed,
                       bool with_cache_arms) {
   const EmbedderSet set;
+  const core::SolutionValidator validator(index);
   for (const core::Embedder* algo : set.all()) {
     SCOPED_TRACE(algo->name());
     // Cache disabled: pure search-tier comparison, no shared layer between
@@ -330,6 +338,11 @@ void run_differential(const core::ModelIndex& index, std::uint64_t seed,
     const auto flat = solve_with(*algo, index, true, false, seed);
     const auto ref = solve_with(*algo, index, false, false, seed);
     expect_identical(flat, ref);
+    // Every returned solution must pass the independent admissibility
+    // oracle, including its bitwise cost recomputation.
+    const net::CapacityLedger fresh(index.problem().net());
+    const auto audit = validator.check(flat, fresh);
+    EXPECT_TRUE(audit.ok()) << audit.to_string();
     if (with_cache_arms) {
       // Cache enabled on both sides: the flat tier composes with the
       // epoch-keyed cache exactly as the seed search did.
