@@ -20,6 +20,7 @@
 #include "core/report.hpp"
 #include "net/io.hpp"
 #include "sfc/io.hpp"
+#include "shard/hier.hpp"
 #include "util/flags.hpp"
 
 using namespace dagsfc;
@@ -57,8 +58,14 @@ void write_demo(const std::string& net_path, const std::string& sfc_path) {
              "layer 1\nlayer 2 3\nflow 0 4 1 1\n");
 }
 
-std::unique_ptr<core::Embedder> make_algorithm(const std::string& name,
-                                               double delay_budget_ms) {
+/// Builds the chosen solver. "hier" additionally partitions the loaded
+/// network and parks the ShardedSubstrate in \p substrate, which must
+/// outlive the returned embedder.
+std::unique_ptr<core::Embedder> make_algorithm(
+    const Flags& flags, const net::Network& network,
+    std::unique_ptr<shard::ShardedSubstrate>& substrate) {
+  const std::string name = flags.get("algorithm");
+  const double delay_budget_ms = flags.get_double("delay-budget");
   if (delay_budget_ms > 0.0 && name != "layered") {
     throw std::invalid_argument(
         "--delay-budget is only honoured by the layered algorithm");
@@ -73,9 +80,28 @@ std::unique_ptr<core::Embedder> make_algorithm(const std::string& name,
     if (delay_budget_ms > 0.0) opts.delay_budget_ms = delay_budget_ms;
     return std::make_unique<core::LayeredEmbedder>(opts);
   }
+  if (name == "hier") {
+    const auto scheme =
+        shard::partition_scheme_from_string(flags.get("partition"));
+    if (scheme == shard::PartitionScheme::kLabels) {
+      throw std::invalid_argument(
+          "network files carry no region labels; use --partition stripe "
+          "or --partition bfs");
+    }
+    const auto shards = static_cast<std::size_t>(flags.get_int("shards"));
+    shard::HierOptions opts;
+    opts.region_paths =
+        static_cast<std::size_t>(flags.get_int("hier-paths"));
+    opts.inner = shard::inner_algorithm_from_string(flags.get("hier-inner"));
+    opts.flat_fallback = flags.get_bool("hier-flat-fallback");
+    substrate = std::make_unique<shard::ShardedSubstrate>(
+        network,
+        shard::make_partition(network.topology(), shards, scheme));
+    return std::make_unique<shard::HierarchicalEmbedder>(*substrate, opts);
+  }
   throw std::invalid_argument(
       "unknown algorithm '" + name +
-      "' (expected ranv|minv|bbe|mbbe|exact|layered)");
+      "' (expected ranv|minv|bbe|mbbe|exact|layered|hier)");
 }
 
 }  // namespace
@@ -84,7 +110,15 @@ int main(int argc, char** argv) {
   Flags flags;
   flags.define("network", "demo_network.txt", "network description file")
       .define("sfc", "demo_sfc.txt", "DAG-SFC (+flow) description file")
-      .define("algorithm", "mbbe", "ranv|minv|bbe|mbbe|exact|layered")
+      .define("algorithm", "mbbe", "ranv|minv|bbe|mbbe|exact|layered|hier")
+      .define_int("shards", 4, "regions of the sharded substrate (hier)")
+      .define("partition", "stripe",
+              "node->region scheme for hier: stripe|bfs")
+      .define("hier-inner", "mbbe", "hier stage-two solver: bbe|mbbe|layered")
+      .define_int("hier-paths", 4,
+                  "hier stage-one candidates (k of k-shortest region paths)")
+      .define_bool("hier-flat-fallback", false,
+                   "retry hier unrestricted when every candidate fails")
       .define_double("delay-budget", 0.0,
                      "end-to-end delay budget in ms (layered algorithm "
                      "only); 0 disables")
@@ -144,11 +178,18 @@ int main(int argc, char** argv) {
       std::cout << "ILP written to " << flags.get("emit-lp") << "\n";
     }
 
-    const auto algo = make_algorithm(flags.get("algorithm"),
-                                     flags.get_double("delay-budget"));
+    std::unique_ptr<shard::ShardedSubstrate> substrate;
+    const auto algo = make_algorithm(flags, network, substrate);
     Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
     std::cout << "DAG-SFC: " << file.dag.to_string(network.catalog())
-              << "\nalgorithm: " << algo->name() << "\n\n";
+              << "\nalgorithm: " << algo->name() << "\n";
+    if (substrate != nullptr) {
+      std::cout << "shards: " << substrate->num_regions() << " ("
+                << flags.get("partition") << " partition), inner "
+                << flags.get("hier-inner") << ", " << flags.get_int("hier-paths")
+                << " region paths\n";
+    }
+    std::cout << "\n";
     const std::string trace_path = flags.get("trace");
     core::EmbeddingTrace trace;
     core::TraceSink* sink = trace_path.empty() ? nullptr : &trace;

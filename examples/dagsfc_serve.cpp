@@ -30,6 +30,7 @@
 #include "core/layered.hpp"
 #include "serve/driver.hpp"
 #include "serve/http.hpp"
+#include "shard/driver.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
 
@@ -55,7 +56,15 @@ int main(int argc, char** argv) {
       .define_bool("closed-loop", false,
                    "run the deterministic closed-loop driver instead")
       .define("algorithm", "mbbe",
-              "worker solver: ranv|minv|bbe|mbbe|exact|layered")
+              "worker solver: ranv|minv|bbe|mbbe|exact|layered, or hier "
+              "(sharded service, one worker pool per shard)")
+      .define_int("shards", 4, "regions of the sharded substrate (hier)")
+      .define("partition", "labels",
+              "node->region scheme for hier: labels|stripe|bfs (labels = "
+              "the regional generator's own)")
+      .define("hier-inner", "mbbe", "hier stage-two solver: bbe|mbbe|layered")
+      .define_int("hier-paths", 4,
+                  "hier stage-one candidates (k of k-shortest region paths)")
       .define("pipeline", "mvcc",
               "commit pipeline: mvcc (replica sync + stamp validation + "
               "group commit) or mutex (legacy full-copy baseline)")
@@ -100,6 +109,113 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("queue-cap"));
   admission.max_retries = static_cast<std::uint32_t>(flags.get_int("retries"));
   admission.retry_backoff = flags.get_duration("backoff");
+
+  // --- sharded mode: --algorithm hier routes through the shard plane ------
+  if (flags.get("algorithm") == "hier") {
+    std::unique_ptr<serve::MetricsHttpServer> endpoint;
+    const int metrics_port = flags.get_int("metrics-port");
+    const auto shards = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, flags.get_int("shards")));
+    shard::ShardWorkloadConfig scfg;
+    scfg.regional.base = cfg.base;
+    scfg.regional.regions.regions = shards;
+    scfg.regional.regions.nodes_per_region =
+        std::max<std::size_t>(2, cfg.base.network_size / shards);
+    scfg.arrival_rate = cfg.arrival_rate;
+    scfg.mean_holding_time = cfg.mean_holding_time;
+    scfg.num_arrivals = cfg.num_arrivals;
+
+    std::cerr << "generating regional workload (" << scfg.num_arrivals
+              << " arrivals, " << scfg.regional.total_nodes() << " nodes, "
+              << shards << " regions)...\n";
+    const shard::ShardWorkload workload =
+        shard::make_shard_workload(scfg, seed);
+    const auto scheme =
+        shard::partition_scheme_from_string(flags.get("partition"));
+    const shard::ShardedSubstrate substrate(
+        workload.scenario.network,
+        shard::make_partition(workload.scenario.network.topology(), shards,
+                              scheme, workload.scenario.region_of));
+
+    shard::ShardedEmbeddingService::Options sopts;
+    sopts.workers_per_shard = workers;  // --workers is per shard here
+    sopts.admission = admission;
+    sopts.hier.region_paths =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, flags.get_int("hier-paths")));
+    sopts.hier.inner =
+        shard::inner_algorithm_from_string(flags.get("hier-inner"));
+    sopts.seed = seed;
+
+    shard::ShardServiceTuning stuning;
+    if (metrics_port > 0) {
+      stuning.on_start = [&endpoint,
+                          metrics_port](shard::ShardedEmbeddingService& s) {
+        endpoint = std::make_unique<serve::MetricsHttpServer>(
+            s.metrics_registry(), static_cast<std::uint16_t>(metrics_port));
+        std::cerr << "metrics: curl http://127.0.0.1:" << endpoint->port()
+                  << "/metrics\n";
+      };
+      stuning.on_finish = [&endpoint](shard::ShardedEmbeddingService&) {
+        endpoint.reset();
+      };
+    }
+
+    if (flags.get_bool("closed-loop")) {
+      const shard::ShardDriverResult r =
+          shard::run_sharded_closed_loop(workload, substrate, sopts, stuning);
+      const auto& m = r.metrics;
+      std::cout << "== dagsfc_serve (closed loop, hier, " << shards
+                << " shards x " << workers << " workers) ==\n"
+                << "accepted " << m.accepted << " / " << m.submitted
+                << " (ratio " << m.acceptance_ratio() << "), cross-region "
+                << m.cross_region_requests << ", conserved="
+                << (r.conserved ? "yes" : "no") << "\n";
+      std::cout << "JSON: {\"mode\":\"closed-loop\",\"algorithm\":\"hier\""
+                << ",\"shards\":" << shards << ",\"workers_per_shard\":"
+                << workers << ",\"conserved\":"
+                << (r.conserved ? "true" : "false")
+                << ",\"metrics\":" << m.to_json() << "}\n";
+      return 0;
+    }
+
+    shard::ShardOpenLoopConfig open;
+    open.producers = std::max<std::size_t>(
+        1, static_cast<std::size_t>(flags.get_int("producers")));
+    open.target_load =
+        static_cast<std::size_t>(std::max(1.0, flags.get_double("load")));
+    open.window = std::max<std::size_t>(4, 2 * workers / open.producers);
+    open.service = sopts;
+    open.deadline = flags.get_duration("deadline");
+    open.tuning = stuning;
+
+    const shard::ShardOpenLoopResult r =
+        shard::run_sharded_open_loop(workload, substrate, open);
+    const auto& m = r.metrics;
+    std::cout << "== dagsfc_serve (open loop, hier, " << shards
+              << " shards x " << workers << " workers, " << open.producers
+              << " producers) ==\n"
+              << "served " << m.completed() << " requests in "
+              << r.wall_seconds << "s (" << r.throughput_rps() << " req/s)\n"
+              << "accepted " << m.accepted << ", rejected "
+              << m.rejected_infeasible << ", queue-full "
+              << m.rejected_queue_full << ", shed " << m.shed_deadline
+              << ", lost " << m.lost_conflict << ", cross-region "
+              << m.cross_region_requests << "\n"
+              << "commits: fast " << m.fast_commits << ", stamp "
+              << m.stamp_commits << ", validated " << m.validated_commits
+              << ", conflicts " << m.total_conflicts() << ", retries "
+              << m.retries << "\n"
+              << "conserved after drain: " << (r.conserved ? "yes" : "no")
+              << "\n";
+    std::cout << "JSON: {\"mode\":\"open-loop\",\"algorithm\":\"hier\""
+              << ",\"shards\":" << shards << ",\"workers_per_shard\":"
+              << workers << ",\"wall_s\":" << util::json_number(r.wall_seconds)
+              << ",\"throughput_rps\":"
+              << util::json_number(r.throughput_rps()) << ",\"conserved\":"
+              << (r.conserved ? "true" : "false") << ",\"metrics\":"
+              << m.to_json() << "}\n";
+    return 0;
+  }
 
   std::cerr << "generating workload (" << cfg.num_arrivals << " arrivals, "
             << cfg.base.network_size << " nodes)...\n";

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_shard_scaling.json: builds the bench tree in Release and
+# runs the shard-plane sweep — serve throughput at each shard count with two
+# arms on the same seeded regional workload (`flat-mvcc` = one shared MVCC
+# ledger, `sharded` = one worker pool + ledger shard per region, equal total
+# workers), plus the hierarchy cost-gap sweep (HIER vs flat MBBE, every HIER
+# solution checked by the independent SolutionValidator). The acceptance bar
+# for the sharding work lives in this file's output: at the highest shard
+# count, the sharded arm's throughput must beat the flat arm's, and
+# cost_gap.all_validator_clean must be true.
+#
+# Usage: scripts/bench_shard.sh [extra bench_shard_scaling flags...]
+# The build directory defaults to build-bench/ (override with BUILD_DIR).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+
+cmake -B "$BUILD_DIR" -G Ninja -DCMAKE_BUILD_TYPE=Release \
+  -DDAGSFC_BUILD_TESTS=OFF -DDAGSFC_BUILD_EXAMPLES=OFF \
+  ${CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR" -j --target shard_scaling
+
+out="$("$BUILD_DIR/bench/bench_shard_scaling" "$@")"
+echo "$out"
+echo "$out" | grep '^JSON: ' | sed 's/^JSON: //' > BENCH_shard_scaling.json
+echo
+echo "wrote BENCH_shard_scaling.json"

@@ -21,6 +21,11 @@
 # differential, the validity fuzz over all six solvers, and the
 # concurrent-solve hammer that races the lazy CSR build and shared const
 # embedders across threads.
+# A seventh pass runs the shard plane (ctest -R 'shard') under both trees:
+# ASan/UBSan for the partition/contraction/HIER logic, TSan for the
+# 8-thread cross-shard commit battery and the per-shard worker pools,
+# whose multi-mutex ascending-lock commits are exactly what TSan's
+# lock-order analysis is for.
 # Every full pass also runs the flat-vs-reference search differential suite
 # (test_search_flat), so the bit-identity contract of the CSR/workspace
 # tier is checked under ASan/UBSan as well as in the plain build.
@@ -81,3 +86,12 @@ ctest --test-dir "${TSAN_BUILD_DIR:-build-tsan}" --output-on-failure \
 require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_validity_fuzz'
 ctest --test-dir "${TSAN_BUILD_DIR:-build-tsan}" --output-on-failure \
   -j "$(nproc)" -R 'layered|validity'
+# Shard pass: the sharded-substrate suite under both sanitizer trees. The
+# ASan tree already ran it in the full first pass; the require_test guards
+# keep the suite from silently dropping out of either build, and the TSan
+# rerun covers the cross-shard commit battery's ascending multi-mutex
+# locking and the per-shard pool teardown.
+require_test "${BUILD_DIR:-build-asan}" 'test_shard'
+require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_shard'
+ctest --test-dir "${TSAN_BUILD_DIR:-build-tsan}" --output-on-failure \
+  -j "$(nproc)" -R 'shard'

@@ -1,6 +1,9 @@
 #include "graph/generator.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "graph/topologies.hpp"
 
 namespace dagsfc::graph {
 
@@ -57,6 +60,99 @@ Graph random_connected_graph(Rng& rng, const RandomGraphOptions& opts) {
   }
   DAGSFC_ASSERT(is_connected(g));
   return g;
+}
+
+RegionalGraph make_regional_waxman(Rng& rng, const RegionSpec& spec) {
+  DAGSFC_CHECK_MSG(spec.regions >= 1, "need at least one region");
+  DAGSFC_CHECK_MSG(spec.nodes_per_region >= 1, "regions must be non-empty");
+  DAGSFC_CHECK(spec.inter_region_degree >= 0.0);
+  DAGSFC_CHECK(spec.inter_region_density >= 0.0 &&
+               spec.inter_region_density <= 1.0);
+  DAGSFC_CHECK(spec.inter_price_multiplier > 0.0);
+
+  const std::size_t k = spec.regions;
+  const std::size_t m = spec.nodes_per_region;
+  RegionalGraph out;
+  out.num_regions = k;
+  out.graph = Graph(k * m);
+  out.region_of.resize(k * m);
+
+  // Each region is an independent Waxman cloud on a contiguous id block
+  // [r·m, (r+1)·m).
+  WaxmanOptions wopts = spec.waxman;
+  wopts.num_nodes = m;
+  for (std::size_t r = 0; r < k; ++r) {
+    const auto base = static_cast<NodeId>(r * m);
+    const Graph cloud = make_waxman(rng, wopts);
+    for (std::size_t e = 0; e < cloud.num_edges(); ++e) {
+      const Edge& edge = cloud.edge(static_cast<EdgeId>(e));
+      (void)out.graph.add_edge(base + edge.u, base + edge.v, 1.0);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      out.region_of[r * m + i] = static_cast<std::uint32_t>(r);
+    }
+  }
+  if (k == 1) return out;
+
+  // Region pairs to connect: the ring 0—1—…—(k-1)—0 keeps the substrate
+  // connected; chords over the remaining pairs follow the density knob.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t r = 0; r < k; ++r) {
+    if (k == 2 && r == 1) break;  // 0—1 only once
+    pairs.emplace_back(r, (r + 1) % k);
+  }
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b) {
+      const bool on_ring = (b == a + 1) || (a == 0 && b == k - 1);
+      if (on_ring) continue;
+      if (rng.bernoulli(spec.inter_region_density)) pairs.emplace_back(a, b);
+    }
+  }
+
+  // Border links: one guaranteed per connected pair, plus
+  // ~inter_region_degree extra random endpoints.
+  const auto extra = static_cast<std::size_t>(spec.inter_region_degree + 0.5);
+  for (const auto& [a, b] : pairs) {
+    const std::size_t want = 1 + extra;
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < want && attempts < 20 * want) {
+      ++attempts;
+      const auto u = static_cast<NodeId>(a * m + rng.index(m));
+      const auto v = static_cast<NodeId>(b * m + rng.index(m));
+      if (out.graph.find_edge(u, v).has_value()) continue;
+      (void)out.graph.add_edge(u, v, spec.inter_price_multiplier);
+      ++added;
+    }
+    DAGSFC_CHECK_MSG(added >= 1, "could not connect a region pair");
+  }
+  DAGSFC_ASSERT(is_connected(out.graph));
+  return out;
+}
+
+RegionalGraph make_regional_fat_tree(std::size_t k,
+                                     double inter_price_multiplier) {
+  DAGSFC_CHECK_MSG(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+  DAGSFC_CHECK(inter_price_multiplier > 0.0);
+  RegionalGraph out;
+  out.graph = make_fat_tree(k);
+  const std::size_t cores = (k / 2) * (k / 2);
+  out.num_regions = k + 1;
+  out.region_of.resize(out.graph.num_nodes());
+  for (std::size_t v = 0; v < out.graph.num_nodes(); ++v) {
+    out.region_of[v] = v < cores
+                           ? 0u
+                           : static_cast<std::uint32_t>((v - cores) / k + 1);
+  }
+  // Border links are exactly the agg↔core links; mark them with the price
+  // multiplier as their placeholder weight.
+  for (EdgeId e = 0; e < out.graph.num_edges(); ++e) {
+    const Edge& edge = out.graph.edge(e);
+    if (out.region_of[edge.u] != out.region_of[edge.v]) {
+      out.graph.set_weight(e, inter_price_multiplier);
+    }
+  }
+  return out;
 }
 
 }  // namespace dagsfc::graph

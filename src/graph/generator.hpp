@@ -7,6 +7,7 @@
 /// net layer overwrites them with link prices.
 
 #include "graph/graph.hpp"
+#include "graph/topologies.hpp"
 #include "util/rng.hpp"
 
 namespace dagsfc::graph {
@@ -21,5 +22,51 @@ struct RandomGraphOptions {
 /// (a tree already fixes the minimum at 2·(n−1)/n).
 [[nodiscard]] Graph random_connected_graph(Rng& rng,
                                            const RandomGraphOptions& opts);
+
+// --- region-labeled substrates (shard layer inputs) ------------------------
+
+/// Knobs of the region-labeled generators: how many regions, how big each
+/// is, how densely regions interconnect, and how much pricier the
+/// inter-region (border) links are than intra-region ones. The price
+/// multiplier is carried as the border links' placeholder edge weight
+/// (intra links keep weight 1.0), so pricing layers can tell the two
+/// classes apart without re-deriving the partition.
+struct RegionSpec {
+  std::size_t regions = 4;            ///< shard count
+  std::size_t nodes_per_region = 64;  ///< region size (Waxman generator)
+  /// Expected border links per connected region pair, beyond the one that
+  /// guarantees inter-region connectivity (Waxman generator).
+  double inter_region_degree = 2.0;
+  /// Extra region-pair chords beyond the connecting ring, as a fraction of
+  /// all remaining pairs (Waxman generator; 0 = ring of regions only).
+  double inter_region_density = 0.25;
+  /// Border-link placeholder weight (intra links carry 1.0); pricing layers
+  /// scale border link prices by this factor.
+  double inter_price_multiplier = 4.0;
+  /// Waxman parameters of each region's internal topology.
+  WaxmanOptions waxman;
+};
+
+/// A substrate plus its per-node region labels (dense ids 0..regions-1).
+struct RegionalGraph {
+  Graph graph;
+  std::vector<std::uint32_t> region_of;  ///< per NodeId
+  std::size_t num_regions = 0;
+};
+
+/// Region-labeled Waxman substrate: \p spec.regions independent Waxman
+/// clouds of \p spec.nodes_per_region nodes each (contiguous id blocks),
+/// connected by a ring of regions plus random chords, with
+/// ~inter_region_degree random border links per connected pair. Always
+/// connected; border links carry weight inter_price_multiplier.
+[[nodiscard]] RegionalGraph make_regional_waxman(Rng& rng,
+                                                 const RegionSpec& spec);
+
+/// Region-labeled k-ary fat-tree: the topology of make_fat_tree(k) with
+/// region 0 = the (k/2)² core switches (the "cloud"), region 1+p = pod p
+/// (a "central office"). Aggregation↔core links are the border links and
+/// carry weight \p inter_price_multiplier; everything else weighs 1.0.
+[[nodiscard]] RegionalGraph make_regional_fat_tree(
+    std::size_t k, double inter_price_multiplier = 4.0);
 
 }  // namespace dagsfc::graph

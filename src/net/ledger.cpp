@@ -134,6 +134,29 @@ void CapacityLedger::release_instance(InstanceId id, double rate) {
   note_instance_changed(id, instance_residual_[id]);
 }
 
+void CapacityLedger::set_link_residual(EdgeId e, double residual) {
+  DAGSFC_CHECK(e < link_residual_.size());
+  DAGSFC_CHECK(residual >= 0.0);
+  DAGSFC_CHECK_MSG(residual <= net_->link_capacity(e) + kEps,
+                   "residual exceeds nominal link capacity");
+  const double before = link_residual_[e];
+  if (before == residual) return;  // no mutation, no epoch bump
+  link_residual_[e] = residual;
+  ++epoch_;
+  note_link_changed(e, before, residual);
+}
+
+void CapacityLedger::set_instance_residual(InstanceId id, double residual) {
+  DAGSFC_CHECK(id < instance_residual_.size());
+  DAGSFC_CHECK(residual >= 0.0);
+  DAGSFC_CHECK_MSG(residual <= net_->instance(id).capacity + kEps,
+                   "residual exceeds nominal instance capacity");
+  if (instance_residual_[id] == residual) return;
+  instance_residual_[id] = residual;
+  ++epoch_;
+  note_instance_changed(id, residual);
+}
+
 bool CapacityLedger::can_apply(std::span<const std::uint32_t> link_uses,
                                std::span<const std::uint32_t> instance_uses,
                                double rate) const {

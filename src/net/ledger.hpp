@@ -91,6 +91,16 @@ class CapacityLedger {
   void release_link(EdgeId e, double rate);
   void release_instance(InstanceId id, double rate);
 
+  /// Sets one resource's residual to exactly \p residual (bitwise — no
+  /// subtraction round-trip), going through the normal mutation epilogue so
+  /// the epoch, per-resource stamp, journal, and path-cache invalidation
+  /// all observe the change. Residual must lie in [0, nominal capacity].
+  /// This is the shard layer's view-composition primitive: a scratch ledger
+  /// is overwritten with each owner shard's live residuals (and zeros for
+  /// everything outside the allowed regions) before a restricted solve.
+  void set_link_residual(EdgeId e, double residual);
+  void set_instance_residual(InstanceId id, double residual);
+
   /// Bulk counterparts over a whole embedding's reuse counts (the α vectors
   /// of core::ResourceUsage, indexed by EdgeId / InstanceId; entries beyond
   /// the vectors' lengths are implicitly zero). Each counted use costs

@@ -1,0 +1,108 @@
+#pragma once
+/// \file driver.hpp
+/// Deterministic drivers for the sharded embedding service — the shard
+/// plane's mirror of serve/driver.hpp.
+///
+/// Workloads are materialized up front on a regional scenario
+/// (sim::make_regional_scenario): the same Poisson arrivals / random
+/// DAG-SFC / exponential holding recipe as serve::make_workload, with
+/// endpoints uniform over the whole regional substrate — so a workload is
+/// a pure function of (config, seed), and the fraction of cross-region
+/// requests follows from the region geometry, not from the driver.
+///
+/// run_sharded_closed_loop keeps one request in flight globally, making
+/// every metric — the per-shard commit counters included — a pure function
+/// of the workload, bit-identical across workers_per_shard.
+/// run_sharded_open_loop is the contention mode: producer threads race
+/// cross-shard commits against each other, which is what the shard_scaling
+/// bench measures.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "serve/driver.hpp"
+#include "shard/service.hpp"
+#include "sim/dynamic.hpp"
+#include "sim/regional.hpp"
+
+namespace dagsfc::shard {
+
+/// A reproducible sharded workload: the regional scenario (network +
+/// labels) plus the arrival schedule. The scenario must outlive any
+/// substrate/service built over it.
+struct ShardWorkload {
+  sim::RegionalScenario scenario;
+  std::vector<serve::TimedRequest> arrivals;
+};
+
+struct ShardWorkloadConfig {
+  sim::RegionalConfig regional;     ///< substrate shape + pricing
+  double arrival_rate = 1.0;        ///< Poisson arrivals per time unit
+  double mean_holding_time = 10.0;  ///< exponential holding mean
+  std::size_t num_arrivals = 200;
+
+  void validate() const;
+};
+
+/// Materializes the schedule. Deterministic in \p seed.
+[[nodiscard]] ShardWorkload make_shard_workload(const ShardWorkloadConfig& cfg,
+                                                std::uint64_t seed);
+
+/// Hooks to reach the live service (e.g. to attach a /metrics endpoint to
+/// its registry for the duration of the run).
+struct ShardServiceTuning {
+  /// Called once, after the service starts and before any submit.
+  std::function<void(ShardedEmbeddingService&)> on_start;
+  /// Called once, after the drain and final metrics capture but before the
+  /// service (and its registry) is destroyed.
+  std::function<void(ShardedEmbeddingService&)> on_finish;
+};
+
+struct ShardDriverResult {
+  ShardMetricsSnapshot metrics;
+  double simulated_time = 0.0;
+  /// Residuals returned to nominal after every accepted flow departed.
+  bool conserved = false;
+};
+
+/// Replays \p workload closed-loop (one request in flight) through a fresh
+/// ShardedEmbeddingService over \p substrate. Deterministic in the
+/// workload and service seed for any workers_per_shard.
+[[nodiscard]] ShardDriverResult run_sharded_closed_loop(
+    const ShardWorkload& workload, const ShardedSubstrate& substrate,
+    const ShardedEmbeddingService::Options& options,
+    const ShardServiceTuning& tuning = {});
+
+/// Open-loop replay: producer threads with windows of outstanding
+/// requests, racing cross-shard commits.
+struct ShardOpenLoopConfig {
+  std::size_t producers = 2;
+  std::size_t window = 8;
+  /// Target flows concurrently in service (per-producer share, as in the
+  /// flat open loop).
+  std::size_t target_load = 16;
+  ShardedEmbeddingService::Options service;
+  /// Per-request deadline measured from submit; zero disables.
+  std::chrono::nanoseconds deadline{0};
+  ShardServiceTuning tuning;
+};
+
+struct ShardOpenLoopResult {
+  ShardMetricsSnapshot metrics;
+  double wall_seconds = 0.0;
+  bool conserved = false;
+
+  [[nodiscard]] double throughput_rps() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(metrics.completed()) / wall_seconds
+               : 0.0;
+  }
+};
+
+[[nodiscard]] ShardOpenLoopResult run_sharded_open_loop(
+    const ShardWorkload& workload, const ShardedSubstrate& substrate,
+    const ShardOpenLoopConfig& cfg);
+
+}  // namespace dagsfc::shard

@@ -1,0 +1,146 @@
+#pragma once
+/// \file ledger.hpp
+/// ShardedLedger — residual capacity split into per-region shards.
+///
+/// Each region owns one full-size net::CapacityLedger guarded by its own
+/// mutex, but only the resources the region owns (ShardedSubstrate's
+/// ownership map) are ever mutated in it; everything else stays at nominal
+/// forever. That makes each shard the single-writer authority for its
+/// resources, and lets a cross-region commit take only the locks of the
+/// regions on its path — requests whose region sets are disjoint never
+/// contend.
+///
+/// ## View composition
+///
+/// A solver cannot read k ledgers at once, so compose() assembles a
+/// *restricted snapshot* into a caller-owned scratch ledger: for every
+/// involved region, the owner shard's live residuals are copied in (under
+/// that shard's lock, taken in ascending region order); every resource
+/// owned by a region outside the set is forced to residual 0. A solver run
+/// against the composed view is thereby confined to the allowed regions —
+/// zero-residual resources fail every capacity predicate — without any id
+/// remapping: solutions come out in global ids and validate unchanged.
+/// Writes go through CapacityLedger::set_*_residual, which no-ops on
+/// bitwise-equal values, so a reused scratch ledger keeps its warm path
+/// cache across requests that see unchanged regions.
+///
+/// ## Commit protocol
+///
+/// try_commit() revalidates a solution's footprint against the live shards
+/// under their locks (ascending order — the global lock hierarchy, so
+/// concurrent cross-region commits cannot deadlock) and applies it
+/// atomically across all of them. Classification mirrors the serve layer's
+/// MVCC pipeline, per shard:
+///   * fast      — no shard's epoch moved since the snapshot: apply as-is;
+///   * stamp     — epochs moved but no resource in the footprint was
+///                 touched (per-resource stamps): the residuals the solver
+///                 saw are still live, apply without re-checking;
+///   * validated — the footprint was touched, but can_apply() still holds
+///                 on every shard: apply (the solution's *cost* reflects
+///                 the snapshot, its feasibility is re-proven);
+///   * conflict  — some shard rejects: nothing is applied anywhere.
+///
+/// The full-span trick: stamp- and can_apply-checks run with the complete
+/// usage vectors against each shard's full-size ledger. That is exact, not
+/// approximate — resources owned by other shards have stamp 0 (never
+/// mutated here) and nominal residuals, so they can neither fail the stamp
+/// check nor the capacity check spuriously; only apply/unapply must be
+/// split per shard, which split_usage() does once per solution.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/solution.hpp"
+#include "net/ledger.hpp"
+#include "shard/substrate.hpp"
+
+namespace dagsfc::shard {
+
+enum class CommitPath : std::uint8_t { kFast, kStamp, kValidated, kConflict };
+
+struct CommitResult {
+  bool ok = false;
+  CommitPath path = CommitPath::kConflict;
+  /// Regions owning part of the footprint (= the shards this commit wrote,
+  /// or would have written), ascending. The service's per-shard counters.
+  std::vector<RegionId> touched;
+  /// On conflict: the region whose shard rejected the footprint.
+  RegionId conflict_region = kInvalidRegion;
+};
+
+class ShardedLedger {
+ public:
+  /// One shard per region of \p substrate, all starting at nominal
+  /// capacity. The substrate must outlive the ledger.
+  explicit ShardedLedger(const ShardedSubstrate& substrate);
+
+  [[nodiscard]] const ShardedSubstrate& substrate() const noexcept {
+    return *substrate_;
+  }
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+
+  /// Live epoch of one shard's ledger (locks it briefly).
+  [[nodiscard]] std::uint64_t shard_epoch(RegionId r) const;
+
+  /// Epochs of the involved shards in the order of \p regions — the
+  /// snapshot handle compose() fills and try_commit() validates against.
+  void snapshot_epochs(std::span<const RegionId> regions,
+                       std::vector<std::uint64_t>& out) const;
+
+  /// Assembles the restricted snapshot of \p regions into \p out (see file
+  /// comment) and records each involved shard's epoch into \p epochs,
+  /// parallel to \p regions. \p out must view the substrate's Network.
+  /// \p regions must be sorted ascending and duplicate-free.
+  void compose(std::span<const RegionId> regions, net::CapacityLedger& out,
+               std::vector<std::uint64_t>& epochs) const;
+
+  /// Commits \p usage (rate-scaled) across the shards of \p regions,
+  /// revalidating against \p epochs from compose(). All-or-nothing: on
+  /// conflict no shard is modified. \p regions sorted ascending.
+  CommitResult try_commit(const core::ResourceUsage& usage, double rate,
+                          std::span<const RegionId> regions,
+                          std::span<const std::uint64_t> epochs);
+
+  /// Releases a previously committed footprint (flow departure). The
+  /// owning shards are derived from the usage itself.
+  void release(const core::ResourceUsage& usage, double rate);
+
+  /// True iff every shard's owned resources are back at nominal capacity —
+  /// the conservation oracle for commit/release batteries. Locks shards
+  /// one at a time, so call only at quiescence.
+  [[nodiscard]] bool residuals_nominal() const;
+
+  /// Direct locked read of one resource's live residual (diagnostics).
+  [[nodiscard]] double link_residual(EdgeId e) const;
+  [[nodiscard]] double instance_residual(InstanceId id) const;
+
+ private:
+  /// Per-solution split of the usage vectors by owner region: the regions
+  /// that own at least one counted resource, each with its slice of uses
+  /// (still full-length vectors, zero outside the region — apply() skips
+  /// zeros, so sparsity costs nothing extra).
+  struct SplitUsage {
+    std::vector<RegionId> regions;
+    std::vector<core::ResourceUsage> per_region;
+  };
+  [[nodiscard]] SplitUsage split_usage(const core::ResourceUsage& usage) const;
+
+  struct Shard {
+    explicit Shard(const net::Network& n) : ledger(n) {}
+    mutable std::mutex mu;
+    net::CapacityLedger ledger;
+  };
+
+  const ShardedSubstrate* substrate_;
+  // unique_ptr because Shard holds a mutex (not movable, so not
+  // vector-element material) and because it pins each shard's cache line
+  // group to its own allocation — no false sharing between shard mutexes.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dagsfc::shard

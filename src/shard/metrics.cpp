@@ -1,0 +1,124 @@
+#include "shard/metrics.hpp"
+
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace dagsfc::shard {
+
+ShardMetrics::ShardMetrics(std::size_t num_shards)
+    : registry_(std::make_unique<util::MetricRegistry>()) {
+  util::MetricRegistry& r = *registry_;
+  submitted_ = r.counter("dagsfc_shard_submitted_total");
+  accepted_ = r.counter("dagsfc_shard_accepted_total");
+  rejected_infeasible_ = r.counter("dagsfc_shard_rejected_infeasible_total");
+  rejected_queue_full_ = r.counter("dagsfc_shard_rejected_queue_full_total");
+  shed_deadline_ = r.counter("dagsfc_shard_shed_deadline_total");
+  lost_conflict_ = r.counter("dagsfc_shard_lost_conflict_total");
+  fast_commits_ = r.counter("dagsfc_shard_fast_commits_total");
+  stamp_commits_ = r.counter("dagsfc_shard_stamp_commits_total");
+  validated_commits_ = r.counter("dagsfc_shard_validated_commits_total");
+  retries_ = r.counter("dagsfc_shard_retries_total");
+  releases_ = r.counter("dagsfc_shard_releases_total");
+  cross_region_ = r.counter("dagsfc_shard_cross_region_requests_total");
+  per_shard_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const util::MetricLabels labels{{"shard", std::to_string(s)}};
+    per_shard_.push_back(PerShard{
+        r.counter("dagsfc_shard_commits_total", labels),
+        r.counter("dagsfc_shard_conflicts_total", labels),
+        r.gauge("dagsfc_shard_queue_depth", labels),
+    });
+  }
+}
+
+void ShardMetrics::on_submitted() { submitted_.inc(); }
+
+void ShardMetrics::on_release() { releases_.inc(); }
+
+void ShardMetrics::on_cross_region() { cross_region_.inc(); }
+
+void ShardMetrics::on_retry() { retries_.inc(); }
+
+void ShardMetrics::on_response(const serve::Response& r) {
+  switch (r.outcome) {
+    case serve::Outcome::Accepted: accepted_.inc(); break;
+    case serve::Outcome::RejectedInfeasible: rejected_infeasible_.inc(); break;
+    case serve::Outcome::RejectedQueueFull: rejected_queue_full_.inc(); break;
+    case serve::Outcome::SheddedDeadline: shed_deadline_.inc(); break;
+    case serve::Outcome::LostConflict: lost_conflict_.inc(); break;
+  }
+}
+
+void ShardMetrics::on_commit(const CommitResult& result) {
+  if (result.ok) {
+    switch (result.path) {
+      case CommitPath::kFast: fast_commits_.inc(); break;
+      case CommitPath::kStamp: stamp_commits_.inc(); break;
+      case CommitPath::kValidated: validated_commits_.inc(); break;
+      case CommitPath::kConflict: break;  // unreachable when ok
+    }
+    for (const RegionId r : result.touched) {
+      DAGSFC_CHECK(r < per_shard_.size());
+      per_shard_[r].commits.inc();
+    }
+  } else {
+    DAGSFC_CHECK(result.conflict_region < per_shard_.size());
+    per_shard_[result.conflict_region].conflicts.inc();
+  }
+}
+
+void ShardMetrics::set_queue_depth(RegionId shard, std::size_t depth) {
+  DAGSFC_CHECK(shard < per_shard_.size());
+  per_shard_[shard].queue_depth.set(static_cast<double>(depth));
+}
+
+ShardMetricsSnapshot ShardMetrics::snapshot() const {
+  ShardMetricsSnapshot s;
+  s.submitted = submitted_.value();
+  s.accepted = accepted_.value();
+  s.rejected_infeasible = rejected_infeasible_.value();
+  s.rejected_queue_full = rejected_queue_full_.value();
+  s.shed_deadline = shed_deadline_.value();
+  s.lost_conflict = lost_conflict_.value();
+  s.fast_commits = fast_commits_.value();
+  s.stamp_commits = stamp_commits_.value();
+  s.validated_commits = validated_commits_.value();
+  s.retries = retries_.value();
+  s.releases = releases_.value();
+  s.cross_region_requests = cross_region_.value();
+  s.shards.reserve(per_shard_.size());
+  for (const PerShard& p : per_shard_) {
+    s.shards.push_back(ShardStatsSnapshot{p.commits.value(),
+                                          p.conflicts.value(),
+                                          p.queue_depth.value()});
+  }
+  return s;
+}
+
+std::string ShardMetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"submitted\":" << submitted << ",\"accepted\":" << accepted
+     << ",\"rejected_infeasible\":" << rejected_infeasible
+     << ",\"rejected_queue_full\":" << rejected_queue_full
+     << ",\"shed_deadline\":" << shed_deadline
+     << ",\"lost_conflict\":" << lost_conflict
+     << ",\"acceptance_ratio\":" << util::json_number(acceptance_ratio())
+     << ",\"fast_commits\":" << fast_commits
+     << ",\"stamp_commits\":" << stamp_commits
+     << ",\"validated_commits\":" << validated_commits
+     << ",\"retries\":" << retries << ",\"releases\":" << releases
+     << ",\"cross_region_requests\":" << cross_region_requests
+     << ",\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"shard\":" << i << ",\"commits\":" << shards[i].commits
+       << ",\"conflicts\":" << shards[i].conflicts
+       << ",\"queue_depth\":" << util::json_number(shards[i].queue_depth)
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace dagsfc::shard

@@ -1,0 +1,118 @@
+#pragma once
+/// \file metrics.hpp
+/// Telemetry of the sharded embedding service: the global outcome counters
+/// of the flat serve plane, rebased onto the `dagsfc_shard_*` namespace,
+/// plus the per-shard dimension — `dagsfc_shard_commits_total{shard="r"}`,
+/// `dagsfc_shard_conflicts_total{shard="r"}` and the
+/// `dagsfc_shard_queue_depth{shard="r"}` gauge — so /metrics shows where
+/// commits land and which shard's footprints collide.
+///
+/// Same determinism contract as serve::ServiceMetrics: every counter
+/// depends only on the multiset of recorded events, so the closed-loop
+/// driver's metrics (per-shard ones included) are bit-identical across
+/// worker counts.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "shard/ledger.hpp"
+#include "util/metrics.hpp"
+
+namespace dagsfc::shard {
+
+struct ShardStatsSnapshot {
+  std::uint64_t commits = 0;    ///< footprint writes into this shard
+  std::uint64_t conflicts = 0;  ///< footprints this shard rejected
+  double queue_depth = 0.0;     ///< jobs waiting on this shard's pool
+};
+
+/// Immutable copy of the sharded service's metrics at one instant.
+struct ShardMetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_infeasible = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t lost_conflict = 0;
+
+  std::uint64_t fast_commits = 0;
+  std::uint64_t stamp_commits = 0;
+  std::uint64_t validated_commits = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t releases = 0;
+  /// Requests whose source and destination live in different regions.
+  std::uint64_t cross_region_requests = 0;
+
+  std::vector<ShardStatsSnapshot> shards;
+
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return accepted + rejected_infeasible + rejected_queue_full +
+           shed_deadline + lost_conflict;
+  }
+  [[nodiscard]] double acceptance_ratio() const noexcept {
+    const std::uint64_t n = completed();
+    return n ? static_cast<double>(accepted) / static_cast<double>(n) : 0.0;
+  }
+  [[nodiscard]] std::uint64_t total_conflicts() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : shards) n += s.conflicts;
+    return n;
+  }
+
+  /// Single-line JSON object (no trailing newline) — the payload of the
+  /// `JSON:` lines the shard bench prints.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class ShardMetrics {
+ public:
+  explicit ShardMetrics(std::size_t num_shards);
+
+  void on_submitted();
+  /// Terminal response sink (every outcome, incl. queue-full rejects).
+  void on_response(const serve::Response& r);
+  void on_release();
+  void on_cross_region();
+  void on_retry();
+  /// A commit (or conflict) classified by ShardedLedger::try_commit.
+  void on_commit(const CommitResult& result);
+  void set_queue_depth(RegionId shard, std::size_t depth);
+
+  [[nodiscard]] ShardMetricsSnapshot snapshot() const;
+
+  [[nodiscard]] util::MetricRegistry& registry() noexcept {
+    return *registry_;
+  }
+  [[nodiscard]] const util::MetricRegistry& registry() const noexcept {
+    return *registry_;
+  }
+
+ private:
+  struct PerShard {
+    util::Counter commits;
+    util::Counter conflicts;
+    util::Gauge queue_depth;
+  };
+
+  /// unique_ptr so instrument handles stay valid if the owner moves.
+  std::unique_ptr<util::MetricRegistry> registry_;
+
+  util::Counter submitted_;
+  util::Counter accepted_;
+  util::Counter rejected_infeasible_;
+  util::Counter rejected_queue_full_;
+  util::Counter shed_deadline_;
+  util::Counter lost_conflict_;
+  util::Counter fast_commits_;
+  util::Counter stamp_commits_;
+  util::Counter validated_commits_;
+  util::Counter retries_;
+  util::Counter releases_;
+  util::Counter cross_region_;
+  std::vector<PerShard> per_shard_;
+};
+
+}  // namespace dagsfc::shard

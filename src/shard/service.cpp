@@ -1,0 +1,236 @@
+#include "shard/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace dagsfc::shard {
+
+namespace {
+
+double ms_between(serve::Clock::time_point a, serve::Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Same (seed, id, attempt) mixing as the flat service, so outcomes are a
+/// pure function of the request identity, never of worker scheduling.
+std::uint64_t solve_seed(std::uint64_t base, serve::RequestId id,
+                         std::uint32_t attempt) {
+  std::uint64_t state = base ^ (id * 0x9e3779b97f4a7c15ULL) ^
+                        (std::uint64_t{attempt} << 32);
+  return splitmix64(state);
+}
+
+}  // namespace
+
+ShardedEmbeddingService::ShardedEmbeddingService(
+    const ShardedSubstrate& substrate, Options options)
+    : substrate_(&substrate),
+      opts_(options),
+      inner_(make_inner_embedder(options.hier.inner)),
+      ledger_(substrate),
+      metrics_(substrate.num_regions()) {
+  opts_.admission.validate();
+  DAGSFC_CHECK(opts_.workers_per_shard >= 1);
+  DAGSFC_CHECK(opts_.hier.region_paths >= 1);
+  pools_.reserve(substrate.num_regions());
+  for (std::size_t s = 0; s < substrate.num_regions(); ++s) {
+    pools_.push_back(
+        std::make_unique<ShardPool>(opts_.admission.queue_capacity));
+  }
+  // Pools exist before any worker starts, so worker_loop's pools_ indexing
+  // never races the construction loop.
+  for (std::size_t s = 0; s < pools_.size(); ++s) {
+    pools_[s]->workers.reserve(opts_.workers_per_shard);
+    for (std::size_t w = 0; w < opts_.workers_per_shard; ++w) {
+      pools_[s]->workers.emplace_back(
+          [this, s] { worker_loop(static_cast<RegionId>(s)); });
+    }
+  }
+}
+
+ShardedEmbeddingService::~ShardedEmbeddingService() { shutdown(); }
+
+std::future<serve::Response> ShardedEmbeddingService::submit(
+    serve::Request req) {
+  metrics_.on_submitted();
+  const RegionId home = substrate_->region_of_node(req.flow.source);
+  if (substrate_->region_of_node(req.flow.destination) != home) {
+    metrics_.on_cross_region();
+  }
+  {
+    std::lock_guard lock(drain_mu_);
+    ++outstanding_;
+  }
+  Job job;
+  job.req = std::move(req);
+  job.submitted = serve::Clock::now();
+  std::future<serve::Response> fut = job.promise.get_future();
+  ShardPool& pool = *pools_[home];
+  if (pool.queue.try_push(std::move(job))) {
+    metrics_.set_queue_depth(home, pool.queue.size());
+  } else {
+    serve::Response resp;
+    resp.id = job.req.id;
+    resp.outcome = serve::Outcome::RejectedQueueFull;
+    finish(std::move(job), std::move(resp));
+  }
+  return fut;
+}
+
+void ShardedEmbeddingService::finish(Job&& job, serve::Response&& resp) {
+  metrics_.on_response(resp);
+  job.promise.set_value(std::move(resp));
+  {
+    std::lock_guard lock(drain_mu_);
+    DAGSFC_CHECK(outstanding_ > 0);
+    --outstanding_;
+  }
+  drain_cv_.notify_all();
+}
+
+void ShardedEmbeddingService::worker_loop(RegionId shard) {
+  WorkerState state;
+  ShardPool& pool = *pools_[shard];
+  while (auto job = pool.queue.pop()) {
+    metrics_.set_queue_depth(shard, pool.queue.size());
+    serve::Response resp = process(*job, state);
+    finish(std::move(*job), std::move(resp));
+  }
+}
+
+serve::Response ShardedEmbeddingService::process(Job& job,
+                                                 WorkerState& state) {
+  const serve::Clock::time_point dequeued = serve::Clock::now();
+  serve::Response resp;
+  resp.id = job.req.id;
+  resp.queue_ms = ms_between(job.submitted, dequeued);
+
+  if (opts_.admission.should_shed(job.req, dequeued)) {
+    resp.outcome = serve::Outcome::SheddedDeadline;
+    resp.solve_ms = ms_between(dequeued, serve::Clock::now());
+    return resp;
+  }
+
+  core::EmbeddingProblem problem;
+  problem.network = &substrate_->network();
+  problem.sfc = &job.req.sfc;
+  problem.flow = job.req.flow;
+  const core::ModelIndex index(problem);
+  const core::Evaluator evaluator(index);
+  const double rate = job.req.flow.rate;
+
+  // Stage one: deterministic candidate region sets, cheapest summary
+  // first. Computed once per request — the region graph is structural and
+  // its summaries only change on explicit repricing.
+  const auto paths = substrate_->region_paths(
+      job.req.flow.source, job.req.flow.destination, opts_.hier.region_paths);
+  std::vector<std::vector<RegionId>> candidates;
+  candidates.reserve(paths.size());
+  for (const auto& p : paths) {
+    std::vector<RegionId> regions(p.begin(), p.end());
+    std::sort(regions.begin(), regions.end());
+    regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+    candidates.push_back(std::move(regions));
+  }
+  if (candidates.empty()) {
+    resp.outcome = serve::Outcome::RejectedInfeasible;
+    resp.solve_ms = ms_between(dequeued, serve::Clock::now());
+    return resp;
+  }
+
+  if (!state.scratch) {
+    state.scratch =
+        std::make_unique<net::CapacityLedger>(substrate_->network());
+  }
+
+  const std::uint32_t max_attempts = 1 + opts_.admission.max_retries;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      metrics_.on_retry();
+      const auto backoff = opts_.admission.backoff_before(attempt);
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    }
+    Rng rng(solve_seed(opts_.seed, job.req.id, attempt));
+
+    // Stage two, first-feasible: snapshot the candidate's shards, solve in
+    // the restricted view (lock-free), then commit against the live shards.
+    bool solved_any = false;
+    for (const auto& regions : candidates) {
+      ledger_.compose(regions, *state.scratch, state.epochs);
+      const core::SolveResult r =
+          inner_->solve(index, *state.scratch, rng, nullptr, &state.ws);
+      ++resp.solves;
+      if (!r.ok()) continue;
+      solved_any = true;
+
+      core::ResourceUsage usage = evaluator.usage(*r.solution);
+      CommitResult commit =
+          ledger_.try_commit(usage, rate, regions, state.epochs);
+      metrics_.on_commit(commit);
+      if (!commit.ok) {
+        ++resp.conflicts;
+        break;  // fresh snapshots next attempt
+      }
+      {
+        std::lock_guard lock(flows_mu_);
+        flows_.emplace(job.req.id, CommittedFlow{std::move(usage), rate});
+      }
+      resp.outcome = serve::Outcome::Accepted;
+      resp.cost = r.cost;
+      resp.epoch_validated = commit.path != CommitPath::kFast;
+      resp.stamp_validated = commit.path == CommitPath::kStamp;
+      resp.solve_ms = ms_between(dequeued, serve::Clock::now());
+      return resp;
+    }
+
+    if (!solved_any) {
+      // Every candidate infeasible against consistent snapshots: a genuine
+      // reject — retrying against an even fuller ledger cannot help.
+      resp.outcome = serve::Outcome::RejectedInfeasible;
+      resp.solve_ms = ms_between(dequeued, serve::Clock::now());
+      return resp;
+    }
+  }
+
+  resp.outcome = serve::Outcome::LostConflict;
+  resp.solve_ms = ms_between(dequeued, serve::Clock::now());
+  return resp;
+}
+
+bool ShardedEmbeddingService::release(serve::RequestId id) {
+  CommittedFlow flow;
+  {
+    std::lock_guard lock(flows_mu_);
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return false;
+    flow = std::move(it->second);
+    flows_.erase(it);
+  }
+  ledger_.release(flow.usage, flow.rate);
+  metrics_.on_release();
+  return true;
+}
+
+std::size_t ShardedEmbeddingService::in_service() const {
+  std::lock_guard lock(flows_mu_);
+  return flows_.size();
+}
+
+void ShardedEmbeddingService::drain() {
+  std::unique_lock lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void ShardedEmbeddingService::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (auto& pool : pools_) pool->queue.close();
+  for (auto& pool : pools_) {
+    for (std::thread& t : pool->workers) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+}  // namespace dagsfc::shard

@@ -28,6 +28,7 @@
 #include "core/backtracking.hpp"
 #include "serve/http.hpp"
 #include "serve/service.hpp"
+#include "shard/metrics.hpp"
 #include "sim/runner.hpp"
 #include "test_helpers.hpp"
 #include "util/check.hpp"
@@ -229,7 +230,8 @@ TEST(Metrics, PrometheusRendersAllThreeKinds) {
 // ----------------------------------------------------------- name lint --
 
 /// Every name that actually lands in a registry — the serve layer's
-/// instruments, the sim roll-up, and the phase meters — stays within the
+/// instruments, the shard plane's (per-shard labelled families included),
+/// the sim roll-up, and the phase meters — stays within the
 /// Prometheus-clean namespace.
 TEST(Metrics, AllRegisteredNamesMatchConvention) {
   const std::regex convention(
@@ -262,6 +264,17 @@ TEST(Metrics, AllRegisteredNamesMatchConvention) {
     meter.record(0.001);
   }
   snapshots.push_back(phase_registry.snapshot());
+
+  shard::ShardMetrics shard_metrics(3);
+  shard_metrics.on_submitted();
+  shard_metrics.on_cross_region();
+  shard::CommitResult commit;
+  commit.ok = true;
+  commit.path = shard::CommitPath::kStamp;
+  commit.touched = {0, 2};
+  shard_metrics.on_commit(commit);
+  shard_metrics.set_queue_depth(1, 4);
+  snapshots.push_back(shard_metrics.registry().snapshot());
 
   std::size_t checked = 0;
   for (const RegistrySnapshot& snap : snapshots) {

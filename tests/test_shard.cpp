@@ -1,0 +1,479 @@
+/// Shard-plane tests: partition schemes (determinism, coverage, validity),
+/// substrate ownership and region-graph contraction invariants, HIER
+/// solutions against the independent SolutionValidator, the hierarchy
+/// bound vs the flat LAYERED optimum, closed-loop bit-determinism of the
+/// per-shard metrics across worker counts, and an 8-thread cross-shard
+/// commit battery over the sharded ledger (conservation after release-all).
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/backtracking.hpp"
+#include "core/layered.hpp"
+#include "core/validator.hpp"
+#include "shard/driver.hpp"
+#include "shard/hier.hpp"
+#include "shard/ledger.hpp"
+#include "shard/partition.hpp"
+#include "shard/service.hpp"
+#include "shard/substrate.hpp"
+#include "sim/regional.hpp"
+#include "sim/scenario.hpp"
+
+namespace dagsfc {
+namespace {
+
+shard::ShardWorkloadConfig small_workload_config(std::size_t regions,
+                                                 std::size_t nodes_per_region,
+                                                 std::size_t arrivals) {
+  shard::ShardWorkloadConfig cfg;
+  cfg.regional.base.catalog_size = 8;
+  cfg.regional.base.sfc_size = 3;
+  cfg.regional.base.trials = 1;
+  cfg.regional.regions.regions = regions;
+  cfg.regional.regions.nodes_per_region = nodes_per_region;
+  cfg.num_arrivals = arrivals;
+  return cfg;
+}
+
+sim::RegionalScenario small_scenario(std::size_t regions,
+                                     std::size_t nodes_per_region,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  auto cfg = small_workload_config(regions, nodes_per_region, 1);
+  return sim::make_regional_scenario(rng, cfg.regional);
+}
+
+shard::ShardedSubstrate make_substrate(const sim::RegionalScenario& s) {
+  return {s.network, shard::RegionPartition::from_labels(s.region_of)};
+}
+
+// ------------------------------------------------------------ partition --
+
+TEST(Partition, StripeBlocksCoverEveryNodeAndValidate) {
+  const graph::Graph g(10);
+  const shard::RegionPartition p = shard::partition_stripe(g, 3);
+  EXPECT_EQ(p.num_regions(), 3u);
+  p.validate(g);
+  // ceil(10/3) = 4: blocks of 4, 4, 2, contiguous.
+  EXPECT_EQ(p.members[0].size(), 4u);
+  EXPECT_EQ(p.members[1].size(), 4u);
+  EXPECT_EQ(p.members[2].size(), 2u);
+  EXPECT_EQ(p.region(0), 0u);
+  EXPECT_EQ(p.region(4), 1u);
+  EXPECT_EQ(p.region(9), 2u);
+}
+
+TEST(Partition, StripeDegenerateCounts) {
+  const graph::Graph g(5);
+  const shard::RegionPartition one = shard::partition_stripe(g, 1);
+  EXPECT_EQ(one.num_regions(), 1u);
+  one.validate(g);
+  const shard::RegionPartition each = shard::partition_stripe(g, 5);
+  EXPECT_EQ(each.num_regions(), 5u);
+  each.validate(g);
+}
+
+TEST(Partition, BfsIsDeterministicCoversAndValidates) {
+  Rng rng(7);
+  graph::WaxmanOptions w;
+  w.num_nodes = 40;
+  const graph::Graph g = graph::make_waxman(rng, w);
+  const shard::RegionPartition a = shard::partition_bfs(g, 4);
+  const shard::RegionPartition b = shard::partition_bfs(g, 4);
+  EXPECT_EQ(a.region_of, b.region_of);
+  EXPECT_EQ(a.num_regions(), 4u);
+  a.validate(g);
+  for (const auto& members : a.members) EXPECT_FALSE(members.empty());
+}
+
+TEST(Partition, FromLabelsRoundTripsAndDispatches) {
+  const graph::Graph g(6);
+  const std::vector<std::uint32_t> labels{1, 0, 1, 2, 0, 2};
+  const shard::RegionPartition p =
+      shard::make_partition(g, 3, shard::PartitionScheme::kLabels, labels);
+  p.validate(g);
+  for (graph::NodeId v = 0; v < 6; ++v) EXPECT_EQ(p.region(v), labels[v]);
+  EXPECT_EQ(p.members[0], (std::vector<graph::NodeId>{1, 4}));
+}
+
+TEST(Partition, SchemeNamesRoundTripAndRejectUnknown) {
+  using shard::PartitionScheme;
+  for (const PartitionScheme s : {PartitionScheme::kLabels,
+                                  PartitionScheme::kStripe,
+                                  PartitionScheme::kBfs}) {
+    EXPECT_EQ(shard::partition_scheme_from_string(shard::to_string(s)), s);
+  }
+  EXPECT_THROW((void)shard::partition_scheme_from_string("voronoi"),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- substrate / contraction --
+
+TEST(Substrate, OwnershipRuleIsTotalAndExact) {
+  const sim::RegionalScenario s = small_scenario(3, 8, 11);
+  const shard::ShardedSubstrate sub = make_substrate(s);
+  const net::Network& net = s.network;
+
+  std::size_t owned_links = 0, owned_instances = 0;
+  std::set<net::EdgeId> seen_links;
+  for (shard::RegionId r = 0; r < sub.num_regions(); ++r) {
+    for (const net::EdgeId e : sub.links_owned_by(r)) {
+      EXPECT_TRUE(seen_links.insert(e).second) << "link owned twice";
+      EXPECT_EQ(sub.owner_of_link(e), r);
+      ++owned_links;
+    }
+    for (const net::InstanceId id : sub.instances_owned_by(r)) {
+      EXPECT_EQ(sub.region_of_node(net.instance(id).node), r);
+      ++owned_instances;
+    }
+  }
+  EXPECT_EQ(owned_links, net.num_links());
+  EXPECT_EQ(owned_instances, net.num_instances());
+
+  for (net::EdgeId e = 0; e < net.num_links(); ++e) {
+    const graph::Edge& edge = net.topology().edge(e);
+    const shard::RegionId ru = sub.region_of_node(edge.u);
+    const shard::RegionId rv = sub.region_of_node(edge.v);
+    EXPECT_EQ(sub.is_border_link(e), ru != rv);
+    EXPECT_EQ(sub.owner_of_link(e), std::min(ru, rv));
+  }
+}
+
+TEST(Substrate, RegionGraphWeightsMatchTheSummaryFormula) {
+  const sim::RegionalScenario s = small_scenario(4, 8, 23);
+  const shard::ShardedSubstrate sub = make_substrate(s);
+  const graph::Graph& rg = sub.region_graph();
+  EXPECT_EQ(rg.num_nodes(), sub.num_regions());
+  EXPECT_GE(rg.num_edges(), sub.num_regions() - 1);  // the connecting ring
+
+  // Independently recompute transit prices (mean intra-region link price).
+  std::vector<double> sum(sub.num_regions(), 0.0);
+  std::vector<std::size_t> cnt(sub.num_regions(), 0);
+  for (net::EdgeId e = 0; e < s.network.num_links(); ++e) {
+    if (sub.is_border_link(e)) continue;
+    const shard::RegionId r = sub.owner_of_link(e);
+    sum[r] += s.network.link_price(e);
+    ++cnt[r];
+  }
+  for (shard::RegionId r = 0; r < sub.num_regions(); ++r) {
+    const double want = cnt[r] ? sum[r] / static_cast<double>(cnt[r]) : 0.0;
+    EXPECT_DOUBLE_EQ(sub.transit_price(r), want);
+  }
+
+  for (graph::EdgeId arc = 0; arc < rg.num_edges(); ++arc) {
+    const graph::Edge& a = rg.edge(arc);
+    const auto ra = static_cast<shard::RegionId>(a.u);
+    const auto rb = static_cast<shard::RegionId>(a.v);
+    const auto borders = sub.border_links(ra, rb);
+    ASSERT_FALSE(borders.empty());
+    double min_price = std::numeric_limits<double>::infinity();
+    for (const net::EdgeId e : borders) {
+      min_price = std::min(min_price, s.network.link_price(e));
+    }
+    const double want =
+        min_price + 0.5 * (sub.transit_price(ra) + sub.transit_price(rb));
+    EXPECT_DOUBLE_EQ(a.weight, want);
+  }
+}
+
+TEST(Substrate, RefreshSummariesTracksRepricing) {
+  sim::RegionalScenario s = small_scenario(3, 8, 31);
+  shard::ShardedSubstrate sub = make_substrate(s);
+  const std::uint64_t epoch0 = sub.summary_epoch();
+  EXPECT_EQ(epoch0, 1u);
+
+  // Halve every border price: every arc summary must drop accordingly.
+  std::vector<double> before(sub.region_graph().num_edges());
+  for (graph::EdgeId arc = 0; arc < before.size(); ++arc) {
+    before[arc] = sub.region_graph().edge(arc).weight;
+  }
+  for (net::EdgeId e = 0; e < s.network.num_links(); ++e) {
+    if (sub.is_border_link(e)) {
+      s.network.set_link_price(e, s.network.link_price(e) * 0.5);
+    }
+  }
+  sub.refresh_summaries();
+  EXPECT_EQ(sub.summary_epoch(), epoch0 + 1);
+  for (graph::EdgeId arc = 0; arc < before.size(); ++arc) {
+    EXPECT_LT(sub.region_graph().edge(arc).weight, before[arc]);
+  }
+}
+
+TEST(Substrate, RegionPathsAreDeterministicAndAnchored) {
+  const sim::RegionalScenario s = small_scenario(4, 8, 43);
+  const shard::ShardedSubstrate sub = make_substrate(s);
+  const graph::NodeId src = 0;                       // region 0
+  const graph::NodeId dst = 3 * 8;                   // region 3
+  const auto paths = sub.region_paths(src, dst, 4);
+  ASSERT_FALSE(paths.empty());
+  for (const auto& p : paths) {
+    ASSERT_FALSE(p.empty());
+    EXPECT_EQ(p.front(), sub.region_of_node(src));
+    EXPECT_EQ(p.back(), sub.region_of_node(dst));
+  }
+  EXPECT_EQ(paths, sub.region_paths(src, dst, 4));
+  // Same-region pair: the one singleton sequence.
+  const auto same = sub.region_paths(1, 2, 4);
+  ASSERT_EQ(same.size(), 1u);
+  EXPECT_EQ(same[0], std::vector<shard::RegionId>{0});
+}
+
+TEST(Substrate, FatTreeRegionsAreCoreAndPods) {
+  const graph::RegionalGraph rg = graph::make_regional_fat_tree(4, 4.0);
+  EXPECT_EQ(rg.num_regions, 5u);  // core cloud + 4 pods
+  const shard::RegionPartition p =
+      shard::RegionPartition::from_labels(rg.region_of);
+  p.validate(rg.graph);
+  EXPECT_EQ(p.members[0].size(), 4u);  // (k/2)^2 cores
+  for (std::size_t pod = 1; pod < 5; ++pod) {
+    EXPECT_EQ(p.members[pod].size(), 4u);  // k/2 agg + k/2 edge
+  }
+  // Border links (core<->agg) carry the price multiplier as weight.
+  for (graph::EdgeId e = 0; e < rg.graph.num_edges(); ++e) {
+    const graph::Edge& edge = rg.graph.edge(e);
+    const bool border = rg.region_of[edge.u] != rg.region_of[edge.v];
+    EXPECT_DOUBLE_EQ(edge.weight, border ? 4.0 : 1.0);
+  }
+}
+
+// ------------------------------------------------------------------ HIER --
+
+TEST(Hier, EverySolutionPassesTheIndependentValidator) {
+  const sim::RegionalScenario s = small_scenario(3, 10, 57);
+  const shard::ShardedSubstrate sub = make_substrate(s);
+  const shard::HierarchicalEmbedder hier(sub);
+  Rng rng(99);
+  auto cfg = small_workload_config(3, 10, 1);
+
+  std::size_t solved = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const sfc::DagSfc dag =
+        sim::make_sfc(rng, s.network.catalog(), cfg.regional.base);
+    const auto src = static_cast<graph::NodeId>(rng.index(s.network.num_nodes()));
+    auto dst = static_cast<graph::NodeId>(rng.index(s.network.num_nodes()));
+    if (dst == src) dst = static_cast<graph::NodeId>((dst + 1) % s.network.num_nodes());
+    core::EmbeddingProblem problem;
+    problem.network = &s.network;
+    problem.sfc = &dag;
+    problem.flow = core::Flow{src, dst, 1.0, 1.0};
+    const core::ModelIndex index(problem);
+    Rng solve_rng(1000 + trial);
+    const core::SolveResult r = hier.solve_fresh(index, solve_rng);
+    if (!r.ok()) continue;
+    ++solved;
+    const core::SolutionValidator validator(index);
+    const net::CapacityLedger fresh(s.network);
+    const auto audit = validator.check(r, fresh);
+    EXPECT_TRUE(audit.ok()) << audit.to_string();
+  }
+  EXPECT_GE(solved, 10u) << "HIER should admit most small instances";
+}
+
+TEST(Hier, NeverBeatsTheFlatLayeredOptimum) {
+  const sim::RegionalScenario s = small_scenario(3, 6, 71);
+  const shard::ShardedSubstrate sub = make_substrate(s);
+  shard::HierOptions opts;
+  opts.inner = shard::InnerAlgorithm::kLayered;
+  const shard::HierarchicalEmbedder hier(sub, opts);
+  const core::LayeredEmbedder layered;
+  Rng rng(5);
+  auto cfg = small_workload_config(3, 6, 1);
+
+  std::size_t compared = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const sfc::DagSfc dag =
+        sim::make_sfc(rng, s.network.catalog(), cfg.regional.base);
+    const auto n = s.network.num_nodes();
+    const auto src = static_cast<graph::NodeId>(rng.index(n));
+    auto dst = static_cast<graph::NodeId>(rng.index(n));
+    if (dst == src) dst = static_cast<graph::NodeId>((dst + 1) % n);
+    core::EmbeddingProblem problem;
+    problem.network = &s.network;
+    problem.sfc = &dag;
+    problem.flow = core::Flow{src, dst, 1.0, 1.0};
+    const core::ModelIndex index(problem);
+    Rng r1(trial), r2(trial);
+    const core::SolveResult flat = layered.solve_fresh(index, r1);
+    const core::SolveResult restricted = hier.solve_fresh(index, r2);
+    if (!flat.ok() || !restricted.ok()) continue;
+    ++compared;
+    // A restricted search space cannot beat the unrestricted optimum.
+    EXPECT_GE(restricted.cost, flat.cost - 1e-9);
+  }
+  EXPECT_GE(compared, 5u);
+}
+
+TEST(Hier, InnerAlgorithmNamesRoundTripAndRejectUnknown) {
+  using shard::InnerAlgorithm;
+  for (const InnerAlgorithm a : {InnerAlgorithm::kBbe, InnerAlgorithm::kMbbe,
+                                 InnerAlgorithm::kLayered}) {
+    EXPECT_EQ(shard::inner_algorithm_from_string(shard::to_string(a)), a);
+  }
+  EXPECT_THROW((void)shard::inner_algorithm_from_string("exact"),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- service --
+
+void expect_same_metrics(const shard::ShardMetricsSnapshot& a,
+                         const shard::ShardMetricsSnapshot& b) {
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.rejected_infeasible, b.rejected_infeasible);
+  EXPECT_EQ(a.rejected_queue_full, b.rejected_queue_full);
+  EXPECT_EQ(a.shed_deadline, b.shed_deadline);
+  EXPECT_EQ(a.lost_conflict, b.lost_conflict);
+  EXPECT_EQ(a.fast_commits, b.fast_commits);
+  EXPECT_EQ(a.stamp_commits, b.stamp_commits);
+  EXPECT_EQ(a.validated_commits, b.validated_commits);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.releases, b.releases);
+  EXPECT_EQ(a.cross_region_requests, b.cross_region_requests);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (std::size_t i = 0; i < a.shards.size(); ++i) {
+    EXPECT_EQ(a.shards[i].commits, b.shards[i].commits)
+        << "shard " << i << " commit counter diverged";
+    EXPECT_EQ(a.shards[i].conflicts, b.shards[i].conflicts);
+  }
+}
+
+TEST(ShardService, ClosedLoopMetricsAreBitIdenticalAcrossWorkerCounts) {
+  const auto cfg = small_workload_config(3, 8, 60);
+  const shard::ShardWorkload workload = shard::make_shard_workload(cfg, 77);
+  const shard::ShardedSubstrate substrate(
+      workload.scenario.network,
+      shard::RegionPartition::from_labels(workload.scenario.region_of));
+
+  shard::ShardedEmbeddingService::Options one;
+  one.workers_per_shard = 1;
+  shard::ShardedEmbeddingService::Options four = one;
+  four.workers_per_shard = 4;
+
+  const shard::ShardDriverResult a =
+      shard::run_sharded_closed_loop(workload, substrate, one);
+  const shard::ShardDriverResult b =
+      shard::run_sharded_closed_loop(workload, substrate, four);
+  EXPECT_TRUE(a.conserved);
+  EXPECT_TRUE(b.conserved);
+  EXPECT_GT(a.metrics.accepted, 0u);
+  expect_same_metrics(a.metrics, b.metrics);
+}
+
+TEST(ShardService, PerShardGaugesReachThePrometheusExposition) {
+  const auto cfg = small_workload_config(2, 8, 30);
+  const shard::ShardWorkload workload = shard::make_shard_workload(cfg, 13);
+  const shard::ShardedSubstrate substrate(
+      workload.scenario.network,
+      shard::RegionPartition::from_labels(workload.scenario.region_of));
+
+  std::string exposition;
+  shard::ShardServiceTuning tuning;
+  tuning.on_finish = [&exposition](shard::ShardedEmbeddingService& s) {
+    exposition = s.metrics_registry().expose_prometheus();
+  };
+  const shard::ShardDriverResult r = shard::run_sharded_closed_loop(
+      workload, substrate, shard::ShardedEmbeddingService::Options{}, tuning);
+  EXPECT_TRUE(r.conserved);
+  EXPECT_NE(exposition.find("dagsfc_shard_commits_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("dagsfc_shard_commits_total{shard=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("dagsfc_shard_queue_depth{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("dagsfc_shard_submitted_total"),
+            std::string::npos);
+}
+
+TEST(ShardService, OpenLoopConservesAfterReleaseAll) {
+  const auto cfg = small_workload_config(3, 8, 80);
+  const shard::ShardWorkload workload = shard::make_shard_workload(cfg, 29);
+  const shard::ShardedSubstrate substrate(
+      workload.scenario.network,
+      shard::RegionPartition::from_labels(workload.scenario.region_of));
+  shard::ShardOpenLoopConfig open;
+  open.producers = 4;
+  open.service.workers_per_shard = 2;
+  const shard::ShardOpenLoopResult r =
+      shard::run_sharded_open_loop(workload, substrate, open);
+  EXPECT_TRUE(r.conserved);
+  EXPECT_EQ(r.metrics.completed(), 80u);
+}
+
+// ---------------------------------------------------------- ledger battery --
+
+/// 8 threads race footprints that each span two adjacent shards; every
+/// accepted commit is released afterwards, and the residuals must return
+/// to nominal — the cross-shard mirror of the flat MVCC battery.
+TEST(ShardLedgerThreads, EightThreadCrossShardCommitBattery) {
+  const sim::RegionalScenario s = small_scenario(4, 8, 101);
+  const shard::ShardedSubstrate sub = make_substrate(s);
+  shard::ShardedLedger ledger(sub);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 200;
+  const double rate = 1.0;
+
+  // Per-thread footprint: one owned link from each of two adjacent
+  // regions (thread t spans regions t%4 and (t+1)%4), shared across
+  // threads so commits genuinely contend.
+  std::vector<core::ResourceUsage> usages(kThreads);
+  std::vector<std::vector<shard::RegionId>> spans(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    const auto ra = static_cast<shard::RegionId>(t % 4);
+    const auto rb = static_cast<shard::RegionId>((t + 1) % 4);
+    usages[t].link_uses.assign(s.network.num_links(), 0);
+    usages[t].instance_uses.assign(s.network.num_instances(), 0);
+    usages[t].link_uses[sub.links_owned_by(ra).front()] = 1;
+    usages[t].link_uses[sub.links_owned_by(rb).front()] = 1;
+    usages[t].instance_uses[sub.instances_owned_by(ra).front()] = 1;
+    spans[t] = {std::min(ra, rb), std::max(ra, rb)};
+  }
+
+  std::atomic<std::uint64_t> committed{0}, conflicted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::uint64_t> epochs;
+      std::uint64_t held = 0;
+      for (std::size_t i = 0; i < kIters; ++i) {
+        ledger.snapshot_epochs(spans[t], epochs);
+        const shard::CommitResult r =
+            ledger.try_commit(usages[t], rate, spans[t], epochs);
+        if (r.ok) {
+          ++held;
+          committed.fetch_add(1);
+          EXPECT_EQ(r.touched, spans[t]);
+          // Hold a few flows before releasing, to overlap lifetimes.
+          if (held >= 3) {
+            ledger.release(usages[t], rate);
+            --held;
+          }
+        } else {
+          conflicted.fetch_add(1);
+          ASSERT_NE(r.conflict_region, shard::kInvalidRegion);
+        }
+      }
+      while (held > 0) {
+        ledger.release(usages[t], rate);
+        --held;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_GT(committed.load(), 0u);
+  EXPECT_TRUE(ledger.residuals_nominal())
+      << "residuals did not return to nominal after release-all "
+      << "(committed " << committed.load() << ", conflicted "
+      << conflicted.load() << ")";
+}
+
+}  // namespace
+}  // namespace dagsfc
