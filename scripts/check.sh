@@ -26,6 +26,11 @@
 # 8-thread cross-shard commit battery and the per-shard worker pools,
 # whose multi-mutex ascending-lock commits are exactly what TSan's
 # lock-order analysis is for.
+# An eighth pass runs the distance-oracle suite (ctest -R 'oracle') under
+# both trees: ASan/UBSan for the bank indexing and the differential
+# battery's workspace reuse, TSan because the oracle is shared immutable
+# across the serve worker pool — every query() walks the same bank the
+# build path last wrote, exactly the publish/consume edge TSan checks.
 # Every full pass also runs the flat-vs-reference search differential suite
 # (test_search_flat), so the bit-identity contract of the CSR/workspace
 # tier is checked under ASan/UBSan as well as in the plain build.
@@ -95,3 +100,10 @@ require_test "${BUILD_DIR:-build-asan}" 'test_shard'
 require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_shard'
 ctest --test-dir "${TSAN_BUILD_DIR:-build-tsan}" --output-on-failure \
   -j "$(nproc)" -R 'shard'
+# Oracle pass: the epoch-keyed ALT oracle suite under both sanitizer trees
+# (the ASan tree already ran it in the full first pass; the guards keep it
+# from silently dropping out of either build).
+require_test "${BUILD_DIR:-build-asan}" 'test_distance_oracle'
+require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_distance_oracle'
+ctest --test-dir "${TSAN_BUILD_DIR:-build-tsan}" --output-on-failure \
+  -j "$(nproc)" -R 'oracle'

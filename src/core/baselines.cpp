@@ -64,15 +64,15 @@ SolveResult assign_then_route(
   }
 
   // Meta-paths by minimum-cost path over links that can carry the flow.
+  // The residual network is fixed for the whole routing phase (the oracle
+  // only reads the ledger), so consecutive meta-paths leaving the same node
+  // — common, since a parallel block's branch paths all leave the preceding
+  // VNF's host — share one multi-target search via min_cost_paths(). Each
+  // returned path is bit-identical to the per-path query it replaces, and
+  // failure still reports at the first unroutable meta-path in input order.
   PathOracle oracle(g, ledger, rate, workspace);
   auto record_counters = [&]() { result.path_queries = oracle.counters(); };
   Evaluator evaluator(index);
-  auto instantiate = [&](const MetaPathDesc& d) -> std::optional<graph::Path> {
-    const NodeId a = evaluator.resolve(d.from, sol);
-    const NodeId b = evaluator.resolve(d.to, sol);
-    if (a == b) return trivial_path(a);
-    return oracle.min_cost_path(a, b);
-  };
   auto routed_event = [&](bool inner, std::size_t i, const graph::Path& p) {
     if (!tr) return;
     SolveEvent e;
@@ -83,25 +83,49 @@ SolveResult assign_then_route(
     e.v0 = p.cost;
     tr(e);
   };
-  for (std::size_t i = 0; i < index.inter_paths().size(); ++i) {
-    auto p = instantiate(index.inter_paths()[i]);
-    if (!p) {
-      result.failure_reason = "no usable route for an inter-layer meta-path";
-      record_counters();
-      return result;
+  std::vector<NodeId> targets;
+  auto route_all = [&](const std::vector<MetaPathDesc>& descs, bool inner,
+                       std::vector<graph::Path>& out,
+                       const char* fail_reason) -> bool {
+    std::size_t i = 0;
+    while (i < descs.size()) {
+      const NodeId a = evaluator.resolve(descs[i].from, sol);
+      std::size_t j = i;
+      targets.clear();
+      while (j < descs.size() &&
+             evaluator.resolve(descs[j].from, sol) == a) {
+        const NodeId b = evaluator.resolve(descs[j].to, sol);
+        if (b != a) targets.push_back(b);
+        ++j;
+      }
+      auto found = targets.empty()
+                       ? std::vector<std::optional<graph::Path>>{}
+                       : oracle.min_cost_paths(a, targets);
+      std::size_t t = 0;
+      for (std::size_t idx = i; idx < j; ++idx) {
+        const NodeId b = evaluator.resolve(descs[idx].to, sol);
+        std::optional<graph::Path> p =
+            b == a ? std::optional<graph::Path>(trivial_path(a))
+                   : std::move(found[t++]);
+        if (!p) {
+          result.failure_reason = fail_reason;
+          record_counters();
+          return false;
+        }
+        routed_event(inner, idx, *p);
+        out.push_back(std::move(*p));
+      }
+      i = j;
     }
-    routed_event(false, i, *p);
-    sol.inter_paths.push_back(std::move(*p));
+    return true;
+  };
+  if (!route_all(index.inter_paths(), false, sol.inter_paths,
+                 "no usable route for an inter-layer meta-path")) {
+    return result;
   }
-  for (std::size_t i = 0; i < index.inner_paths().size(); ++i) {
-    auto p = instantiate(index.inner_paths()[i]);
-    if (!p) {
-      result.failure_reason = "no usable route for an inner-layer meta-path";
-      record_counters();
-      return result;
-    }
-    routed_event(true, i, *p);
-    sol.inner_paths.push_back(std::move(*p));
+  if (!route_all(index.inner_paths(), true, sol.inner_paths,
+                 "no usable route for an inner-layer meta-path")) {
+    return result;
   }
   record_counters();
 

@@ -1,5 +1,7 @@
 #include "core/path_oracle.hpp"
 
+#include "graph/oracle.hpp"
+
 namespace dagsfc::core {
 
 const graph::EdgeMask* PathOracle::usable_mask() {
@@ -11,14 +13,28 @@ const graph::EdgeMask* PathOracle::usable_mask() {
     // entries themselves stay valid across epochs via the ledger's
     // footprint-scoped invalidation hooks.
     usable_mask_.assign(g_->num_edges(), true);
+    mask_full_ = true;
     for (graph::EdgeId e = 0; e < g_->num_edges(); ++e) {
-      if (!ledger_->link_can_carry(e, rate_)) usable_mask_.clear(e);
+      if (!ledger_->link_can_carry(e, rate_)) {
+        usable_mask_.clear(e);
+        mask_full_ = false;
+      }
     }
     mask_epoch_ = epoch;
     mask_ready_ = true;
   }
   usable_view_ = usable_mask_.view();
   return &usable_view_;
+}
+
+const graph::EdgeMask* PathOracle::effective_mask() {
+  const graph::EdgeMask* mask = usable_mask();
+  return mask_full_ ? nullptr : mask;
+}
+
+const graph::DistanceOracle* PathOracle::pruning_oracle() const {
+  const graph::DistanceOracle* o = ws_->distance_oracle();
+  return (o != nullptr && o->matches(*g_)) ? o : nullptr;
 }
 
 std::shared_ptr<const graph::ShortestPathTree> PathOracle::tree(
@@ -44,7 +60,43 @@ std::optional<graph::Path> PathOracle::min_cost_path(NodeId a, NodeId b) {
   if (ledger_->path_cache()) return tree(a)->path_to(b);
   ++counters_.dijkstra_calls;
   if (!flat_) return graph::min_cost_path(*g_, a, b, usable_);
-  return graph::min_cost_path(*g_, a, b, *ws_, usable_mask());
+  const graph::EdgeMask* mask = effective_mask();
+  if (const graph::DistanceOracle* o = pruning_oracle()) {
+    graph::PruneStats stats;
+    graph::AltQuery alt = o->query(a, b, /*seed_upper_bound=*/mask == nullptr);
+    alt.stats = &stats;
+    auto path = graph::min_cost_path(*g_, a, b, *ws_, mask, alt);
+    counters_.oracle_tested += stats.tested;
+    counters_.oracle_pruned += stats.pruned;
+    return path;
+  }
+  return graph::min_cost_path(*g_, a, b, *ws_, mask);
+}
+
+std::vector<std::optional<graph::Path>> PathOracle::min_cost_paths(
+    NodeId a, std::span<const NodeId> targets) {
+  std::vector<std::optional<graph::Path>> out;
+  out.reserve(targets.size());
+  if (ledger_->path_cache()) {
+    const auto t = tree(a);
+    for (const NodeId b : targets) out.push_back(t->path_to(b));
+    return out;
+  }
+  if (!flat_) {
+    for (const NodeId b : targets) {
+      ++counters_.dijkstra_calls;
+      out.push_back(graph::min_cost_path(*g_, a, b, usable_));
+    }
+    return out;
+  }
+  // One multi-target pass; counts as one computation. Each extraction is
+  // bitwise the early-exit answer (see dijkstra_into_targets).
+  ++counters_.dijkstra_calls;
+  graph::dijkstra_into_targets(*g_, a, targets, *ws_, effective_mask());
+  for (const NodeId b : targets) {
+    out.push_back(graph::extract_path(*ws_, b));
+  }
+  return out;
 }
 
 std::vector<graph::Path> PathOracle::k_shortest(NodeId a, NodeId b,
@@ -61,6 +113,16 @@ std::vector<graph::Path> PathOracle::k_shortest(NodeId a, NodeId b,
     return *cache->k_paths(*g_, a, b, k, context(), mask, *ws_, counters_);
   }
   ++counters_.yen_calls;
+  if (const graph::DistanceOracle* o = pruning_oracle()) {
+    const graph::EdgeMask* eff = effective_mask();
+    graph::PruneStats stats;
+    graph::AltQuery alt = o->query(a, b, /*seed_upper_bound=*/eff == nullptr);
+    alt.stats = &stats;
+    auto paths = graph::k_shortest_paths(*g_, a, b, k, eff, *ws_, alt);
+    counters_.oracle_tested += stats.tested;
+    counters_.oracle_pruned += stats.pruned;
+    return paths;
+  }
   return graph::k_shortest_paths(*g_, a, b, k, mask, *ws_);
 }
 
@@ -72,6 +134,16 @@ std::vector<graph::Path> PathOracle::k_shortest_filtered(
   // every spur Dijkstra included — probes bits instead of the closure.
   filtered_mask_.fill_from(*g_, filter);
   const graph::EdgeMask mask = filtered_mask_.view();
+  if (const graph::DistanceOracle* o = pruning_oracle()) {
+    // Always masked here, so never seed the landmark upper bound.
+    graph::PruneStats stats;
+    graph::AltQuery alt = o->query(a, b, /*seed_upper_bound=*/false);
+    alt.stats = &stats;
+    auto paths = graph::k_shortest_paths(*g_, a, b, k, &mask, *ws_, alt);
+    counters_.oracle_tested += stats.tested;
+    counters_.oracle_pruned += stats.pruned;
+    return paths;
+  }
   return graph::k_shortest_paths(*g_, a, b, k, &mask, *ws_);
 }
 

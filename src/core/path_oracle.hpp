@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/dijkstra.hpp"
@@ -78,6 +79,15 @@ class PathOracle {
   /// Min-cost path a → b over usable links; nullopt when unreachable.
   [[nodiscard]] std::optional<graph::Path> min_cost_path(NodeId a, NodeId b);
 
+  /// Batched: min-cost paths a → targets[i], element i of the result
+  /// matching target i (nullopt where unreachable). Bit-identical to
+  /// calling min_cost_path per target — with a cache it reads one tree,
+  /// without one it runs a single multi-target pass (dijkstra_into_targets)
+  /// whose settled parents equal each early-exit run's. The baselines route
+  /// all meta-paths sharing a source through this.
+  [[nodiscard]] std::vector<std::optional<graph::Path>> min_cost_paths(
+      NodeId a, std::span<const NodeId> targets);
+
   /// Yen's k cheapest paths a → b over usable links.
   [[nodiscard]] std::vector<graph::Path> k_shortest(NodeId a, NodeId b,
                                                     std::size_t k);
@@ -114,6 +124,17 @@ class PathOracle {
   /// ledger epoch has moved since the last query. Flat mode only.
   [[nodiscard]] const graph::EdgeMask* usable_mask();
 
+  /// usable_mask(), except it returns nullptr when no edge is currently
+  /// masked out — the kernels then skip the per-arc bit test, and (more
+  /// importantly) a goal-directed query may seed its landmark upper bound,
+  /// which is only valid unmasked. Same admissible edge set either way.
+  [[nodiscard]] const graph::EdgeMask* effective_mask();
+
+  /// The attached DistanceOracle if it may prune queries on g_ right now
+  /// (matches() gate: same graph, active, revisions current); null
+  /// otherwise. Stale or absent oracles degrade to unpruned searches.
+  [[nodiscard]] const graph::DistanceOracle* pruning_oracle() const;
+
   const graph::Graph* g_;
   const net::CapacityLedger* ledger_;
   double rate_;
@@ -128,6 +149,7 @@ class PathOracle {
   graph::EdgeMask usable_view_;
   std::uint64_t mask_epoch_ = 0;
   bool mask_ready_ = false;
+  bool mask_full_ = false;  // no cleared bits in the current usable mask
   graph::EdgeMaskBuffer filtered_mask_;  // k_shortest_filtered scratch
 };
 

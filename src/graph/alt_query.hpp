@@ -1,0 +1,120 @@
+#pragma once
+/// \file alt_query.hpp
+/// Per-query view of the ALT landmark bounds (see oracle.hpp), consumed by
+/// the goal-directed search kernels in dijkstra.cpp and yen.cpp.
+///
+/// An AltQuery is a stack-local POD built by DistanceOracle::query() for one
+/// (source, target) pair: up to kMaxActive landmark distance tables (chosen
+/// by tightest bound on that pair), the target's distance under each, and an
+/// optional upper-bound seed. It borrows the oracle's tables — valid only
+/// while the oracle outlives the query and is not refreshed or rebuilt.
+///
+/// The bound it provides is the classic ALT lower bound
+///
+///   lb(v) = max_l |d(l, target) − d(l, v)| ≤ d(v, target)
+///
+/// (triangle inequality on the full graph; one table per landmark suffices
+/// because the graph is undirected). Full-graph distances only shrink when
+/// edges are *removed*, so lb stays admissible under any EdgeMask — which is
+/// what lets Yen's masked spur searches reuse the same tables. The upper
+/// bound seed (min_l d(s,l)+d(l,t)) is the cost of a real landmark-routed
+/// path and is therefore only valid when the query runs unmasked; masked
+/// callers leave seed_ub at +inf and the kernel tightens it dynamically from
+/// target relaxations.
+///
+/// The kernels use lb to *prune only* — never to reorder the heap — which is
+/// what keeps oracle-on results bitwise identical to oracle-off (the full
+/// argument lives in dijkstra.cpp above run_flat_alt and in DESIGN.md §13).
+
+#include <array>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace dagsfc::graph {
+
+/// Tallies of the pruning tests a goal-directed search performed; wired into
+/// PathQueryCounters by core::PathOracle and exposed as
+/// dagsfc_oracle_pruned_ratio.
+struct PruneStats {
+  std::uint64_t tested = 0;  ///< prune tests evaluated (pops + relaxations)
+  std::uint64_t pruned = 0;  ///< tests that fired (work actually skipped)
+};
+
+struct AltQuery {
+  static constexpr std::uint32_t kMaxActive = 4;
+
+  /// Borrowed node-major landmark bank: bank[v·stride + l] = d(landmark l,
+  /// v). Node-major is load-bearing for the kernels — one lower_bound call
+  /// reads `active` entries of a single contiguous row (usually one cache
+  /// line), where per-landmark tables would touch `active` scattered lines.
+  const double* bank = nullptr;
+  std::uint32_t stride = 0;
+  /// Column indices of the active landmarks within a node row. Slots past
+  /// `active` repeat slot 0 (max-neutral padding) so lower_bound can run a
+  /// fixed kMaxActive-wide computation.
+  std::array<std::uint32_t, kMaxActive> lm{};
+  /// bank[target·stride + lm[i]], hoisted out of the inner loop.
+  std::array<double, kMaxActive> to_target{};
+  std::uint32_t active = 0;
+  NodeId target = kInvalidNode;
+  /// Valid cost upper bound for the query, or kInfCost when none is known
+  /// up front (masked searches). The kernel still tightens dynamically.
+  ///
+  /// With `threshold` set the seed is reinterpreted as a *prune threshold*
+  /// rather than a guaranteed upper bound: the kernel's result is bitwise
+  /// the unpruned one whenever the true distance is ≤ seed_ub, but when it
+  /// exceeds the seed the search may return a costlier real path or nothing
+  /// at all. Callers opting in must discard any result whose cost lands
+  /// above the threshold (Yen's Lawler bound does exactly that — a spur
+  /// path costlier than the k-th needed candidate can never be selected,
+  /// so losing it is unobservable).
+  double seed_ub = kInfCost;
+  /// Opt-in for threshold semantics of seed_ub (see above). Allows a finite
+  /// seed under an EdgeMask, which is otherwise rejected because the
+  /// landmark-routed upper bound may use masked edges.
+  bool threshold = false;
+  /// Optional tally sink; null means don't count.
+  PruneStats* stats = nullptr;
+
+  /// max_l |d(l, target) − d(l, v)| over the active landmarks. All bank
+  /// entries are finite (the oracle disables itself on disconnected
+  /// graphs), so no inf−inf NaN can arise.
+  ///
+  /// Fixed kMaxActive-wide on purpose: a variable-trip loop folding through
+  /// one accumulator serializes the bank loads behind each other (each
+  /// max depends on the previous load), which made the tighter 4-landmark
+  /// bound *slower* than the 2-landmark one. With padded slots the four
+  /// loads are independent and the max reduces as a tree. Widening past 4
+  /// was tried and rejected: 8 active columns touch both cache lines of
+  /// every visited node row, and the extra bank traffic cost more than the
+  /// tighter bound saved once sources rotate (cold rows).
+  [[nodiscard]] double lower_bound(NodeId v) const {
+    if (bank == nullptr) return 0.0;
+    const double* const row = bank + static_cast<std::size_t>(v) * stride;
+    double a0 = row[lm[0]] - to_target[0];
+    double a1 = row[lm[1]] - to_target[1];
+    double a2 = row[lm[2]] - to_target[2];
+    double a3 = row[lm[3]] - to_target[3];
+    a0 = a0 < 0.0 ? -a0 : a0;
+    a1 = a1 < 0.0 ? -a1 : a1;
+    a2 = a2 < 0.0 ? -a2 : a2;
+    a3 = a3 < 0.0 ? -a3 : a3;
+    const double b0 = a0 > a1 ? a0 : a1;
+    const double b1 = a2 > a3 ? a2 : a3;
+    return b0 > b1 ? b0 : b1;
+  }
+};
+
+/// The float-safety guard pruning compares against: a candidate is dropped
+/// only when d + lb(v) exceeds ub by more than a 1e-9 relative slack. The
+/// slack absorbs the last-ulp rounding differences between the bound
+/// arithmetic (table lookups, landmark-path sums) and the search's own
+/// chained additions — accumulated double error is ~1e-13 relative, orders
+/// of magnitude under the slack — so a relaxation the unpruned run needs can
+/// never be dropped, which is load-bearing for bit-identity.
+[[nodiscard]] inline double prune_guard(double ub) noexcept {
+  return ub + ub * 1e-9;
+}
+
+}  // namespace dagsfc::graph

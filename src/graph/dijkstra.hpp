@@ -18,8 +18,10 @@
 ///     are bit-identical.
 
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "graph/alt_query.hpp"
 #include "graph/edge_mask.hpp"
 #include "graph/graph.hpp"
 #include "graph/workspace.hpp"
@@ -72,6 +74,92 @@ void dijkstra_into(const Graph& g, NodeId source, SearchWorkspace& ws,
                                                 NodeId target,
                                                 SearchWorkspace& ws,
                                                 const EdgeMask* mask = nullptr);
+
+// --- goal-directed tier (ALT pruning, see oracle.hpp) --------------------
+
+/// Dijkstra with ALT pruning toward \p stop_at (required; must equal
+/// alt.target). Same pop order, same relaxations, minus the ones the
+/// landmark lower bound proves cannot lie on any path at most as cheap as
+/// the best known route to the target — so the settled region around the
+/// target, its distance and its parent chain are bitwise identical to the
+/// unpruned kernel's (proof sketch above run_flat_alt in dijkstra.cpp).
+/// alt.seed_ub must be kInfCost when \p mask is non-null: a landmark-routed
+/// upper bound may use masked edges. An inactive alt (active == 0) falls
+/// back to the plain kernel.
+void dijkstra_into(const Graph& g, NodeId source, SearchWorkspace& ws,
+                   const EdgeMask* mask, NodeId stop_at, const AltQuery& alt);
+
+/// Point-to-point query through the pruned kernel.
+[[nodiscard]] std::optional<Path> min_cost_path(const Graph& g, NodeId source,
+                                                NodeId target,
+                                                SearchWorkspace& ws,
+                                                const EdgeMask* mask,
+                                                const AltQuery& alt);
+
+// --- batched tier --------------------------------------------------------
+
+/// One prepared pass that runs |sources| independent SSSPs over a layered
+/// state space (state = layer·|V| + node) — the Steiner base case and the
+/// shard plane's border-to-border summaries do this today as k separate
+/// searches, each paying its own prepare, mask capture, and cold CSR
+/// streams. Layers run back to back over one slot bank, so the heap's
+/// working set stays standalone-sized while the incidence/weight arrays and
+/// the mask stay hot across layers. Layer i's results are bitwise identical
+/// to a standalone dijkstra_into(g, sources[i], ws, mask): its loop is the
+/// standalone loop with slot indices offset by layer·|V|. Read the result
+/// bank through MultiSourceView; it stays valid until the next prepare of
+/// \p ws.
+void multi_source_dijkstra_into(const Graph& g, std::span<const NodeId> sources,
+                                SearchWorkspace& ws,
+                                const EdgeMask* mask = nullptr);
+
+/// Layer-strided read view over a workspace filled by
+/// multi_source_dijkstra_into. Parents are reported as node ids within the
+/// layer (the stored state ids are translated back).
+class MultiSourceView {
+ public:
+  MultiSourceView(const SearchWorkspace& ws, const Graph& g,
+                  std::size_t num_layers)
+      : ws_(&ws), n_(g.num_nodes()), layers_(num_layers) {}
+
+  [[nodiscard]] std::size_t num_layers() const noexcept { return layers_; }
+  [[nodiscard]] bool reached(std::size_t layer, NodeId v) const {
+    return ws_->reached(state(layer, v));
+  }
+  [[nodiscard]] double dist(std::size_t layer, NodeId v) const {
+    return ws_->dist(state(layer, v));
+  }
+  [[nodiscard]] NodeId parent(std::size_t layer, NodeId v) const {
+    const NodeId p = ws_->parent(state(layer, v));
+    return p == kInvalidNode
+               ? kInvalidNode
+               : static_cast<NodeId>(p - layer * n_);
+  }
+  [[nodiscard]] EdgeId parent_edge(std::size_t layer, NodeId v) const {
+    return ws_->parent_edge(state(layer, v));
+  }
+
+ private:
+  [[nodiscard]] NodeId state(std::size_t layer, NodeId v) const {
+    DAGSFC_ASSERT(layer < layers_ && v < n_);
+    return static_cast<NodeId>(layer * n_ + v);
+  }
+
+  const SearchWorkspace* ws_;
+  std::size_t n_;
+  std::size_t layers_;
+};
+
+/// One search from \p source that stops as soon as *every* node in
+/// \p targets has been settled — the inter-layer multicast fan-outs route
+/// all meta-paths sharing a source with one heap pass instead of
+/// |targets| early-exit runs. Each extract_path(ws, t) afterwards is
+/// bitwise identical to its individual min_cost_path: targets are finalized
+/// when popped, and continuing past an earlier target cannot rewrite
+/// anything already settled. Duplicate target entries are fine.
+void dijkstra_into_targets(const Graph& g, NodeId source,
+                           std::span<const NodeId> targets,
+                           SearchWorkspace& ws, const EdgeMask* mask = nullptr);
 
 // --- legacy tier ---------------------------------------------------------
 

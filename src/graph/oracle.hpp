@@ -1,0 +1,161 @@
+#pragma once
+/// \file oracle.hpp
+/// Epoch-keyed ALT (A*-landmarks-triangle-inequality) distance oracle.
+///
+/// The substrate's *structure* is nearly static — repricing only rewrites
+/// weights through the CSR mirror — which is the textbook setting for
+/// preprocessing. A DistanceOracle picks a small set of landmarks by
+/// farthest-point selection and stores one exact SSSP distance table per
+/// landmark (the graph is undirected, so one table serves both directions).
+/// Queries derive admissible lower bounds lb(v,t) = max_l |d(l,t) − d(l,v)|
+/// that the goal-directed kernels (dijkstra.cpp, yen.cpp) use to prune —
+/// never to reorder — so oracle-on results stay bitwise identical to
+/// oracle-off (DESIGN.md §13).
+///
+/// ## Epoch keying
+///
+/// The oracle snapshots the graph's two revision stamps:
+///   * Graph::weight_revision() moved (repricing) → refresh(): re-run the
+///     landmark SSSPs over the current weights. Landmark *positions* are
+///     kept — farthest-point quality degrades gracefully under repricing,
+///     and admissibility only needs the tables to be true distance fields.
+///   * Graph::structure_revision() moved (add_node/add_edge) → rebuild():
+///     re-select landmarks from scratch and refill the tables.
+/// ensure_current() applies whichever is due. It mutates the tables and is
+/// therefore quiescent-only: owners call it between solves (bench loops,
+/// serve start-up, repricing points), never concurrently with queries. A
+/// stale oracle is *safe* — consumers check matches() per query and simply
+/// fall back to the unpruned kernels — so forgetting a refresh costs speed,
+/// not correctness.
+///
+/// On a graph where some node pair is unreachable the oracle disables
+/// itself (active() == false): an infinite table entry would make the bound
+/// arithmetic NaN-prone, and such graphs are not the serving workload.
+///
+/// Thread safety: after construction / ensure_current() the oracle is
+/// immutable and may be shared by any number of concurrent query() callers
+/// (the serve worker pool attaches one per-process oracle to every worker
+/// workspace). builds/refreshes are also published to a MetricRegistry as
+/// dagsfc_oracle_builds_total / dagsfc_oracle_refreshes_total.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/alt_query.hpp"
+#include "graph/graph.hpp"
+#include "graph/workspace.hpp"
+
+namespace dagsfc::util {
+class MetricRegistry;
+}  // namespace dagsfc::util
+
+namespace dagsfc::graph {
+
+class DistanceOracle {
+ public:
+  struct Options {
+    /// Landmark budget; clamped to the node count. The bank costs |L|·|V|
+    /// doubles, and the budget's main job is the *upper* bound: the seed ub
+    /// is the best landmark-routed detour, and its tightness — not the
+    /// lower bound's — is what decides how much the goal-directed kernels
+    /// prune. 16 is the sweet spot on the paper-scale topologies (8 leaves
+    /// the ub ~1.9× the true distance and pruning barely pays for itself).
+    std::size_t landmarks = 16;
+    /// Landmarks consulted per query (the tightest for that pair), capped
+    /// at AltQuery::kMaxActive.
+    std::uint32_t active_per_query = AltQuery::kMaxActive;
+    /// Where builds/refreshes are counted; null means the process-global
+    /// registry. Injectable for tests.
+    util::MetricRegistry* registry = nullptr;
+  };
+
+  /// Builds the first set of tables (counts as build #1). \p g must
+  /// outlive the oracle.
+  explicit DistanceOracle(const Graph& g) : DistanceOracle(g, Options{}) {}
+  DistanceOracle(const Graph& g, Options opts);
+
+  DistanceOracle(const DistanceOracle&) = delete;
+  DistanceOracle& operator=(const DistanceOracle&) = delete;
+
+  /// Tables exist and are finite — pruning is available. False on
+  /// disconnected or empty graphs.
+  [[nodiscard]] bool active() const noexcept { return complete_; }
+
+  /// The snapshotted revisions still match the graph's.
+  [[nodiscard]] bool fresh() const noexcept {
+    return g_->structure_revision() == structure_rev_ &&
+           g_->weight_revision() == weight_rev_;
+  }
+
+  /// True iff this oracle may prune queries on \p g right now: same graph
+  /// object, tables usable, revisions current. The per-query gate every
+  /// consumer checks before building an AltQuery.
+  [[nodiscard]] bool matches(const Graph& g) const noexcept {
+    return &g == g_ && complete_ && fresh();
+  }
+
+  /// Re-sync with the graph: structural drift → full rebuild (landmark
+  /// re-selection), weight drift → cheap refresh (landmark SSSPs only, no
+  /// CSR rebuild). No-op when fresh. Quiescent-only (see file comment).
+  void ensure_current();
+
+  [[nodiscard]] std::size_t num_landmarks() const noexcept {
+    return landmarks_.size();
+  }
+  [[nodiscard]] std::span<const NodeId> landmarks() const noexcept {
+    return landmarks_;
+  }
+  [[nodiscard]] std::uint64_t builds() const noexcept { return builds_; }
+  [[nodiscard]] std::uint64_t refreshes() const noexcept {
+    return refreshes_;
+  }
+
+  /// Admissible lower bound on d(a, b) over *all* landmarks (0 when
+  /// inactive). Test/diagnostic entry — kernels go through query().
+  [[nodiscard]] double lower_bound(NodeId a, NodeId b) const;
+
+  /// Upper bound min_l d(a,l) + d(l,b) — the cost of a real landmark-routed
+  /// path, so only valid for unmasked searches (kInfCost when inactive).
+  [[nodiscard]] double upper_bound(NodeId a, NodeId b) const;
+
+  /// Bound context for one source→target search: the active_per_query
+  /// landmarks ranked tightest-first for this pair (deterministic:
+  /// descending bound, ascending landmark index on ties). Pass
+  /// \p seed_upper_bound = true only for unmasked queries. The result
+  /// borrows the oracle's tables; callers on the query path must have
+  /// checked matches() first.
+  [[nodiscard]] AltQuery query(NodeId source, NodeId target,
+                               bool seed_upper_bound) const;
+
+ private:
+  void rebuild();
+  void refresh();
+  /// Node v's row of the bank: one double per reserved landmark column.
+  [[nodiscard]] const double* node_row(NodeId v) const {
+    return tables_.data() + static_cast<std::size_t>(v) * cols_;
+  }
+  bool fill_column(std::size_t column);
+
+  const Graph* g_;
+  Options opts_;
+  util::MetricRegistry* registry_;
+
+  std::vector<NodeId> landmarks_;
+  /// Node-major bank (see AltQuery::bank): tables_[v·cols_ + l] is the
+  /// distance from landmark l to node v. Node-major keeps one query's
+  /// per-candidate reads on a single cache line.
+  std::vector<double> tables_;
+  std::size_t cols_ = 0;       // reserved landmark columns per node row
+  std::size_t num_nodes_ = 0;  // node rows in the bank
+  bool complete_ = false;
+
+  std::uint64_t structure_rev_ = 0;
+  std::uint64_t weight_rev_ = 0;
+  std::uint64_t builds_ = 0;
+  std::uint64_t refreshes_ = 0;
+
+  SearchWorkspace build_ws_;  // private to the (quiescent) build path
+};
+
+}  // namespace dagsfc::graph

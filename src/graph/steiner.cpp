@@ -10,22 +10,78 @@ namespace dagsfc::graph {
 
 namespace {
 
-struct Choice {
-  enum class Kind : std::uint8_t { None, Init, Merge, Extend };
-  Kind kind = Kind::None;
-  std::uint32_t split = 0;   // Merge: one proper subset S' (other is S\S')
-  NodeId from = kInvalidNode;  // Extend: predecessor node u; Init: terminal
-};
+// Backtrack cells, packed to one word so the (2^k × |V|) table is a single
+// flat allocation-free scratch array: kind in the top two bits, a
+// kind-specific aux field (merge split mask / base terminal index) in bits
+// 32..61, and a 32-bit payload (the extend edge id) in the low word.
+constexpr std::uint64_t kHowNone = 0;
+constexpr std::uint64_t kHowInit = 1;
+constexpr std::uint64_t kHowMerge = 2;
+constexpr std::uint64_t kHowExtend = 3;
+
+constexpr std::uint64_t pack_how(std::uint64_t kind, std::uint64_t aux,
+                                 std::uint64_t payload) {
+  return (kind << 62) | (aux << 32) | payload;
+}
+constexpr std::uint64_t how_kind(std::uint64_t h) { return h >> 62; }
+constexpr std::uint32_t how_aux(std::uint64_t h) {
+  return static_cast<std::uint32_t>((h >> 32) & 0x3fffffffu);
+}
+constexpr std::uint32_t how_payload(std::uint64_t h) {
+  return static_cast<std::uint32_t>(h);
+}
 
 }  // namespace
 
-// The seed Dreyfus–Wagner DP (see reference.cpp) with the flat kernels
-// underneath: base-case trees come from dijkstra(ws) exports, the per-subset
-// relaxation streams CSR rows and reuses the workspace's heap buffer, and
-// the filter probe is a mask bit test. The DP recurrences and every
-// tie-break are untouched, so results match the seed bit for bit (the
-// workspace heap pops in the same (key, node) order as the seed's
-// priority_queue — see dijkstra.cpp).
+// The seed Dreyfus–Wagner DP (see reference.cpp) with two accelerations on
+// top of the flat kernels; both leave the returned tree bit-identical to
+// the seed's (checked by the cross-kernel battery in
+// tests/test_distance_oracle.cpp):
+//
+//   1. Batched base case. The k single-terminal rows dp[{i}][·] used to be
+//      k independent Dijkstra exhaustions; they are now one
+//      multi_source_dijkstra_into() pass whose layer i is bitwise the
+//      standalone search from terms[i] (see dijkstra.hpp), read back
+//      through the workspace bank both for the rows and for the
+//      reconstruction parent walks.
+//
+//   2. Future-cost pruning. UB is the cost of a real Steiner candidate: the
+//      Takahashi–Matsuyama greedy tree (start at the root, repeatedly
+//      attach the nearest remaining terminal along its shortest path to the
+//      tree, priced straight off the base-case rows), capped by the star
+//      bound Σ_{i>0} d(root, t_i) — so the optimum is ≤ UB, and usually
+//      within a few percent of it. For a cell (S, v), any completion to
+//      (full, root) is a walk v→root (extension edges, cost W ≥ d(v, root))
+//      with the merged sub-trees hanging off walk nodes: a missing terminal
+//      t ∉ S sits in a sub-tree merged at some walk node u, so
+//        completion ≥ W + d(t, u) ≥ d(v, u) + d(u, root) + d(t, u)
+//                   ≥ min_u [d(v, u) + d(root, u) + d(t, u)] =: futplus_t(v)
+//      — a per-terminal field computed by one Dijkstra-style pass seeded
+//      with d(root, u) + d(t, u) at every u (a min-convolution with the
+//      graph metric; k−1 passes total, amortized across all 2^k subsets).
+//      futplus_t ≥ max(d(root, ·), d(t, ·)) always and approaches their
+//      *sum*, which is what makes the small-|S| rows (many missing
+//      terminals, the bulk of the DP) actually prune. Then
+//        fut(S, v) = max(d(root, v), max_{t∉S} futplus_t(v))
+//      lower-bounds the remaining cost and any write with
+//      value + fut > prune_guard(UB) can be dropped. Dropped work stays
+//      dropped: extensions of a pruned cell re-fail the test (fut is
+//      1-Lipschitz across edges in exact arithmetic), and a merge with a
+//      pruned ingredient dp[sub][v] re-fails it in the superset S = sub∪rest
+//      because fut(sub, v) ≤ dp[rest][v] + fut(S, v): for t missing from S,
+//      futplus_t ≤ fut(S, v); for t ∈ rest, futplus_t(v) ≤ d(root, v) +
+//      d(t, v) ≤ fut(S, v) + dp[rest][v] (every finite dp value is the cost
+//      of a real tree, hence ≥ d(t, v) for its terminals, and fut ≥
+//      d(root, v) by construction). Divergent values are thereby confined
+//      to prunable cells, and a guard-passing write c is always accepted
+//      identically in both runs: any prunable value p at the same cell
+//      satisfies c + fut ≤ guard < p + fut, i.e. c < p, so the `c < row[v]`
+//      acceptance test cannot be flipped by a prunable occupant. Every cell
+//      of the optimal derivation chain satisfies value + fut ≤ optimum ≤ UB
+//      outright — per-cell admissibility with prune_guard's 1e-9 relative
+//      slack absorbing the float rounding, independent of any other cell's
+//      fate — so the chain's writes, their acceptance order, and the
+//      backtrack entries reconstruction reads are untouched.
 std::optional<SteinerTree> steiner_tree(const Graph& g,
                                         const std::vector<NodeId>& terminals,
                                         const EdgeMask* mask,
@@ -45,44 +101,147 @@ std::optional<SteinerTree> steiner_tree(const Graph& g,
   const Incidence* const arcs = csr.incidence.data();
   const double* const wt = csr.weights.data();
 
-  // dp[S][v]: min weight of a tree containing node v and terminal subset S.
-  std::vector<std::vector<double>> dp(full + 1,
-                                      std::vector<double>(n, kInfCost));
-  std::vector<std::vector<Choice>> how(full + 1, std::vector<Choice>(n));
+  // One batched pass replaces the k per-terminal exhaustions. The bank
+  // (layer-strided slots in ws) stays valid for the whole call: the DP loop
+  // below only reuses the workspace *heap*, never the slots.
+  multi_source_dijkstra_into(g, terms, ws, mask);
+  const MultiSourceView bank(ws, g, k);
 
-  // Single-terminal base: dp[{i}][v] = shortest-path dist(t_i, v).
-  std::vector<ShortestPathTree> term_sp;
-  term_sp.reserve(k);
+  // Flat scratch layout: dp rows (full+1)·n, then the per-subset future
+  // bound row (n), then a dense copy of the bank distances (k·n) so the DP
+  // inner loops read plain doubles instead of stamp-checked slots, then the
+  // per-terminal futplus fields (k·n; row 0 unused — the root's attachment
+  // bound is the d(root, ·) base term).
+  std::vector<double>& f64 = ws.scratch_f64();
+  f64.assign((full + 1) * n + n + 2 * k * n, kInfCost);
+  double* const dp = f64.data();
+  double* const fut = dp + (full + 1) * n;
+  double* const term_dist = fut + n;
+  double* const futplus = term_dist + k * n;
+  std::vector<std::uint64_t>& how = ws.scratch_u64();
+  how.assign((full + 1) * n, pack_how(kHowNone, 0, 0));
+
   for (std::size_t i = 0; i < k; ++i) {
-    term_sp.push_back(dijkstra(g, terms[i], ws, mask));
-    const std::uint32_t bit = 1u << i;
+    double* const row = dp + static_cast<std::size_t>(1u << i) * n;
+    double* const td = term_dist + i * n;
+    const std::uint64_t h = pack_how(kHowInit, i, 0);
+    std::uint64_t* const hrow = how.data() + static_cast<std::size_t>(1u << i) * n;
     for (NodeId v = 0; v < n; ++v) {
-      dp[bit][v] = term_sp[i].dist[v];
-      how[bit][v] = Choice{Choice::Kind::Init, 0, terms[i]};
+      const double d = bank.dist(i, v);
+      td[v] = d;
+      row[v] = d;
+      hrow[v] = h;
+    }
+  }
+
+  // Star upper bound rooted at terms[0]; +inf when a terminal is cut off,
+  // which turns the guard off (the DP then reports infeasible as before).
+  const double* const dist_root = term_dist;
+  double ub = 0.0;
+  for (std::size_t i = 1; i < k; ++i) ub += dist_root[terms[i]];
+
+  // Takahashi–Matsuyama greedy tree, usually far tighter than the star:
+  // grow from the root, each round attaching the terminal closest to the
+  // current tree along its shortest path (cost read from its base-case
+  // row, nodes walked off the bank's parent chain). The overlap between
+  // attach paths is not discounted, which only loosens the bound.
+  if (ub < kInfCost) {
+    std::vector<NodeId>& tree_nodes = ws.scratch_nodes();
+    tree_nodes.assign(1, terms[0]);
+    double tm = 0.0;
+    std::uint32_t attached = 1;  // bitmask over terminal indices
+    for (std::size_t round = 1; round < k; ++round) {
+      double best_d = kInfCost;
+      std::size_t best_i = 0;
+      NodeId best_v = terms[0];
+      for (std::size_t i = 1; i < k; ++i) {
+        if ((attached >> i) & 1u) continue;
+        const double* const td = term_dist + i * n;
+        for (const NodeId v : tree_nodes) {
+          if (td[v] < best_d) {
+            best_d = td[v];
+            best_i = i;
+            best_v = v;
+          }
+        }
+      }
+      tm += best_d;
+      attached |= 1u << best_i;
+      for (NodeId v = best_v; v != terms[best_i];
+           v = bank.parent(best_i, v)) {
+        tree_nodes.push_back(bank.parent(best_i, v));
+      }
+    }
+    if (tm < ub) ub = tm;
+  }
+  const double guard = prune_guard(ub);
+
+  // futplus fields (see the file comment): one seeded relaxation pass per
+  // non-root terminal. Only worth it when the guard is live and some subset
+  // will actually read them (k ≥ 3 — for k = 2 the lone non-singleton
+  // subset is `full`, whose fut is the d(root, ·) base term).
+  const bool futplus_live = ub < kInfCost && k >= 3;
+  if (futplus_live) {
+    for (std::size_t i = 1; i < k; ++i) {
+      double* const fp = futplus + i * n;
+      const double* const td = term_dist + i * n;
+      ws.heap_clear();
+      for (NodeId v = 0; v < n; ++v) {
+        fp[v] = dist_root[v] + td[v];
+        ws.heap_push(fp[v], v);
+      }
+      while (!ws.heap_empty()) {
+        const auto [d, v] = ws.heap_pop();
+        if (d > fp[v]) continue;
+        const std::uint32_t row_end = csr.offsets[v + 1];
+        for (std::uint32_t s = csr.offsets[v]; s != row_end; ++s) {
+          const Incidence inc = arcs[s];
+          if (mask != nullptr && !mask->allows(inc.edge)) continue;
+          const double nd = d + wt[s];
+          if (nd < fp[inc.neighbor]) {
+            fp[inc.neighbor] = nd;
+            ws.heap_push(nd, inc.neighbor);
+          }
+        }
+      }
     }
   }
 
   for (std::uint32_t S = 1; S <= full; ++S) {
     if ((S & (S - 1)) == 0) continue;  // singletons done above
-    auto& row = dp[S];
-    auto& hrow = how[S];
+    double* const row = dp + static_cast<std::size_t>(S) * n;
+    std::uint64_t* const hrow = how.data() + static_cast<std::size_t>(S) * n;
+    // Future bound for this subset; without live futplus fields (guard off
+    // or k = 2) the plain distance fields keep the same shape for free.
+    for (NodeId v = 0; v < n; ++v) fut[v] = dist_root[v];
+    const double* const attach = futplus_live ? futplus : term_dist;
+    for (std::size_t i = 1; i < k; ++i) {
+      if ((S >> i) & 1u) continue;
+      const double* const td = attach + i * n;
+      for (NodeId v = 0; v < n; ++v) {
+        if (td[v] > fut[v]) fut[v] = td[v];
+      }
+    }
     // Merge two complementary sub-trees at v.
     for (std::uint32_t sub = (S - 1) & S; sub > 0; sub = (sub - 1) & S) {
       const std::uint32_t rest = S ^ sub;
       if (sub > rest) continue;  // each unordered split once
-      const auto& a = dp[sub];
-      const auto& b = dp[rest];
+      const double* const a = dp + static_cast<std::size_t>(sub) * n;
+      const double* const b = dp + static_cast<std::size_t>(rest) * n;
       for (NodeId v = 0; v < n; ++v) {
         if (a[v] == kInfCost || b[v] == kInfCost) continue;
         const double c = a[v] + b[v];
-        if (c < row[v]) {
+        if (c < row[v] && c + fut[v] <= guard) {
           row[v] = c;
-          hrow[v] = Choice{Choice::Kind::Merge, sub, kInvalidNode};
+          hrow[v] = pack_how(kHowMerge, sub, 0);
         }
       }
     }
     // Dijkstra-style relaxation: grow the tree along cheap paths. The dist
-    // array is the DP row, so only the heap comes from the workspace.
+    // array is the DP row, so only the heap comes from the workspace. Every
+    // finite cell already passed the guard (all non-singleton writes are
+    // guard-tested against this subset's fut), so seeding needs no re-test
+    // — the guard's work here is keeping cells *out* of the row entirely.
     ws.heap_clear();
     for (NodeId v = 0; v < n; ++v) {
       if (row[v] < kInfCost) ws.heap_push(row[v], v);
@@ -95,9 +254,9 @@ std::optional<SteinerTree> steiner_tree(const Graph& g,
         const Incidence inc = arcs[s];
         if (mask != nullptr && !mask->allows(inc.edge)) continue;
         const double nd = d + wt[s];
-        if (nd < row[inc.neighbor]) {
+        if (nd < row[inc.neighbor] && nd + fut[inc.neighbor] <= guard) {
           row[inc.neighbor] = nd;
-          hrow[inc.neighbor] = Choice{Choice::Kind::Extend, 0, v};
+          hrow[inc.neighbor] = pack_how(kHowExtend, 0, inc.edge);
           ws.heap_push(nd, inc.neighbor);
         }
       }
@@ -105,41 +264,42 @@ std::optional<SteinerTree> steiner_tree(const Graph& g,
   }
 
   const NodeId root = terms[0];
-  if (dp[full][root] == kInfCost) return std::nullopt;
+  if (dp[static_cast<std::size_t>(full) * n + root] == kInfCost) {
+    return std::nullopt;
+  }
 
   // Reconstruct the edge set by unwinding the DP choices.
   std::set<EdgeId> edges;
   std::vector<std::pair<std::uint32_t, NodeId>> stack{{full, root}};
-  auto add_tree_path = [&](const ShortestPathTree& sp, NodeId v) {
-    while (v != sp.source) {
-      edges.insert(sp.parent_edge[v]);
-      v = sp.parent[v];
+  auto add_bank_path = [&](std::size_t layer, NodeId v) {
+    // Walk layer `layer`'s parent chain from v back to terms[layer].
+    while (v != terms[layer]) {
+      edges.insert(bank.parent_edge(layer, v));
+      v = bank.parent(layer, v);
     }
   };
   while (!stack.empty()) {
     auto [S, v] = stack.back();
     stack.pop_back();
-    const Choice& c = how[S][v];
-    switch (c.kind) {
-      case Choice::Kind::Init: {
-        // Path from terminal c.from to v along that terminal's SP tree.
-        std::size_t ti = 0;
-        while (terms[ti] != c.from) ++ti;
-        add_tree_path(term_sp[ti], v);
+    const std::uint64_t h = how[static_cast<std::size_t>(S) * n + v];
+    switch (how_kind(h)) {
+      case kHowInit:
+        add_bank_path(how_aux(h), v);
+        break;
+      case kHowMerge: {
+        const std::uint32_t sub = how_aux(h);
+        stack.emplace_back(sub, v);
+        stack.emplace_back(S ^ sub, v);
         break;
       }
-      case Choice::Kind::Merge:
-        stack.emplace_back(c.split, v);
-        stack.emplace_back(S ^ c.split, v);
-        break;
-      case Choice::Kind::Extend: {
-        const auto e = g.find_edge(c.from, v);
-        DAGSFC_ASSERT(e.has_value());
-        edges.insert(*e);
-        stack.emplace_back(S, c.from);
+      case kHowExtend: {
+        const EdgeId e = how_payload(h);
+        edges.insert(e);
+        const Edge& edge = g.edge(e);
+        stack.emplace_back(S, edge.u == v ? edge.v : edge.u);
         break;
       }
-      case Choice::Kind::None:
+      default:
         DAGSFC_CHECK_MSG(false, "Steiner reconstruction hit an unset cell");
     }
   }
@@ -149,7 +309,8 @@ std::optional<SteinerTree> steiner_tree(const Graph& g,
   for (EdgeId e : out.edges) out.cost += g.edge(e).weight;
   // Deduplication can only make the reconstruction cheaper; the DP value is
   // optimal, so equality must hold (up to float noise).
-  DAGSFC_ASSERT(out.cost <= dp[full][root] + 1e-9);
+  DAGSFC_ASSERT(out.cost <=
+                dp[static_cast<std::size_t>(full) * n + root] + 1e-9);
   return out;
 }
 

@@ -59,6 +59,10 @@ struct ServiceTuning {
   /// Commit machinery of the service under test; kMutex is the legacy
   /// baseline the bench A/Bs against.
   CommitPipeline pipeline = CommitPipeline::kMvcc;
+  /// Forwarded to EmbeddingService::Options::distance_oracle: an ALT oracle
+  /// over the workload's network topology, attached to every worker's
+  /// search workspace. Caller-owned; must outlive the run. Null = off.
+  const graph::DistanceOracle* distance_oracle = nullptr;
   /// Called once, after the service starts and before any submit.
   std::function<void(EmbeddingService&)> on_start;
   /// Called once, after the drain and final metrics capture but before the
