@@ -22,6 +22,7 @@
 #include "net/io.hpp"
 #include "sfc/io.hpp"
 #include "shard/hier.hpp"
+#include "util/build_info.hpp"
 #include "util/flags.hpp"
 
 using namespace dagsfc;
@@ -152,6 +153,11 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
+
+  // Process identity (dagsfc_build_info + dagsfc_uptime_seconds) on the
+  // default registry, same as the serving CLI.
+  const util::ProcessMetrics process_metrics;
+  process_metrics.update();
 
   try {
     const std::string net_path = flags.get("network");

@@ -20,9 +20,14 @@
 /// like the bench binaries.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/backtracking.hpp"
 #include "core/baselines.hpp"
@@ -31,9 +36,62 @@
 #include "graph/oracle.hpp"
 #include "serve/driver.hpp"
 #include "serve/http.hpp"
+#include "serve/trace.hpp"
 #include "shard/driver.hpp"
+#include "util/build_info.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
+
+namespace {
+
+/// SIGUSR1 → dump the live flight recorder. A signal handler may only flip
+/// a flag, so a tiny poller thread does the actual I/O; the service hooks
+/// publish the recorder through g_flight for the duration of the run.
+volatile std::sig_atomic_t g_dump_requested = 0;
+void on_sigusr1(int) { g_dump_requested = 1; }
+std::atomic<const dagsfc::serve::FlightRecorder*> g_flight{nullptr};
+
+/// Owns the poller thread and joins it on every exit path.
+struct SignalPoller {
+  std::atomic<bool> stop{false};
+  std::thread thread;
+
+  void start() {
+    std::signal(SIGUSR1, on_sigusr1);
+    thread = std::thread([this] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (g_dump_requested == 0) continue;
+        g_dump_requested = 0;
+        if (const auto* f = g_flight.load(std::memory_order_acquire)) {
+          std::cerr << "SIGUSR1 flight dump: " << f->to_json() << "\n";
+        }
+      }
+    });
+  }
+  ~SignalPoller() {
+    stop.store(true, std::memory_order_relaxed);
+    if (thread.joinable()) thread.join();
+  }
+};
+
+/// --flight-dump: the retained traces as Chrome trace-event JSON, written
+/// at exit while the service (and its recorder) is still alive.
+void dump_flight(const std::string& path,
+                 const dagsfc::serve::FlightRecorder* flight) {
+  if (path.empty() || flight == nullptr) return;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "flight-dump: cannot open " << path << "\n";
+    return;
+  }
+  out << flight->to_chrome();
+  std::cerr << "flight-dump: " << flight->promoted()
+            << " promoted trace(s); chrome trace written to " << path
+            << " (open in Perfetto or chrome://tracing)\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dagsfc;
@@ -81,6 +139,20 @@ int main(int argc, char** argv) {
                        "warn once (and count dagsfc_serve_slow_solves_total) "
                        "for any request processed longer than this; 0s "
                        "disables the watchdog")
+      .define("flight-dump", "",
+              "enable request-lifecycle tracing and write the flight "
+              "recorder's retained traces as Chrome trace-event JSON to "
+              "this path at exit (open in Perfetto / chrome://tracing)")
+      .define_bool("trace", false,
+                   "request-lifecycle tracing without a dump file (the "
+                   "flight recorder serves on /debug/traces.json and "
+                   "SIGUSR1 dumps it to stderr); implied by --flight-dump")
+      .define_duration("trace-latency-over", "0s",
+                       "also promote traces whose submit->finish latency "
+                       "exceeds this; 0s disables the latency trigger")
+      .define_bool("trace-refusals", false,
+                   "also promote refused requests (infeasible, queue-full, "
+                   "deadline-shed)")
       .define_log_level()
       .define_int("seed", 0x5eed5e, "workload + solver RNG seed");
   try {
@@ -116,6 +188,21 @@ int main(int argc, char** argv) {
   admission.max_retries = static_cast<std::uint32_t>(flags.get_int("retries"));
   admission.retry_backoff = flags.get_duration("backoff");
 
+  // Process identity on the default registry (dagsfc_build_info +
+  // dagsfc_uptime_seconds). The scrape endpoint serves the service's own
+  // registry, so on_start registers a second ProcessMetrics there — that is
+  // the copy a scraper actually sees, kept fresh via before_scrape.
+  const util::ProcessMetrics process_metrics;
+
+  const std::string flight_dump = flags.get("flight-dump");
+  serve::TracingOptions tracing;
+  tracing.enabled = flags.get_bool("trace") || !flight_dump.empty();
+  tracing.latency_over = flags.get_duration("trace-latency-over");
+  tracing.on_refusal = flags.get_bool("trace-refusals");
+
+  SignalPoller poller;
+  if (tracing.enabled) poller.start();
+
   const std::string oracle_mode = flags.get("oracle");
   if (oracle_mode != "off" && oracle_mode != "alt") {
     std::cerr << "unknown oracle '" << oracle_mode << "' (off|alt)\n";
@@ -130,6 +217,7 @@ int main(int argc, char** argv) {
   // --- sharded mode: --algorithm hier routes through the shard plane ------
   if (flags.get("algorithm") == "hier") {
     std::unique_ptr<serve::MetricsHttpServer> endpoint;
+    std::unique_ptr<util::ProcessMetrics> scrape_identity;
     const int metrics_port = flags.get_int("metrics-port");
     const auto shards = static_cast<std::size_t>(
         std::max<std::int64_t>(1, flags.get_int("shards")));
@@ -162,20 +250,32 @@ int main(int argc, char** argv) {
     sopts.hier.inner =
         shard::inner_algorithm_from_string(flags.get("hier-inner"));
     sopts.seed = seed;
+    sopts.tracing = tracing;
 
     shard::ShardServiceTuning stuning;
-    if (metrics_port > 0) {
-      stuning.on_start = [&endpoint,
-                          metrics_port](shard::ShardedEmbeddingService& s) {
+    stuning.on_start = [&](shard::ShardedEmbeddingService& s) {
+      g_flight.store(s.flight_recorder(), std::memory_order_release);
+      if (metrics_port > 0) {
+        scrape_identity =
+            std::make_unique<util::ProcessMetrics>(s.metrics_registry());
+        serve::MetricsHttpServer::Options mopts;
+        mopts.flight = s.flight_recorder();
+        mopts.before_scrape = [&scrape_identity] { scrape_identity->update(); };
         endpoint = std::make_unique<serve::MetricsHttpServer>(
-            s.metrics_registry(), static_cast<std::uint16_t>(metrics_port));
+            s.metrics_registry(), static_cast<std::uint16_t>(metrics_port),
+            std::move(mopts));
         std::cerr << "metrics: curl http://127.0.0.1:" << endpoint->port()
                   << "/metrics\n";
-      };
-      stuning.on_finish = [&endpoint](shard::ShardedEmbeddingService&) {
-        endpoint.reset();
-      };
-    }
+      }
+    };
+    // The endpoint scrapes the service's registry and the flight dump reads
+    // its recorder, so both must detach before the service is destroyed.
+    stuning.on_finish = [&](shard::ShardedEmbeddingService& s) {
+      g_flight.store(nullptr, std::memory_order_release);
+      endpoint.reset();
+      scrape_identity.reset();
+      dump_flight(flight_dump, s.flight_recorder());
+    };
 
     if (flags.get_bool("closed-loop")) {
       const shard::ShardDriverResult r =
@@ -288,19 +388,32 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::unique_ptr<serve::MetricsHttpServer> endpoint;
+  std::unique_ptr<util::ProcessMetrics> scrape_identity;
   const int metrics_port = flags.get_int("metrics-port");
-  if (metrics_port > 0) {
-    tuning.on_start = [&endpoint, metrics_port](serve::EmbeddingService& s) {
+  tuning.tracing = tracing;
+  tuning.on_start = [&](serve::EmbeddingService& s) {
+    g_flight.store(s.flight_recorder(), std::memory_order_release);
+    if (metrics_port > 0) {
+      scrape_identity =
+          std::make_unique<util::ProcessMetrics>(s.metrics_registry());
+      serve::MetricsHttpServer::Options mopts;
+      mopts.flight = s.flight_recorder();
+      mopts.before_scrape = [&scrape_identity] { scrape_identity->update(); };
       endpoint = std::make_unique<serve::MetricsHttpServer>(
-          s.metrics_registry(), static_cast<std::uint16_t>(metrics_port));
+          s.metrics_registry(), static_cast<std::uint16_t>(metrics_port),
+          std::move(mopts));
       std::cerr << "metrics: curl http://127.0.0.1:" << endpoint->port()
                 << "/metrics\n";
-    };
-    // The endpoint scrapes the service's registry, so it must go first.
-    tuning.on_finish = [&endpoint](serve::EmbeddingService&) {
-      endpoint.reset();
-    };
-  }
+    }
+  };
+  // The endpoint scrapes the service's registry and the flight dump reads
+  // its recorder, so both must detach before the service is destroyed.
+  tuning.on_finish = [&](serve::EmbeddingService& s) {
+    g_flight.store(nullptr, std::memory_order_release);
+    endpoint.reset();
+    scrape_identity.reset();
+    dump_flight(flight_dump, s.flight_recorder());
+  };
 
   if (flags.get_bool("closed-loop")) {
     const serve::DriverResult r = serve::run_closed_loop(

@@ -31,6 +31,13 @@
 # battery's workspace reuse, TSan because the oracle is shared immutable
 # across the serve worker pool — every query() walks the same bank the
 # build path last wrote, exactly the publish/consume edge TSan checks.
+# A ninth pass runs the observability plane (ctest -R
+# 'lifecycle|flight|http') under both trees: ASan/UBSan for the span-ring
+# index arithmetic and the HTTP error paths, TSan because the span ring is
+# the one deliberately lock-free single-writer/any-reader structure in the
+# repo — the concurrent collect() battery and the tail-sampling promotion
+# path are exactly what its relaxed-store/acquire-load discipline must
+# survive.
 # Every full pass also runs the flat-vs-reference search differential suite
 # (test_search_flat), so the bit-identity contract of the CSR/workspace
 # tier is checked under ASan/UBSan as well as in the plain build.
@@ -107,3 +114,16 @@ require_test "${BUILD_DIR:-build-asan}" 'test_distance_oracle'
 require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_distance_oracle'
 ctest --test-dir "${TSAN_BUILD_DIR:-build-tsan}" --output-on-failure \
   -j "$(nproc)" -R 'oracle'
+# Observability pass: request-lifecycle tracing + flight recorder + HTTP
+# endpoint suites under both trees. The ASan tree already ran them in the
+# full first pass; the guards keep all three suites pinned in both builds,
+# and the TSan rerun covers the lock-free span ring's writer/collector
+# races and the flight recorder's promotion path under the worker pools.
+require_test "${BUILD_DIR:-build-asan}" 'test_lifecycle'
+require_test "${BUILD_DIR:-build-asan}" 'test_flight'
+require_test "${BUILD_DIR:-build-asan}" 'test_http'
+require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_lifecycle'
+require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_flight'
+require_test "${TSAN_BUILD_DIR:-build-tsan}" 'test_http'
+ctest --test-dir "${TSAN_BUILD_DIR:-build-tsan}" --output-on-failure \
+  -j "$(nproc)" -R 'lifecycle|flight|http'

@@ -63,6 +63,10 @@ struct ServiceTuning {
   /// over the workload's network topology, attached to every worker's
   /// search workspace. Caller-owned; must outlive the run. Null = off.
   const graph::DistanceOracle* distance_oracle = nullptr;
+  /// Forwarded to EmbeddingService::Options::tracing — request-lifecycle
+  /// spans + tail-sampled flight recorder. Reach the recorders through the
+  /// service in on_start/on_finish.
+  TracingOptions tracing;
   /// Called once, after the service starts and before any submit.
   std::function<void(EmbeddingService&)> on_start;
   /// Called once, after the drain and final metrics capture but before the

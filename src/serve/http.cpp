@@ -9,8 +9,11 @@
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <utility>
 
+#include "serve/trace.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 
 namespace dagsfc::serve {
@@ -48,7 +51,13 @@ std::string make_response(int status, const char* reason,
 
 MetricsHttpServer::MetricsHttpServer(const util::MetricRegistry& registry,
                                      std::uint16_t port)
-    : registry_(&registry) {
+    : MetricsHttpServer(registry, port, Options{}) {}
+
+MetricsHttpServer::MetricsHttpServer(const util::MetricRegistry& registry,
+                                     std::uint16_t port, Options options)
+    : registry_(&registry),
+      opts_(std::move(options)),
+      started_(std::chrono::steady_clock::now()) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   DAGSFC_CHECK_MSG(listen_fd_ >= 0, "metrics endpoint: socket() failed");
   const int one = 1;
@@ -114,6 +123,14 @@ void MetricsHttpServer::handle_connection(int client_fd) {
   const std::string request(buf);
 
   const std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos &&
+      static_cast<std::size_t>(n) == sizeof(buf) - 1) {
+    // The request line alone overflowed the buffer — reject rather than
+    // parse a truncated path.
+    write_all(client_fd, make_response(400, "Bad Request", "text/plain",
+                                       "request line too long\n"));
+    return;
+  }
   const std::string line =
       line_end == std::string::npos ? request : request.substr(0, line_end);
   std::istringstream is(line);
@@ -125,11 +142,23 @@ void MetricsHttpServer::handle_connection(int client_fd) {
     resp = make_response(405, "Method Not Allowed", "text/plain",
                          "method not allowed\n");
   } else if (path == "/metrics") {
+    if (opts_.before_scrape) opts_.before_scrape();
     resp = make_response(200, "OK", "text/plain; version=0.0.4",
                          registry_->expose_prometheus());
   } else if (path == "/metrics.json") {
+    if (opts_.before_scrape) opts_.before_scrape();
     resp = make_response(200, "OK", "application/json",
                          registry_->expose_json());
+  } else if (path == "/healthz") {
+    const double uptime = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - started_)
+                              .count();
+    resp = make_response(200, "OK", "application/json",
+                         "{\"status\":\"ok\",\"uptime_seconds\":" +
+                             util::json_number(uptime) + "}");
+  } else if (path == "/debug/traces.json" && opts_.flight != nullptr) {
+    resp = make_response(200, "OK", "application/json",
+                         opts_.flight->to_json());
   } else {
     resp = make_response(404, "Not Found", "text/plain", "not found\n");
   }

@@ -78,8 +78,11 @@ void ServiceMetrics::on_response(const Response& r) {
   }
   commit_conflicts_.inc(r.conflicts);
   if (r.solves > 1) retries_.inc(r.solves - 1);
-  latency_ms_.observe(r.queue_ms + r.solve_ms);
-  solve_ms_.observe(r.solve_ms);
+  // Exemplars: each latency bucket remembers the request id of its worst
+  // observation, linking the histogram to the flight recorder. They live
+  // registry-side only, so snapshot() above stays bitwise-comparable.
+  latency_ms_.observe_exemplar(r.queue_ms + r.solve_ms, r.id);
+  solve_ms_.observe_exemplar(r.solve_ms, r.id);
 }
 
 MetricsSnapshot ServiceMetrics::snapshot() const {

@@ -71,6 +71,9 @@ struct Response {
   bool stamp_validated = false;
   double queue_ms = 0.0;  ///< submit → dequeue
   double solve_ms = 0.0;  ///< dequeue → terminal outcome
+  /// True when the slow-solve watchdog warned on this request while it was
+  /// in flight — a tail-sampling trigger for the flight recorder.
+  bool watchdog_flagged = false;
 
   [[nodiscard]] bool accepted() const noexcept {
     return outcome == Outcome::Accepted;

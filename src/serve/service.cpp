@@ -44,6 +44,11 @@ EmbeddingService::EmbeddingService(const net::Network& network,
     ledger_.enable_journal(std::max<std::size_t>(
         4096, 32 * (network.num_links() + network.num_instances())));
   }
+  if (opts_.tracing.enabled) {
+    spans_ = std::make_unique<util::SpanRecorder>(
+        opts_.workers, opts_.tracing.ring_capacity);
+    flight_ = std::make_unique<FlightRecorder>(opts_.tracing.flight_capacity);
+  }
   watch_slots_.resize(opts_.workers);
   if (opts_.slow_solve_threshold.count() > 0) {
     watchdog_ = std::thread([this] { watchdog_loop(); });
@@ -103,11 +108,39 @@ void EmbeddingService::worker_loop(std::size_t slot) {
     metrics_.set_queue_depth(queue_.size());
     metrics_.add_workers_busy(1.0);
     if (watched) begin_watch(slot, job->req.id);
-    Response resp = process(*job, state);
-    if (watched) end_watch(slot);
+    // This worker is the lane's single writer for the request's lifetime.
+    RequestTrace trace(spans_.get(), slot, job->req.id);
+    const std::uint64_t t_submit = trace.at(job->submitted);
+    Response resp = process(*job, state, trace);
+    if (watched) resp.watchdog_flagged = end_watch(slot);
+    trace.outcome(resp.outcome, t_submit, trace.now(), resp.cost);
+    maybe_promote(trace, resp);
     metrics_.add_workers_busy(-1.0);
     finish(std::move(*job), std::move(resp));
   }
+}
+
+void EmbeddingService::maybe_promote(const RequestTrace& trace,
+                                     const Response& resp) {
+  if (!flight_ || !trace.active()) return;
+  const double latency_ms = resp.queue_ms + resp.solve_ms;
+  const std::uint8_t hit = evaluate_triggers(opts_.tracing, resp.outcome,
+                                             latency_ms,
+                                             resp.watchdog_flagged);
+  if (hit == 0) return;
+  FlightTrace ft;
+  ft.trace_id = resp.id;
+  ft.triggers = hit;
+  ft.outcome = resp.outcome;
+  ft.latency_ms = latency_ms;
+  ft.dropped_spans = trace.overflow();
+  const std::span<const util::SpanRecord> spans = trace.spans();
+  ft.spans.assign(spans.begin(), spans.end());
+  // The inline copy never went through collect(), so stamp the lane here.
+  for (util::SpanRecord& s : ft.spans) {
+    s.lane = static_cast<std::uint32_t>(trace.lane());
+  }
+  flight_->promote(std::move(ft));
 }
 
 void EmbeddingService::begin_watch(std::size_t slot, RequestId id) {
@@ -116,9 +149,10 @@ void EmbeddingService::begin_watch(std::size_t slot, RequestId id) {
       WatchSlot{id, Clock::now(), /*active=*/true, /*warned=*/false};
 }
 
-void EmbeddingService::end_watch(std::size_t slot) {
+bool EmbeddingService::end_watch(std::size_t slot) {
   std::lock_guard lock(watch_mu_);
   watch_slots_[slot].active = false;
+  return watch_slots_[slot].warned;
 }
 
 std::chrono::nanoseconds EmbeddingService::watchdog_period() const {
@@ -214,11 +248,13 @@ bool EmbeddingService::group_commit(PendingCommit& pc) {
   return pc.status == PendingCommit::Status::kCommitted;
 }
 
-Response EmbeddingService::process(Job& job, WorkerState& state) {
+Response EmbeddingService::process(Job& job, WorkerState& state,
+                                   RequestTrace& trace) {
   const Clock::time_point dequeued = Clock::now();
   Response resp;
   resp.id = job.req.id;
   resp.queue_ms = ms_between(job.submitted, dequeued);
+  trace.queue_wait(trace.at(job.submitted), trace.at(dequeued));
 
   if (opts_.admission.should_shed(job.req, dequeued)) {
     resp.outcome = Outcome::SheddedDeadline;
@@ -246,6 +282,7 @@ Response EmbeddingService::process(Job& job, WorkerState& state) {
     // plus the epoch it was taken at. MVCC syncs the worker's persistent
     // replica (O(delta) journal replay, warm path cache); the legacy
     // pipeline copies the whole ledger.
+    const std::uint64_t t_solve0 = trace.now();
     std::uint64_t snapshot_epoch = 0;
     std::unique_ptr<net::CapacityLedger> snap;
     const net::CapacityLedger* view = nullptr;
@@ -265,6 +302,9 @@ Response EmbeddingService::process(Job& job, WorkerState& state) {
     const core::SolveResult r =
         embedder_->solve(index, *view, rng, nullptr, &state.ws);
     ++resp.solves;
+    const std::uint16_t att = static_cast<std::uint16_t>(attempt);
+    trace.solve(att, r.ok(), t_solve0, trace.now(), snapshot_epoch,
+                r.ok() ? r.cost : 0.0);
     if (!r.ok()) {
       // Infeasible against a consistent snapshot: a genuine reject, not a
       // race — retrying against an even fuller ledger cannot help.
@@ -275,6 +315,7 @@ Response EmbeddingService::process(Job& job, WorkerState& state) {
 
     core::ResourceUsage usage = evaluator.usage(*r.solution);
 
+    const std::uint64_t t_commit0 = trace.now();
     if (mvcc) {
       PendingCommit pc;
       pc.id = job.req.id;
@@ -282,6 +323,11 @@ Response EmbeddingService::process(Job& job, WorkerState& state) {
       pc.rate = rate;
       pc.snapshot_epoch = snapshot_epoch;
       if (group_commit(pc)) {
+        trace.commit(att,
+                     pc.stamp_validated ? CommitClass::kStamp
+                     : pc.epoch_moved  ? CommitClass::kValidated
+                                       : CommitClass::kFast,
+                     t_commit0, trace.now(), pc.commit_epoch);
         resp.outcome = Outcome::Accepted;
         resp.cost = r.cost;
         resp.snapshot_epoch = snapshot_epoch;
@@ -293,17 +339,29 @@ Response EmbeddingService::process(Job& job, WorkerState& state) {
       }
     } else {
       // Legacy commit: epoch validation with a full residual re-check.
-      std::lock_guard lock(commit_mu_);
-      const bool moved = ledger_.epoch() != snapshot_epoch;
-      if (!moved || ledger_.can_apply(usage.link_uses, usage.instance_uses,
-                                      rate)) {
-        ledger_.apply(usage.link_uses, usage.instance_uses, rate);
-        committed_.emplace(job.req.id,
-                           CommittedFlow{std::move(usage), rate});
+      bool committed = false;
+      bool moved = false;
+      std::uint64_t commit_epoch = 0;
+      {
+        std::lock_guard lock(commit_mu_);
+        moved = ledger_.epoch() != snapshot_epoch;
+        if (!moved || ledger_.can_apply(usage.link_uses,
+                                        usage.instance_uses, rate)) {
+          ledger_.apply(usage.link_uses, usage.instance_uses, rate);
+          committed_.emplace(job.req.id,
+                             CommittedFlow{std::move(usage), rate});
+          committed = true;
+          commit_epoch = ledger_.epoch();
+        }
+      }
+      if (committed) {
+        trace.commit(att,
+                     moved ? CommitClass::kValidated : CommitClass::kFast,
+                     t_commit0, trace.now(), commit_epoch);
         resp.outcome = Outcome::Accepted;
         resp.cost = r.cost;
         resp.snapshot_epoch = snapshot_epoch;
-        resp.commit_epoch = ledger_.epoch();
+        resp.commit_epoch = commit_epoch;
         resp.epoch_validated = moved;
         resp.solve_ms = ms_between(dequeued, Clock::now());
         return resp;
@@ -311,6 +369,8 @@ Response EmbeddingService::process(Job& job, WorkerState& state) {
     }
     // The world changed under us and the solution no longer fits: commit
     // conflict. Loop back for a fresh snapshot.
+    trace.commit(att, CommitClass::kConflict, t_commit0, trace.now(),
+                 snapshot_epoch);
     ++resp.conflicts;
   }
 

@@ -76,6 +76,8 @@
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
+#include "serve/trace.hpp"
+#include "util/span_recorder.hpp"
 
 namespace dagsfc::serve {
 
@@ -116,6 +118,14 @@ class EmbeddingService {
     /// speed, not correctness). Null means no pruning — the pre-oracle
     /// behaviour, bit for bit.
     const graph::DistanceOracle* distance_oracle = nullptr;
+    /// Request-lifecycle tracing (serve/trace.hpp): when enabled, every
+    /// request gets queue-wait / per-attempt solve / per-attempt commit /
+    /// outcome spans in a per-worker ring, and trigger-matching requests
+    /// are promoted to the flight recorder. Observation only — solve
+    /// results and outcome counters are bit-identical with tracing on or
+    /// off. Note queue-full rejects resolve on the submit path and never
+    /// reach a worker lane, so they are counted but not traced.
+    TracingOptions tracing;
   };
 
   /// The network and embedder must outlive the service. The embedder must
@@ -156,6 +166,11 @@ class EmbeddingService {
   [[nodiscard]] const util::MetricRegistry& metrics_registry() const noexcept {
     return metrics_.registry();
   }
+  /// Mutable access, so callers can register extra instruments (e.g.
+  /// util::ProcessMetrics) on the same registry the endpoint scrapes.
+  [[nodiscard]] util::MetricRegistry& metrics_registry() noexcept {
+    return metrics_.registry();
+  }
 
   /// Consistent copy of the shared ledger (taken under the commit mutex).
   [[nodiscard]] net::CapacityLedger ledger_snapshot() const;
@@ -163,6 +178,15 @@ class EmbeddingService {
 
   [[nodiscard]] const net::Network& network() const noexcept { return *net_; }
   [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+  /// Tail-sampled trace store; null unless Options::tracing.enabled.
+  [[nodiscard]] const FlightRecorder* flight_recorder() const noexcept {
+    return flight_.get();
+  }
+  /// The always-on span ring; null unless Options::tracing.enabled.
+  [[nodiscard]] const util::SpanRecorder* span_recorder() const noexcept {
+    return spans_.get();
+  }
 
  private:
   struct Job {
@@ -211,8 +235,12 @@ class EmbeddingService {
   };
 
   void worker_loop(std::size_t slot);
-  [[nodiscard]] Response process(Job& job, WorkerState& state);
+  [[nodiscard]] Response process(Job& job, WorkerState& state,
+                                 RequestTrace& trace);
   void finish(Job&& job, Response&& resp);
+  /// Tail sampling: promotes \p trace to the flight recorder iff \p resp
+  /// matches a TracingOptions trigger.
+  void maybe_promote(const RequestTrace& trace, const Response& resp);
 
   /// MVCC snapshot: catches state.replica up to the shared ledger under
   /// commit_mu_ and returns the snapshot epoch.
@@ -225,7 +253,9 @@ class EmbeddingService {
   void decide(PendingCommit& pc);
 
   void begin_watch(std::size_t slot, RequestId id);
-  void end_watch(std::size_t slot);
+  /// Deactivates the slot; returns true iff the watchdog warned on the
+  /// request that just finished (the watchdog-fire tail-sampling trigger).
+  bool end_watch(std::size_t slot);
   void watchdog_loop();
   [[nodiscard]] std::chrono::nanoseconds watchdog_period() const;
 
@@ -246,6 +276,11 @@ class EmbeddingService {
 
   BoundedQueue<Job> queue_;
   ServiceMetrics metrics_;
+
+  /// Tracing plane (null when Options::tracing.enabled is false): one ring
+  /// lane per worker, plus the tail-sampled flight recorder.
+  std::unique_ptr<util::SpanRecorder> spans_;
+  std::unique_ptr<FlightRecorder> flight_;
 
   /// drain(): submitted-but-unanswered requests.
   mutable std::mutex drain_mu_;

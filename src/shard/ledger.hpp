@@ -61,6 +61,16 @@ namespace dagsfc::shard {
 
 enum class CommitPath : std::uint8_t { kFast, kStamp, kValidated, kConflict };
 
+[[nodiscard]] constexpr const char* to_string(CommitPath p) noexcept {
+  switch (p) {
+    case CommitPath::kFast: return "fast";
+    case CommitPath::kStamp: return "stamp";
+    case CommitPath::kValidated: return "validated";
+    case CommitPath::kConflict: return "conflict";
+  }
+  return "unknown";
+}
+
 struct CommitResult {
   bool ok = false;
   CommitPath path = CommitPath::kConflict;

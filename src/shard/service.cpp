@@ -21,6 +21,27 @@ std::uint64_t solve_seed(std::uint64_t base, serve::RequestId id,
   return splitmix64(state);
 }
 
+/// Touched-shard set as a bitmask for the commit span's arg (regions past
+/// 63 are simply not representable — the span is a breadcrumb, the full
+/// list lives in the per-shard metrics).
+std::uint64_t shard_mask(const std::vector<RegionId>& regions) {
+  std::uint64_t mask = 0;
+  for (RegionId r : regions) {
+    if (r < 64) mask |= std::uint64_t{1} << r;
+  }
+  return mask;
+}
+
+serve::CommitClass commit_class(CommitPath p) {
+  switch (p) {
+    case CommitPath::kFast: return serve::CommitClass::kFast;
+    case CommitPath::kStamp: return serve::CommitClass::kStamp;
+    case CommitPath::kValidated: return serve::CommitClass::kValidated;
+    case CommitPath::kConflict: return serve::CommitClass::kConflict;
+  }
+  return serve::CommitClass::kConflict;
+}
+
 }  // namespace
 
 ShardedEmbeddingService::ShardedEmbeddingService(
@@ -33,6 +54,13 @@ ShardedEmbeddingService::ShardedEmbeddingService(
   opts_.admission.validate();
   DAGSFC_CHECK(opts_.workers_per_shard >= 1);
   DAGSFC_CHECK(opts_.hier.region_paths >= 1);
+  if (opts_.tracing.enabled) {
+    spans_ = std::make_unique<util::SpanRecorder>(
+        substrate.num_regions() * opts_.workers_per_shard,
+        opts_.tracing.ring_capacity);
+    flight_ = std::make_unique<serve::FlightRecorder>(
+        opts_.tracing.flight_capacity);
+  }
   pools_.reserve(substrate.num_regions());
   for (std::size_t s = 0; s < substrate.num_regions(); ++s) {
     pools_.push_back(
@@ -43,8 +71,10 @@ ShardedEmbeddingService::ShardedEmbeddingService(
   for (std::size_t s = 0; s < pools_.size(); ++s) {
     pools_[s]->workers.reserve(opts_.workers_per_shard);
     for (std::size_t w = 0; w < opts_.workers_per_shard; ++w) {
-      pools_[s]->workers.emplace_back(
-          [this, s] { worker_loop(static_cast<RegionId>(s)); });
+      const std::size_t lane = s * opts_.workers_per_shard + w;
+      pools_[s]->workers.emplace_back([this, s, lane] {
+        worker_loop(static_cast<RegionId>(s), lane);
+      });
     }
   }
 }
@@ -89,22 +119,49 @@ void ShardedEmbeddingService::finish(Job&& job, serve::Response&& resp) {
   drain_cv_.notify_all();
 }
 
-void ShardedEmbeddingService::worker_loop(RegionId shard) {
+void ShardedEmbeddingService::worker_loop(RegionId shard, std::size_t lane) {
   WorkerState state;
   ShardPool& pool = *pools_[shard];
   while (auto job = pool.queue.pop()) {
     metrics_.set_queue_depth(shard, pool.queue.size());
-    serve::Response resp = process(*job, state);
+    // This worker is the lane's single writer for the request's lifetime.
+    serve::RequestTrace trace(spans_.get(), lane, job->req.id);
+    const std::uint64_t t_submit = trace.at(job->submitted);
+    serve::Response resp = process(*job, state, trace);
+    trace.outcome(resp.outcome, t_submit, trace.now(), resp.cost);
+    maybe_promote(trace, resp);
     finish(std::move(*job), std::move(resp));
   }
 }
 
-serve::Response ShardedEmbeddingService::process(Job& job,
-                                                 WorkerState& state) {
+void ShardedEmbeddingService::maybe_promote(const serve::RequestTrace& trace,
+                                            const serve::Response& resp) {
+  if (!flight_ || !trace.active()) return;
+  const double latency_ms = resp.queue_ms + resp.solve_ms;
+  const std::uint8_t hit = serve::evaluate_triggers(
+      opts_.tracing, resp.outcome, latency_ms, /*watchdog_fired=*/false);
+  if (hit == 0) return;
+  serve::FlightTrace ft;
+  ft.trace_id = resp.id;
+  ft.triggers = hit;
+  ft.outcome = resp.outcome;
+  ft.latency_ms = latency_ms;
+  ft.dropped_spans = trace.overflow();
+  const std::span<const util::SpanRecord> spans = trace.spans();
+  ft.spans.assign(spans.begin(), spans.end());
+  for (util::SpanRecord& s : ft.spans) {
+    s.lane = static_cast<std::uint32_t>(trace.lane());
+  }
+  flight_->promote(std::move(ft));
+}
+
+serve::Response ShardedEmbeddingService::process(Job& job, WorkerState& state,
+                                                 serve::RequestTrace& trace) {
   const serve::Clock::time_point dequeued = serve::Clock::now();
   serve::Response resp;
   resp.id = job.req.id;
   resp.queue_ms = ms_between(job.submitted, dequeued);
+  trace.queue_wait(trace.at(job.submitted), trace.at(dequeued));
 
   if (opts_.admission.should_shed(job.req, dequeued)) {
     resp.outcome = serve::Outcome::SheddedDeadline;
@@ -156,17 +213,25 @@ serve::Response ShardedEmbeddingService::process(Job& job,
     // Stage two, first-feasible: snapshot the candidate's shards, solve in
     // the restricted view (lock-free), then commit against the live shards.
     bool solved_any = false;
-    for (const auto& regions : candidates) {
+    const std::uint16_t att = static_cast<std::uint16_t>(attempt);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const auto& regions = candidates[c];
+      const std::uint64_t t_solve0 = trace.now();
       ledger_.compose(regions, *state.scratch, state.epochs);
       const core::SolveResult r =
           inner_->solve(index, *state.scratch, rng, nullptr, &state.ws);
       ++resp.solves;
+      trace.solve(att, r.ok(), t_solve0, trace.now(), c,
+                  r.ok() ? r.cost : 0.0);
       if (!r.ok()) continue;
       solved_any = true;
 
       core::ResourceUsage usage = evaluator.usage(*r.solution);
+      const std::uint64_t t_commit0 = trace.now();
       CommitResult commit =
           ledger_.try_commit(usage, rate, regions, state.epochs);
+      trace.commit(att, commit_class(commit.path), t_commit0, trace.now(),
+                   shard_mask(commit.touched));
       metrics_.on_commit(commit);
       if (!commit.ok) {
         ++resp.conflicts;

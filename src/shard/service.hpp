@@ -46,9 +46,11 @@
 #include "serve/admission.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
+#include "serve/trace.hpp"
 #include "shard/hier.hpp"
 #include "shard/ledger.hpp"
 #include "shard/metrics.hpp"
+#include "util/span_recorder.hpp"
 
 namespace dagsfc::shard {
 
@@ -61,6 +63,11 @@ class ShardedEmbeddingService {
     /// Base seed of the per-request solver RNG streams (same mixing rule
     /// as the flat service: (seed, id, attempt), worker-independent).
     std::uint64_t seed = 0x5eedbeefULL;
+    /// Request-lifecycle tracing (serve/trace.hpp), shared with the flat
+    /// plane: one ring lane per (shard, worker), commit spans carrying the
+    /// touched-shard set as a bitmask, triggered traces promoted to the
+    /// flight recorder. Observation only — outcomes are unchanged.
+    serve::TracingOptions tracing;
   };
 
   /// The substrate must outlive the service.
@@ -93,6 +100,11 @@ class ShardedEmbeddingService {
   [[nodiscard]] const util::MetricRegistry& metrics_registry() const noexcept {
     return metrics_.registry();
   }
+  /// Mutable access, so callers can register extra instruments (e.g.
+  /// util::ProcessMetrics) on the same registry the endpoint scrapes.
+  [[nodiscard]] util::MetricRegistry& metrics_registry() noexcept {
+    return metrics_.registry();
+  }
 
   [[nodiscard]] const ShardedSubstrate& substrate() const noexcept {
     return *substrate_;
@@ -101,6 +113,15 @@ class ShardedEmbeddingService {
     return ledger_;
   }
   [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+  /// Tail-sampled trace store; null unless Options::tracing.enabled.
+  [[nodiscard]] const serve::FlightRecorder* flight_recorder() const noexcept {
+    return flight_.get();
+  }
+  /// The always-on span ring; null unless Options::tracing.enabled.
+  [[nodiscard]] const util::SpanRecorder* span_recorder() const noexcept {
+    return spans_.get();
+  }
 
  private:
   struct Job {
@@ -130,15 +151,26 @@ class ShardedEmbeddingService {
     std::vector<std::thread> workers;
   };
 
-  void worker_loop(RegionId shard);
-  [[nodiscard]] serve::Response process(Job& job, WorkerState& state);
+  /// \p lane is the worker's global SpanRecorder lane:
+  /// shard * workers_per_shard + worker.
+  void worker_loop(RegionId shard, std::size_t lane);
+  [[nodiscard]] serve::Response process(Job& job, WorkerState& state,
+                                        serve::RequestTrace& trace);
   void finish(Job&& job, serve::Response&& resp);
+  /// Tail sampling: promotes \p trace iff \p resp matches a trigger.
+  void maybe_promote(const serve::RequestTrace& trace,
+                     const serve::Response& resp);
 
   const ShardedSubstrate* substrate_;
   Options opts_;
   std::unique_ptr<core::Embedder> inner_;
   ShardedLedger ledger_;
   ShardMetrics metrics_;
+
+  /// Tracing plane (null when Options::tracing.enabled is false): one ring
+  /// lane per (shard, worker), one shared flight recorder.
+  std::unique_ptr<util::SpanRecorder> spans_;
+  std::unique_ptr<serve::FlightRecorder> flight_;
 
   mutable std::mutex flows_mu_;
   std::unordered_map<serve::RequestId, CommittedFlow> flows_;

@@ -77,6 +77,7 @@ HistogramState::HistogramState(double min_bound, double max_bound,
                                std::size_t buckets_per_decade)
     : layout_(min_bound, max_bound, buckets_per_decade),
       counts_(layout_.num_buckets()),
+      exemplars_(layout_.num_buckets()),
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity()) {}
 
@@ -86,6 +87,20 @@ void HistogramState::observe(double x) noexcept {
   atomic_add(sum_, x);
   atomic_min(min_, x);
   atomic_max(max_, x);
+}
+
+void HistogramState::observe_exemplar(double x,
+                                      std::uint64_t trace_id) noexcept {
+  observe(x);
+  ExemplarCell& cell = exemplars_[layout_.bucket_of(x)];
+  double cur = cell.value.load(std::memory_order_relaxed);
+  // >= so a repeat of the current worst value refreshes the id too.
+  while (x >= cur) {
+    if (cell.value.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+      cell.trace_id.store(trace_id, std::memory_order_relaxed);
+      break;
+    }
+  }
 }
 
 Histogram HistogramState::snapshot() const {
@@ -98,6 +113,17 @@ Histogram HistogramState::snapshot() const {
                                sum_.load(std::memory_order_relaxed),
                                min_.load(std::memory_order_relaxed),
                                max_.load(std::memory_order_relaxed));
+}
+
+std::vector<HistogramExemplar> HistogramState::exemplars() const {
+  std::vector<HistogramExemplar> out;
+  for (std::size_t b = 0; b < exemplars_.size(); ++b) {
+    const double v = exemplars_[b].value.load(std::memory_order_relaxed);
+    if (v == -std::numeric_limits<double>::infinity()) continue;
+    out.push_back(HistogramExemplar{
+        b, v, exemplars_[b].trace_id.load(std::memory_order_relaxed)});
+  }
+  return out;
 }
 
 }  // namespace detail
@@ -126,6 +152,11 @@ double Gauge::value() const noexcept {
 
 void HistogramMetric::observe(double x) const noexcept {
   if (state_ != nullptr) state_->observe(x);
+}
+
+void HistogramMetric::observe_exemplar(double x,
+                                       std::uint64_t trace_id) const noexcept {
+  if (state_ != nullptr) state_->observe_exemplar(x, trace_id);
 }
 
 Histogram HistogramMetric::snapshot() const {
@@ -239,6 +270,7 @@ RegistrySnapshot MetricRegistry::snapshot() const {
         break;
       case MetricKind::Histogram:
         s.histogram = inst.histogram->snapshot();
+        s.exemplars = inst.histogram->exemplars();
         break;
     }
     out.samples.push_back(std::move(s));
@@ -357,6 +389,22 @@ std::string RegistrySnapshot::json() const {
            << ",\"p50\":" << json_number(h.p50())
            << ",\"p95\":" << json_number(h.p95())
            << ",\"p99\":" << json_number(h.p99());
+        if (!s.exemplars.empty()) {
+          os << ",\"exemplars\":[";
+          bool ef = true;
+          for (const HistogramExemplar& e : s.exemplars) {
+            if (!ef) os << ',';
+            ef = false;
+            const std::string le =
+                e.bucket + 1 == h.num_buckets()
+                    ? "+Inf"
+                    : json_number(h.bucket_bounds(e.bucket).second);
+            os << "{\"bucket\":" << e.bucket << ",\"le\":\"" << le
+               << "\",\"value\":" << json_number(e.value)
+               << ",\"trace_id\":" << e.trace_id << '}';
+          }
+          os << ']';
+        }
         break;
       }
     }

@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -58,6 +59,16 @@ enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
 /// the sweep detail table, so cache hit-rates print identically everywhere.
 /// \p fraction is the 0..1 ratio.
 [[nodiscard]] std::string format_percent(double fraction);
+
+/// One histogram bucket's exemplar: the trace id of the worst (largest)
+/// value observed in that bucket via observe_exemplar(). Links the metrics
+/// plane to the flight recorder: a scrape answers "which request made p99
+/// bad?" with an id the trace dump can be grepped for.
+struct HistogramExemplar {
+  std::size_t bucket = 0;      ///< bucket index in the histogram layout
+  double value = 0.0;          ///< worst value seen in the bucket
+  std::uint64_t trace_id = 0;  ///< caller-supplied id (serve: request id)
+};
 
 namespace detail {
 
@@ -85,13 +96,29 @@ class HistogramState {
                  std::size_t buckets_per_decade);
 
   void observe(double x) noexcept;
+  /// observe(x) plus a per-bucket CAS-max exemplar: if \p x is the largest
+  /// value this bucket has seen, \p trace_id becomes the bucket's exemplar.
+  /// Exemplars live only here (registry side), never in util::Histogram, so
+  /// snapshot() stays bitwise-comparable with exemplars on or off. Under a
+  /// racing pair of observers the stored id can transiently belong to the
+  /// runner-up — exemplars are debugging breadcrumbs, not ground truth.
+  void observe_exemplar(double x, std::uint64_t trace_id) noexcept;
   /// Materializes the atomic cells into the bitwise-comparable Histogram.
   [[nodiscard]] Histogram snapshot() const;
+  /// Exemplars for every bucket that has one, in bucket order.
+  [[nodiscard]] std::vector<HistogramExemplar> exemplars() const;
   [[nodiscard]] const Histogram& layout() const noexcept { return layout_; }
 
  private:
+  struct ExemplarCell {
+    /// -inf until the first exemplar lands, so any real value wins the CAS.
+    std::atomic<double> value{-std::numeric_limits<double>::infinity()};
+    std::atomic<std::uint64_t> trace_id{0};
+  };
+
   const Histogram layout_;  ///< never added to; bucket math + layout identity
   std::vector<std::atomic<std::uint64_t>> counts_;
+  std::vector<ExemplarCell> exemplars_;
   std::atomic<std::uint64_t> n_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;
@@ -140,6 +167,9 @@ class HistogramMetric {
  public:
   HistogramMetric() = default;
   void observe(double x) const noexcept;
+  /// observe(x) that also tags the bucket's worst-value exemplar with
+  /// \p trace_id — see detail::HistogramState::observe_exemplar.
+  void observe_exemplar(double x, std::uint64_t trace_id) const noexcept;
   [[nodiscard]] Histogram snapshot() const;
 
  private:
@@ -157,6 +187,10 @@ struct MetricSample {
   std::uint64_t counter = 0;
   double gauge = 0.0;
   Histogram histogram;
+  /// Histogram-only: per-bucket worst-request exemplars. Rendered in the
+  /// JSON exposition; the Prometheus 0.0.4 text format has no exemplar
+  /// syntax, so the text bytes are unchanged whether exemplars exist.
+  std::vector<HistogramExemplar> exemplars;
 };
 
 /// Point-in-time copy of every instrument, sorted by (name, labels).

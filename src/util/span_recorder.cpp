@@ -1,0 +1,136 @@
+#include "util/span_recorder.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace dagsfc::util {
+
+namespace {
+
+// Word layout inside a slot. kind/detail/attempt share one word; the
+// remaining 32 bits are reserved (lane is implicit in the ring index).
+constexpr std::size_t kWordTraceId = 0;
+constexpr std::size_t kWordPacked = 1;
+constexpr std::size_t kWordT0 = 2;
+constexpr std::size_t kWordT1 = 3;
+constexpr std::size_t kWordArg = 4;
+constexpr std::size_t kWordValue = 5;
+
+std::uint64_t pack(const SpanRecord& r) noexcept {
+  return static_cast<std::uint64_t>(r.kind) |
+         (static_cast<std::uint64_t>(r.detail) << 8) |
+         (static_cast<std::uint64_t>(r.attempt) << 16);
+}
+
+void unpack(std::uint64_t w, SpanRecord& r) noexcept {
+  r.kind = static_cast<std::uint8_t>(w & 0xff);
+  r.detail = static_cast<std::uint8_t>((w >> 8) & 0xff);
+  r.attempt = static_cast<std::uint16_t>((w >> 16) & 0xffff);
+}
+
+}  // namespace
+
+SpanRecorder::SpanRecorder(std::size_t lanes, std::size_t capacity_per_lane)
+    : capacity_(capacity_per_lane), epoch_(std::chrono::steady_clock::now()) {
+  DAGSFC_CHECK_MSG(lanes > 0, "SpanRecorder needs at least one lane");
+  DAGSFC_CHECK_MSG(capacity_per_lane > 0,
+                   "SpanRecorder lane capacity must be positive");
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->slots = std::vector<Slot>(capacity_);
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+std::uint64_t SpanRecorder::now_ns() const noexcept {
+  return to_ns(std::chrono::steady_clock::now());
+}
+
+std::uint64_t SpanRecorder::to_ns(
+    std::chrono::steady_clock::time_point t) const noexcept {
+  if (t <= epoch_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
+          .count());
+}
+
+void SpanRecorder::emit(std::size_t lane, const SpanRecord& r) noexcept {
+  DAGSFC_CHECK_MSG(lane < lanes_.size(), "SpanRecorder lane out of range");
+  Lane& l = *lanes_[lane];
+  const std::uint64_t n = l.pub.load(std::memory_order_relaxed);
+  Slot& s = l.slots[n % capacity_];
+  s.w[kWordTraceId].store(r.trace_id, std::memory_order_relaxed);
+  s.w[kWordPacked].store(pack(r), std::memory_order_relaxed);
+  s.w[kWordT0].store(r.t0_ns, std::memory_order_relaxed);
+  s.w[kWordT1].store(r.t1_ns, std::memory_order_relaxed);
+  s.w[kWordArg].store(r.arg, std::memory_order_relaxed);
+  s.w[kWordValue].store(std::bit_cast<std::uint64_t>(r.value),
+                        std::memory_order_relaxed);
+  // Release-publish: a reader that acquires pub >= n+1 sees the words above.
+  l.pub.store(n + 1, std::memory_order_release);
+}
+
+std::uint64_t SpanRecorder::emitted(std::size_t lane) const noexcept {
+  DAGSFC_CHECK_MSG(lane < lanes_.size(), "SpanRecorder lane out of range");
+  return lanes_[lane]->pub.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SpanRecorder::dropped(std::size_t lane) const noexcept {
+  const std::uint64_t n = emitted(lane);
+  return n > capacity_ ? n - capacity_ : 0;
+}
+
+std::vector<SpanRecord> SpanRecorder::collect() const {
+  struct Tagged {
+    SpanRecord rec;
+    std::uint64_t seq;  // per-lane emission index, for a stable tiebreak
+  };
+  std::vector<Tagged> out;
+  for (std::size_t li = 0; li < lanes_.size(); ++li) {
+    const Lane& l = *lanes_[li];
+    const std::uint64_t end = l.pub.load(std::memory_order_acquire);
+    const std::uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+    std::vector<Tagged> lane_out;
+    lane_out.reserve(static_cast<std::size_t>(end - begin));
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const Slot& s = l.slots[i % capacity_];
+      Tagged t;
+      t.seq = i;
+      t.rec.trace_id = s.w[kWordTraceId].load(std::memory_order_relaxed);
+      unpack(s.w[kWordPacked].load(std::memory_order_relaxed), t.rec);
+      t.rec.lane = static_cast<std::uint32_t>(li);
+      t.rec.t0_ns = s.w[kWordT0].load(std::memory_order_relaxed);
+      t.rec.t1_ns = s.w[kWordT1].load(std::memory_order_relaxed);
+      t.rec.arg = s.w[kWordArg].load(std::memory_order_relaxed);
+      t.rec.value = std::bit_cast<double>(
+          s.w[kWordValue].load(std::memory_order_relaxed));
+      lane_out.push_back(t);
+    }
+    // Re-read pub: the writer may have advanced while we copied. Entry i
+    // lives in slot i % capacity, which the writer starts rewriting when it
+    // begins entry i + capacity. With pub == end2, entry end2 may be
+    // mid-write, so every i <= end2 - capacity is suspect — drop it.
+    const std::uint64_t end2 = l.pub.load(std::memory_order_acquire);
+    const std::uint64_t safe_begin =
+        end2 >= capacity_ ? end2 - capacity_ + 1 : 0;
+    for (const Tagged& t : lane_out) {
+      if (t.seq >= safe_begin) out.push_back(t);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     if (a.rec.t0_ns != b.rec.t0_ns)
+                       return a.rec.t0_ns < b.rec.t0_ns;
+                     if (a.rec.lane != b.rec.lane) return a.rec.lane < b.rec.lane;
+                     return a.seq < b.seq;
+                   });
+  std::vector<SpanRecord> recs;
+  recs.reserve(out.size());
+  for (const Tagged& t : out) recs.push_back(t.rec);
+  return recs;
+}
+
+}  // namespace dagsfc::util

@@ -32,6 +32,7 @@
 #include "shard/metrics.hpp"
 #include "sim/runner.hpp"
 #include "test_helpers.hpp"
+#include "util/build_info.hpp"
 #include "util/check.hpp"
 
 namespace {
@@ -228,6 +229,73 @@ TEST(Metrics, PrometheusRendersAllThreeKinds) {
   EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
 }
 
+// ------------------------------------------------------------ exemplars --
+
+TEST(Metrics, ExemplarTracksTheBucketsWorstValue) {
+  MetricRegistry reg;
+  HistogramMetric h = reg.histogram("dagsfc_lat_ms", {}, 1e-3, 1e6);
+  // Two observations in one bucket: the larger one owns the exemplar.
+  h.observe_exemplar(1.00, 7);
+  h.observe_exemplar(1.05, 8);
+  h.observe_exemplar(1.01, 9);  // smaller — must not steal it
+  // And one far away, in its own bucket.
+  h.observe_exemplar(500.0, 4);
+
+  const RegistrySnapshot snap = reg.snapshot();
+  const MetricSample* s = snap.find("dagsfc_lat_ms");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->exemplars.size(), 2u);  // only buckets that have one
+  EXPECT_LT(s->exemplars[0].bucket, s->exemplars[1].bucket);  // bucket order
+  EXPECT_DOUBLE_EQ(s->exemplars[0].value, 1.05);
+  EXPECT_EQ(s->exemplars[0].trace_id, 8u);
+  EXPECT_DOUBLE_EQ(s->exemplars[1].value, 500.0);
+  EXPECT_EQ(s->exemplars[1].trace_id, 4u);
+
+  // A repeat of the exact worst value refreshes the id (>= semantics): the
+  // most recent worst request is the one worth grepping the flight dump
+  // for.
+  h.observe_exemplar(1.05, 12);
+  const RegistrySnapshot snap2 = reg.snapshot();
+  const MetricSample* s2 = snap2.find("dagsfc_lat_ms");
+  ASSERT_NE(s2, nullptr);
+  EXPECT_EQ(s2->exemplars[0].trace_id, 12u);
+
+  // Counts are shared with plain observe(): the exemplar path is the same
+  // histogram, not a parallel one.
+  EXPECT_EQ(s2->histogram.count(), 5u);
+}
+
+TEST(Metrics, ExemplarsChangeJsonButNotPrometheusBytes) {
+  // Two registries fed identical values, one tagging exemplars. The
+  // Prometheus 0.0.4 text has no exemplar syntax, so its bytes must be
+  // identical; the JSON document is where the exemplars surface.
+  MetricRegistry plain;
+  MetricRegistry tagged;
+  HistogramMetric hp = plain.histogram("dagsfc_lat_ms", {}, 1e-3, 1e6);
+  HistogramMetric ht = tagged.histogram("dagsfc_lat_ms", {}, 1e-3, 1e6);
+  for (int i = 1; i <= 10; ++i) {
+    hp.observe(static_cast<double>(i));
+    ht.observe_exemplar(static_cast<double>(i),
+                        static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(plain.expose_prometheus(), tagged.expose_prometheus());
+  EXPECT_EQ(plain.expose_json().find("\"exemplars\""), std::string::npos);
+  const std::string json = tagged.expose_json();
+  const std::size_t at = json.find("\"exemplars\":[");
+  ASSERT_NE(at, std::string::npos);
+  // The largest observation's id rides the dump.
+  EXPECT_NE(json.find("\"trace_id\":10", at), std::string::npos);
+  // And the snapshots proper stay bitwise-comparable — exemplars live
+  // registry-side only, never in util::Histogram.
+  EXPECT_TRUE(hp.snapshot() == ht.snapshot());
+}
+
+TEST(Metrics, NoOpHistogramHandleIgnoresExemplars) {
+  HistogramMetric h;
+  h.observe_exemplar(1.0, 1);  // must not crash on the default handle
+  EXPECT_EQ(h.snapshot().count(), 0u);
+}
+
 // ----------------------------------------------------------- name lint --
 
 /// Every name that actually lands in a registry — the serve layer's
@@ -293,6 +361,14 @@ TEST(Metrics, AllRegisteredNamesMatchConvention) {
   shard_metrics.set_queue_depth(1, 4);
   snapshots.push_back(shard_metrics.registry().snapshot());
 
+  // Process identity (dagsfc_build_info{version=,flags=} +
+  // dagsfc_uptime_seconds), linted through an injected registry — the CLIs
+  // register the same pair on the global one.
+  MetricRegistry process_registry;
+  const ProcessMetrics process_metrics(process_registry);
+  process_metrics.update();
+  snapshots.push_back(process_registry.snapshot());
+
   std::size_t checked = 0;
   for (const RegistrySnapshot& snap : snapshots) {
     ASSERT_FALSE(snap.samples.empty());
@@ -318,6 +394,8 @@ TEST(Metrics, AllRegisteredNamesMatchConvention) {
   EXPECT_TRUE(linted("dagsfc_oracle_builds_total"));
   EXPECT_TRUE(linted("dagsfc_oracle_refreshes_total"));
   EXPECT_TRUE(linted("dagsfc_oracle_pruned_ratio"));
+  EXPECT_TRUE(linted("dagsfc_build_info"));
+  EXPECT_TRUE(linted("dagsfc_uptime_seconds"));
 }
 
 // ------------------------------------------------------------ hot path --

@@ -476,6 +476,72 @@ TEST(ClosedLoopDriver, MetricsBitIdenticalAcrossWorkersAndPipelines) {
   }
 }
 
+TEST(ClosedLoopDriver, TracingOnOffIsBitIdentical) {
+  sim::DynamicConfig cfg;
+  cfg.base.network_size = 30;
+  cfg.base.network_connectivity = 4.0;
+  cfg.base.catalog_size = 6;
+  cfg.base.sfc_size = 3;
+  cfg.base.vnf_capacity = 4.0;
+  cfg.base.link_capacity = 5.0;
+  cfg.base.trials = 1;
+  cfg.arrival_rate = 3.0;
+  cfg.num_arrivals = 50;
+  const Workload workload = make_workload(cfg, 0x1234);
+  const core::MbbeEmbedder mbbe;
+  const AdmissionPolicy admission;
+
+  // Tracing is observation only: an aggressive configuration (a 1 ns
+  // latency threshold that promotes every request, refusals promoted, a
+  // tiny ring forcing constant wraparound) must not perturb a single
+  // solve, commit decision, or counter relative to tracing disabled.
+  ServiceTuning off;
+  ServiceTuning on;
+  on.tracing.enabled = true;
+  on.tracing.ring_capacity = 8;
+  on.tracing.latency_over = std::chrono::nanoseconds(1);
+  on.tracing.on_refusal = true;
+  std::uint64_t spans_emitted = 0;
+  std::uint64_t promoted = 0;
+  on.on_finish = [&](EmbeddingService& s) {
+    ASSERT_NE(s.flight_recorder(), nullptr);
+    promoted = s.flight_recorder()->promoted();
+    for (std::size_t lane = 0; lane < s.span_recorder()->num_lanes();
+         ++lane) {
+      spans_emitted += s.span_recorder()->emitted(lane);
+    }
+  };
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    spans_emitted = 0;
+    promoted = 0;
+    const DriverResult a =
+        run_closed_loop(workload, mbbe, workers, admission, 0x5eed, off);
+    const DriverResult b =
+        run_closed_loop(workload, mbbe, workers, admission, 0x5eed, on);
+    EXPECT_GT(spans_emitted, 0u);
+    EXPECT_GT(promoted, 0u);  // the 1 ns threshold catches every request
+
+    // Latency histograms are wall-clock shaped, so bit-identity is asserted
+    // on everything the solver and commit protocol actually decide — the
+    // same field set the worker-count battery compares.
+    EXPECT_EQ(a.metrics.accepted, b.metrics.accepted);
+    EXPECT_EQ(a.metrics.rejected_infeasible, b.metrics.rejected_infeasible);
+    EXPECT_EQ(a.metrics.lost_conflict, b.metrics.lost_conflict);
+    EXPECT_EQ(a.metrics.commit_conflicts, b.metrics.commit_conflicts);
+    EXPECT_EQ(a.metrics.retries, b.metrics.retries);
+    EXPECT_EQ(a.metrics.fast_commits, b.metrics.fast_commits);
+    EXPECT_EQ(a.metrics.stamp_commits, b.metrics.stamp_commits);
+    EXPECT_EQ(a.metrics.validated_commits, b.metrics.validated_commits);
+    EXPECT_EQ(a.metrics.releases, b.metrics.releases);
+    EXPECT_TRUE(a.metrics.cost == b.metrics.cost);
+    EXPECT_EQ(a.final_epoch, b.final_epoch);
+    EXPECT_DOUBLE_EQ(a.simulated_time, b.simulated_time);
+    EXPECT_TRUE(a.conserved);
+    EXPECT_TRUE(b.conserved);
+  }
+}
+
 TEST(ClosedLoopDriver, WorkloadIsDeterministicInSeed) {
   sim::DynamicConfig cfg;
   cfg.base.network_size = 20;

@@ -223,5 +223,45 @@ TEST(Histogram, EqualityDetectsDivergence) {
   EXPECT_FALSE(a == b);
 }
 
+TEST(Histogram, TwoSamplesInOneBucketInterpolateBetweenThem) {
+  Histogram h(1.0, 100.0, 4);  // first in-range bucket is [1, 10^(1/4))
+  h.add(1.1);
+  h.add(1.2);
+  // Both samples share a bucket, so its value range clamps to [1.1, 1.2]
+  // and the rank interpolation is exact within it: rank(q=0.5) = 0.5,
+  // frac = (0.5 + 0.5) / 2 = 0.5 → the midpoint of the observed extremes.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.15);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.1);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.2);
+  // Equal samples collapse the clamped range to a point: every interior
+  // quantile is that point (the hi <= lo edge of the interpolation).
+  Histogram point(1.0, 100.0, 4);
+  point.add(5.0);
+  point.add(5.0);
+  EXPECT_DOUBLE_EQ(point.quantile(0.3), 5.0);
+  EXPECT_DOUBLE_EQ(point.quantile(0.9), 5.0);
+}
+
+TEST(Histogram, TwoSamplesAcrossBucketsClampToTheWinningBucket) {
+  Histogram h(1.0, 100.0, 4);
+  h.add(1.0);
+  h.add(80.0);
+  // With n = 2 every interior quantile has rank q·(n−1) < 1, so the first
+  // sample's bucket always wins; the interpolated value never escapes that
+  // bucket's clamped range even as q → 1, and q = 1 alone jumps to the max.
+  const double first_hi = h.bucket_bounds(1).second;  // bucket holding 1.0
+  double prev = h.quantile(0.0);
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+  for (const double q : {0.25, 0.5, 0.75, 0.99}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);  // monotone in q
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, first_hi);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), first_hi);  // frac clamps at 1
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 80.0);
+}
+
 }  // namespace
 }  // namespace dagsfc
